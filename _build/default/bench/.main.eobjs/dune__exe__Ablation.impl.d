@@ -1,0 +1,1 @@
+bench/ablation.ml: Capri Capri_util Capri_workloads Compiled Config Executor List Options Persist Pipeline Runner

@@ -1,0 +1,1 @@
+bench/figures.ml: Capri Capri_util Capri_workloads Executor List Options Persist Printf Runner

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Capri Capri_workloads Figures Format List Micro Printf Sensitivity String Sys

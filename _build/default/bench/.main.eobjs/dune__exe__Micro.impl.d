@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Capri Capri_arch Capri_workloads Hashtbl Instance Inter_liveness List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/runner.ml: Capri Capri_util Capri_workloads Compiled Config Executor Hashtbl List Option Options Persist Pipeline

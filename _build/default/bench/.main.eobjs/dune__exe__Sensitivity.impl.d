@@ -1,0 +1,1 @@
+bench/sensitivity.ml: Capri Capri_util Capri_workloads Config Executor List Options Pipeline

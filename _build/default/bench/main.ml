@@ -1,0 +1,50 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index). With no arguments
+   it runs the full set; individual experiments can be selected:
+
+     dune exec bench/main.exe -- table1 fig8 fig9 fig10 fig11 headline \
+                                 ablation micro
+*)
+
+let scale = Capri_workloads.Suite.bench_scale
+
+let table1 () =
+  print_endline "== Table 1: simulator configuration";
+  Format.printf "%a@." Capri.Config.pp_table Capri.Config.table1;
+  print_endline
+    "   (sim_default scales cache capacities to the synthetic workloads;\n\
+    \    latencies and queue structure identical:)";
+  Format.printf "%a@.@." Capri.Config.pp_table Capri.Config.sim_default
+
+let experiments =
+  [
+    ("table1", fun () -> table1 ());
+    ("fig8", fun () -> ignore (Figures.figure8 ~scale ()));
+    ("fig9", fun () -> ignore (Figures.figure9 ~scale ()));
+    ("fig10", fun () -> ignore (Figures.figure10 ~scale ()));
+    ("fig11", fun () -> ignore (Figures.figure11 ~scale ()));
+    ("headline", fun () -> ignore (Figures.headline ~scale ()));
+    ("nvmwrites", fun () -> ignore (Figures.nvm_writes ~scale ()));
+    ("ablation", fun () -> Ablation.all ~scale ());
+    ("sensitivity", fun () -> Sensitivity.all ());
+    ("micro", fun () -> Micro.print ());
+  ]
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> List.filter (fun a -> a <> "--") rest
+    | [] -> []
+  in
+  let selected = if args = [] then List.map fst experiments else args in
+  let t0 = Sys.time () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (available: %s)\n" name
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    selected;
+  Printf.printf "total harness time: %.1fs\n" (Sys.time () -. t0)

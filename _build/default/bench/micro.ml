@@ -1,0 +1,73 @@
+(* Bechamel micro-benchmarks of the library's hot building blocks: one
+   Test.make per experiment table so regressions in the substrate show up
+   independently of the simulation results. *)
+
+open Bechamel
+open Toolkit
+open Capri
+module W = Capri_workloads
+
+let sum_kernel () = W.Suite.by_name ~scale:2 "505.mcf_r"
+
+let test_cache =
+  Test.make ~name:"cache: 4k mixed accesses"
+    (Staged.stage (fun () ->
+         let c = Capri_arch.Cache.create ~sets:64 ~ways:8 in
+         for i = 0 to 4095 do
+           let line = i * 7 mod 1024 in
+           if Capri_arch.Cache.mem c line then
+             Capri_arch.Cache.touch c line ~dirty:(i land 1 = 0)
+           else ignore (Capri_arch.Cache.insert c line ~dirty:(i land 1 = 0))
+         done))
+
+let test_liveness =
+  let k = sum_kernel () in
+  Test.make ~name:"dataflow: interprocedural liveness"
+    (Staged.stage (fun () ->
+         ignore (Inter_liveness.compute k.W.Kernel.program)))
+
+let test_compile =
+  let k = sum_kernel () in
+  Test.make ~name:"compiler: full pipeline"
+    (Staged.stage (fun () -> ignore (compile k.W.Kernel.program)))
+
+let test_run =
+  let k = sum_kernel () in
+  let compiled = compile k.W.Kernel.program in
+  Test.make ~name:"simulator: compiled run"
+    (Staged.stage (fun () ->
+         ignore (run ~threads:k.W.Kernel.threads compiled)))
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"capri"
+      [ test_cache; test_liveness; test_compile; test_run ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~r_square:false
+                                      ~bootstrap:0 ~predictors:[| Measure.run |]) i raw)
+      instances
+  in
+  let results = Analyze.merge (Analyze.ols ~r_square:false ~bootstrap:0
+                                 ~predictors:[| Measure.run |]) instances results in
+  results
+
+let print () =
+  print_endline "== Micro-benchmarks (Bechamel, monotonic clock)";
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun label tbl ->
+      ignore label;
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "  %-40s %12.0f ns/run\n" name est
+          | Some _ | None ->
+            Printf.printf "  %-40s (no estimate)\n" name)
+        tbl)
+    results;
+  print_newline ()

@@ -1,0 +1,51 @@
+(* Sensitivity sweeps over the structural axes Section 6.3 blames for
+   benchmark variance: store density, short-loop length and call
+   frequency. Each table reports the normalized WSP overhead (threshold
+   256, all optimizations, conflict fence off to match the paper's
+   hardware). *)
+
+open Capri
+module W = Capri_workloads
+module Table = Capri_util.Table
+
+let measure (k : W.Kernel.t) =
+  let baseline =
+    run_volatile ~threads:k.W.Kernel.threads k.W.Kernel.program
+  in
+  let compiled = Pipeline.compile Options.default k.W.Kernel.program in
+  let config =
+    { Config.sim_default with Config.conflict_fence = false }
+  in
+  let result = run ~config ~threads:k.W.Kernel.threads compiled in
+  ( overhead ~baseline result,
+    float_of_int result.Executor.region_stats.Executor.total_instrs
+    /. float_of_int
+         (max 1 result.Executor.region_stats.Executor.regions_executed) )
+
+let sweep ~title rows =
+  print_endline title;
+  let table =
+    Table.create ~header:[ "kernel"; "overhead"; "instrs/region" ]
+  in
+  List.iter
+    (fun k ->
+      let ovh, ipr = measure k in
+      Table.add_row table
+        [ k.W.Kernel.name; Table.fmt_f ovh; Table.fmt_f ~decimals:1 ipr ])
+    rows;
+  Table.print table;
+  print_newline ()
+
+let all () =
+  print_endline
+    "== Sensitivity: the structural axes behind Figures 8-11 (Section 6.3)";
+  sweep ~title:"store density (stores per 100 instructions of work):"
+    (List.map
+       (fun percent -> W.Micro.store_density ~percent ~n:600)
+       [ 5; 15; 30; 60; 90 ]);
+  sweep ~title:"short-loop mean length (speculative unrolling's target):"
+    (List.map (fun mean -> W.Micro.loop_length ~mean ~outer:150)
+       [ 2; 4; 8; 16; 32 ]);
+  sweep ~title:"call frequency (calls force region boundaries):"
+    (List.map (fun period -> W.Micro.call_frequency ~period ~n:500)
+       [ 50; 20; 10; 5; 2 ])

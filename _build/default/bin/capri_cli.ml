@@ -1,0 +1,203 @@
+(* capri — command-line front end over the library.
+
+   Subcommands:
+     list                       enumerate the workload kernels
+     compile  <kernel>          show region/checkpoint statistics
+     run      <kernel>          run under the Capri architecture
+     crash    <kernel>          crash-sweep a kernel and verify recovery
+     show-config                print Table 1
+*)
+
+open Cmdliner
+open Capri
+module W = Capri_workloads
+
+let kernel_arg =
+  let doc = "Workload kernel name (see `capri list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale factor." in
+  Arg.(value & opt int 6 & info [ "scale" ] ~docv:"N" ~doc)
+
+let threshold_arg =
+  let doc = "Region store threshold (paper default 256)." in
+  Arg.(value & opt int 256 & info [ "threshold" ] ~docv:"N" ~doc)
+
+let find_kernel name scale =
+  try W.Suite.by_name ~scale name
+  with Not_found ->
+    Printf.eprintf "unknown kernel %s\n" name;
+    exit 1
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let k = W.Suite.by_name ~scale:2 name in
+        Printf.printf "%-16s [%s] %s\n" name
+          (W.Kernel.suite_name k.W.Kernel.suite)
+          k.W.Kernel.description)
+      W.Suite.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the workload kernels")
+    Term.(const run $ const ())
+
+let compile_cmd =
+  let run name scale threshold =
+    let k = find_kernel name scale in
+    List.iter
+      (fun (label, options) ->
+        let options = Options.with_threshold threshold options in
+        let compiled = Pipeline.compile options k.W.Kernel.program in
+        Format.printf "--- %s@.%a@." label Compiled.pp_summary compiled)
+      Options.fig9_configs
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and report statistics")
+    Term.(const run $ kernel_arg $ scale_arg $ threshold_arg)
+
+let pgo_arg =
+  let doc = "Use profile-guided compilation (Section 6.3 future work)." in
+  Arg.(value & flag & info [ "pgo" ] ~doc)
+
+let run_cmd =
+  let run name scale threshold pgo =
+    let k = find_kernel name scale in
+    let baseline = run_volatile ~threads:k.W.Kernel.threads k.W.Kernel.program in
+    let options = Options.with_threshold threshold Options.default in
+    let compiled =
+      if pgo then
+        compile_pgo ~options ~threads:k.W.Kernel.threads k.W.Kernel.program
+      else Pipeline.compile options k.W.Kernel.program
+    in
+    let config = Config.with_threshold threshold Config.sim_default in
+    let result = run ~config ~threads:k.W.Kernel.threads compiled in
+    let rs = result.Executor.region_stats in
+    Printf.printf "volatile: %d cycles\n" baseline.Executor.cycles;
+    Printf.printf "capri:    %d cycles (overhead %.2f%%)\n"
+      result.Executor.cycles
+      (100.0 *. (overhead ~baseline result -. 1.0));
+    Printf.printf
+      "dynamic:  %d instrs, %d stores + %d checkpoint stores, %d regions \
+       (%.1f instrs, %.2f stores per region)\n"
+      result.Executor.instrs result.Executor.stores result.Executor.ckpt_stores
+      rs.Executor.regions_executed
+      (float_of_int rs.Executor.total_instrs
+       /. float_of_int (max 1 rs.Executor.regions_executed))
+      (float_of_int rs.Executor.total_stores
+       /. float_of_int (max 1 rs.Executor.regions_executed));
+    Array.iteri
+      (fun core outputs ->
+        if outputs <> [] then
+          Printf.printf "core %d out: %s\n" core
+            (String.concat " " (List.map string_of_int outputs)))
+      result.Executor.outputs
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a kernel under whole-system persistence")
+    Term.(const run $ kernel_arg $ scale_arg $ threshold_arg $ pgo_arg)
+
+let crash_cmd =
+  let points_arg =
+    let doc = "Number of crash points to test." in
+    Arg.(value & opt int 40 & info [ "points" ] ~docv:"N" ~doc)
+  in
+  let run name scale threshold points =
+    let k = find_kernel name scale in
+    let options = Options.with_threshold threshold Options.default in
+    let compiled = Pipeline.compile options k.W.Kernel.program in
+    let reference =
+      Verify.reference ~threads:k.W.Kernel.threads compiled
+    in
+    let stride = max 1 (reference.Executor.instrs / points) in
+    match
+      crash_sweep ~threads:k.W.Kernel.threads ~stride compiled
+    with
+    | Ok report ->
+      Printf.printf
+        "%d crash points: all recovered (%d recoveries, %d recovery \
+         blocks, %d stale reads)\n"
+        report.Verify.crash_points report.Verify.recoveries
+        report.Verify.recovery_blocks_run report.Verify.stale_reads
+    | Error f ->
+      Printf.printf "FAILED at %s: %s\n"
+        (String.concat "," (List.map string_of_int f.Verify.crash_at))
+        f.Verify.reason;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc:"Crash-sweep a kernel and verify every recovery")
+    Term.(const run $ kernel_arg $ scale_arg $ threshold_arg $ points_arg)
+
+let exec_cmd =
+  let file_arg =
+    let doc = "Path to a textual IR program (see Capri.Parser)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let crash_flag =
+    let doc = "Also crash-sweep the program and verify recovery." in
+    Arg.(value & flag & info [ "crash" ] ~doc)
+  in
+  let run file threshold crash =
+    match Parser.parse_file file with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Parser.pp_error e;
+      exit 1
+    | Ok program ->
+      let baseline = run_volatile program in
+      let options = Options.with_threshold threshold Options.default in
+      let compiled = Pipeline.compile options program in
+      let config = Config.with_threshold threshold Config.sim_default in
+      let result = run ~config compiled in
+      Printf.printf "volatile: %d cycles | capri: %d cycles (overhead %.2f%%)\n"
+        baseline.Executor.cycles result.Executor.cycles
+        (100.0 *. (overhead ~baseline result -. 1.0));
+      Array.iteri
+        (fun core outputs ->
+          if outputs <> [] then
+            Printf.printf "core %d out: %s\n" core
+              (String.concat " " (List.map string_of_int outputs)))
+        result.Executor.outputs;
+      if crash then
+        match crash_sweep compiled with
+        | Ok report ->
+          Printf.printf "crash sweep: %d points, all recovered\n"
+            report.Verify.crash_points
+        | Error f ->
+          Printf.printf "crash sweep FAILED: %s\n" f.Verify.reason;
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Compile and run a textual IR program from a file")
+    Term.(const run $ file_arg $ threshold_arg $ crash_flag)
+
+let trace_cmd =
+  let run name scale threshold =
+    let k = find_kernel name scale in
+    let options = Options.with_threshold threshold Options.default in
+    let compiled = Pipeline.compile options k.W.Kernel.program in
+    let tr = Trace.create () in
+    let session =
+      Executor.start ~trace:tr ~program:compiled.Compiled.program
+        ~threads:k.W.Kernel.threads ()
+    in
+    (match Executor.run session with
+     | Executor.Finished _ | Executor.Crashed _ -> ());
+    print_string (Trace.render tr)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Show the dynamic region timeline of a kernel")
+    Term.(const run $ kernel_arg $ scale_arg $ threshold_arg)
+
+let show_config_cmd =
+  let run () = Format.printf "%a@." Config.pp_table Config.table1 in
+  Cmd.v (Cmd.info "show-config" ~doc:"Print the Table 1 configuration")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Capri: whole-system persistence, compiler + architecture" in
+  let info = Cmd.info "capri" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; compile_cmd; run_cmd; crash_cmd; exec_cmd; trace_cmd;
+            show_config_cmd ]))

@@ -1,0 +1,1 @@
+examples/persistent_kv.ml: Array Builder Capri Executor Hashtbl Instr List Memory Printf Reg String Verify

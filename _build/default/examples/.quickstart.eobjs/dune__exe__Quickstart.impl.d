@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Capri Compiled Executor Format Instr List Memory Printf Reg String Verify

@@ -1,0 +1,1 @@
+examples/region_explorer.ml: Array Capri Capri_workloads Compiled Executor Format List Options Pipeline Printf Program String Sys Trace

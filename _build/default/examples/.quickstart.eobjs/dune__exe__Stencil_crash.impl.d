@@ -1,0 +1,1 @@
+examples/stencil_crash.ml: Array Capri Capri_workloads Compiled Executor Format Persist Printf Verify

@@ -1,0 +1,1 @@
+lib/arch/hierarchy.ml: Array Cache Config Hashtbl List Memory

@@ -1,0 +1,1 @@
+lib/arch/persist.ml: Array Capri_ir Config Hashtbl Hierarchy Int List Memory Obj Printf Queue Sys

@@ -1,0 +1,1 @@
+lib/arch/persist.mli: Config Hierarchy Memory

@@ -1,0 +1,102 @@
+type way = { mutable line : int; mutable dirty : bool; mutable lru : int }
+(* line = -1 for invalid *)
+
+type t = {
+  sets : int;
+  ways : way array array;
+  mutable tick : int;  (* LRU clock *)
+  index : (int, int) Hashtbl.t;  (* line -> set*ways + way, fast lookup *)
+}
+
+type eviction = { line : int; dirty : bool }
+
+let create ~sets ~ways =
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: sets must be a positive power of two";
+  {
+    sets;
+    ways =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ -> { line = -1; dirty = false; lru = 0 }));
+    tick = 0;
+    index = Hashtbl.create (sets * ways);
+  }
+
+let set_of t line = line land (t.sets - 1)
+
+let find_way t line =
+  match Hashtbl.find_opt t.index line with
+  | Some packed -> Some t.ways.(packed / 1024).(packed mod 1024)
+  | None -> None
+
+let mem t line = Hashtbl.mem t.index line
+
+let is_dirty t line =
+  match find_way t line with Some w -> w.dirty | None -> false
+
+let touch t line ~dirty =
+  match find_way t line with
+  | Some w ->
+    t.tick <- t.tick + 1;
+    w.lru <- t.tick;
+    if dirty then w.dirty <- true
+  | None -> invalid_arg "Cache.touch: line not resident"
+
+let insert t line ~dirty =
+  assert (not (mem t line));
+  let s = set_of t line in
+  let set = t.ways.(s) in
+  t.tick <- t.tick + 1;
+  (* Prefer an invalid way; otherwise evict the LRU way. *)
+  let victim = ref set.(0) in
+  Array.iter
+    (fun (w : way) ->
+      let v : way = !victim in
+      if w.line = -1 && v.line <> -1 then victim := w
+      else if w.line <> -1 && v.line <> -1 && w.lru < v.lru then victim := w)
+    set;
+  let w = !victim in
+  let evicted =
+    if w.line = -1 then None
+    else begin
+      Hashtbl.remove t.index w.line;
+      Some { line = w.line; dirty = w.dirty }
+    end
+  in
+  w.line <- line;
+  w.dirty <- dirty;
+  w.lru <- t.tick;
+  let way_idx =
+    let rec find i = if set.(i) == w then i else find (i + 1) in
+    find 0
+  in
+  Hashtbl.replace t.index line ((s * 1024) + way_idx);
+  evicted
+
+let invalidate t line =
+  match find_way t line with
+  | Some (w : way) ->
+    let dirty = w.dirty in
+    Hashtbl.remove t.index line;
+    w.line <- -1;
+    w.dirty <- false;
+    dirty
+  | None -> false
+
+let dirty_lines t =
+  Hashtbl.fold
+    (fun line _ acc -> if is_dirty t line then line :: acc else acc)
+    t.index []
+
+let resident t = Hashtbl.length t.index
+
+let clear t =
+  Hashtbl.reset t.index;
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun (w : way) ->
+          w.line <- -1;
+          w.dirty <- false)
+        set)
+    t.ways

@@ -1,0 +1,34 @@
+(** Set-associative write-back cache, tags only.
+
+    Load values come from the functional {!Memory} oracle; the hierarchy
+    maintains a single-dirty-copy invariant, under which a dirty line's
+    contents always equal the architectural memory's current contents, so
+    caches need no data arrays. What matters architecturally is {e which}
+    lines are resident/dirty and {e when} dirty lines are written back. *)
+
+type t
+
+type eviction = { line : int; dirty : bool }
+
+val create : sets:int -> ways:int -> t
+(** [sets] must be a power of two. *)
+
+val mem : t -> int -> bool
+val is_dirty : t -> int -> bool
+
+val touch : t -> int -> dirty:bool -> unit
+(** Mark a resident line most-recently-used; optionally set its dirty bit.
+    The line must be resident. *)
+
+val insert : t -> int -> dirty:bool -> eviction option
+(** Allocate a line (must not be resident); returns the victim if the set
+    was full. *)
+
+val invalidate : t -> int -> bool
+(** Remove the line if resident; returns whether it was dirty. *)
+
+val dirty_lines : t -> int list
+val resident : t -> int
+(** Number of resident lines. *)
+
+val clear : t -> unit

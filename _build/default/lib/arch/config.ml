@@ -1,0 +1,90 @@
+type t = {
+  cores : int;
+  l1_lines : int;
+  l1_ways : int;
+  l2_lines : int;
+  l2_ways : int;
+  dram_cache_lines : int;
+  l1_hit : int;
+  l2_hit : int;
+  dram_hit : int;
+  nvm_read : int;
+  nvm_write : int;
+  proxy_path_latency : int;
+  proxy_path_gap : int;
+  nvm_write_service : int;
+  front_proxy_entries : int;
+  back_proxy_entries : int;
+  wpq_entries : int;
+  load_shadow_div : int;
+  store_miss_div : int;
+  monitor_window : int;
+  conflict_fence : bool;
+}
+
+let line_words = 8
+
+(* 2 GHz clock: ns * 2 = cycles. *)
+let table1 =
+  {
+    cores = 8;
+    l1_lines = 32 * 1024 / 64;
+    l1_ways = 8;
+    l2_lines = 16 * 1024 * 1024 / 64;
+    l2_ways = 16;
+    dram_cache_lines = 8 * 1024 * 1024 * 1024 / 64;
+    l1_hit = 4;  (* 2 ns *)
+    l2_hit = 40;  (* 20 ns *)
+    dram_hit = 100;  (* DDR4-2400 access, ~50 ns *)
+    nvm_read = 300;  (* 150 ns *)
+    nvm_write = 600;  (* 300 ns *)
+    proxy_path_latency = 40;  (* 20 ns *)
+    proxy_path_gap = 4;  (* 128 B entry over a 32 B/cycle dedicated link *)
+    nvm_write_service = 8;  (* ~16 GB/s aggregate across the DIMMs *)
+    front_proxy_entries = 32;
+    back_proxy_entries = 256;
+    wpq_entries = 16;
+    load_shadow_div = 4;
+    store_miss_div = 8;
+    monitor_window = 80;  (* 2x the proxy-path latency *)
+    conflict_fence = true;
+  }
+
+let sim_default =
+  {
+    table1 with
+    cores = 8;
+    l1_lines = 4 * 1024 / 64;
+    l2_lines = 32 * 1024 / 64;
+    dram_cache_lines = 128 * 1024 / 64;
+  }
+
+let with_threshold threshold t = { t with back_proxy_entries = threshold }
+
+let pp_table fmt t =
+  let row name value = Format.fprintf fmt "  %-22s %s@," name value in
+  Format.fprintf fmt "@[<v>Table 1: simulator configuration@,";
+  row "Processor"
+    (Printf.sprintf "%d cores, 2 GHz, in-order issue + OoO shadowing (1/%d)"
+       t.cores t.load_shadow_div);
+  row "L1 D-cache"
+    (Printf.sprintf "%d KiB, %d-way, %d-cycle hit" (t.l1_lines * 64 / 1024)
+       t.l1_ways t.l1_hit);
+  row "L2 cache"
+    (Printf.sprintf "%d KiB, %d-way, shared, %d-cycle hit"
+       (t.l2_lines * 64 / 1024) t.l2_ways t.l2_hit);
+  row "DRAM cache"
+    (Printf.sprintf "%d KiB, direct-mapped, %d-cycle hit"
+       (t.dram_cache_lines * 64 / 1024) t.dram_hit);
+  row "NVM"
+    (Printf.sprintf "read %d / write %d cycles, write queue %d cycles/line"
+       t.nvm_read t.nvm_write t.nvm_write_service);
+  row "WPQ" (Printf.sprintf "%d entries (persistent domain)" t.wpq_entries);
+  row "Proxy path"
+    (Printf.sprintf "%d-cycle latency, 1 entry / %d cycles per core"
+       t.proxy_path_latency t.proxy_path_gap);
+  row "Front-end proxy" (Printf.sprintf "%d entries" t.front_proxy_entries);
+  row "Back-end proxy"
+    (Printf.sprintf "%d entries per core (= store threshold)"
+       t.back_proxy_entries);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,62 @@
+(** Simulator configuration (the paper's Table 1).
+
+    The clock is 2 GHz, so 1 cycle = 0.5 ns; latencies below are cycles.
+    {!table1} carries the paper's capacities verbatim; {!sim_default}
+    scales the cache capacities down to match the synthetic workloads'
+    working sets (megabyte-scale caches would simply never miss at
+    simulation scale and hide all memory-system behaviour), keeping every
+    latency and the proxy/queue structure identical. *)
+
+type t = {
+  cores : int;
+  (* capacities, in 64-byte lines *)
+  l1_lines : int;
+  l1_ways : int;
+  l2_lines : int;
+  l2_ways : int;
+  dram_cache_lines : int;  (** direct-mapped, memory-side *)
+  (* latencies, cycles *)
+  l1_hit : int;
+  l2_hit : int;
+  dram_hit : int;
+  nvm_read : int;
+  nvm_write : int;
+  proxy_path_latency : int;
+  (* bandwidth / occupancy *)
+  proxy_path_gap : int;  (** cycles between successive entries per core *)
+  nvm_write_service : int;  (** cycles per line retired by the write queue *)
+  front_proxy_entries : int;  (** 32 in the paper (4 KiB) *)
+  back_proxy_entries : int;  (** = compiler store threshold *)
+  wpq_entries : int;
+  (* core model *)
+  load_shadow_div : int;
+      (** out-of-order latency hiding: a load stalls the pipeline for
+          [latency / load_shadow_div] cycles *)
+  store_miss_div : int;
+      (** store-buffer hiding of store-miss fetch latency *)
+  monitor_window : int;
+      (** stale-read monitoring window = worst-case proxy-path latency *)
+  conflict_fence : bool;
+      (** our extension for sound multi-core recovery: delay a store while
+          another core holds uncommitted entries for the same words (see
+          {!Persist.store_conflict}). On by default; benchmarks also
+          measure with it off, which matches the paper's hardware (the
+          paper leaves multi-core crash interleavings open). *)
+}
+
+val table1 : t
+(** The paper's configuration: 8 cores, 32 KiB L1, 16 MiB L2, 8 GiB DRAM
+    cache, 32 GiB NVM (150/300 ns), 20 ns proxy path, threshold 256. *)
+
+val sim_default : t
+(** Simulation-scale variant: same latencies/structure, caches sized for
+    the synthetic workloads (L1 4 KiB, L2 32 KiB, DRAM cache 128 KiB). *)
+
+val with_threshold : int -> t -> t
+(** Sets [back_proxy_entries], which the compiler threshold dictates. *)
+
+val line_words : int
+(** Words per cache line (8 x 8 B = 64 B). *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Renders the configuration as the paper's Table 1. *)

@@ -1,0 +1,206 @@
+type level = L1 | L2 | Dram | Nvm
+
+type stats = {
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable dram_hits : int;
+  mutable nvm_accesses : int;
+  mutable writebacks : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  config : Config.t;
+  memory : Memory.t;
+  l1 : Cache.t array;  (* per core *)
+  l2 : Cache.t;
+  dram : Cache.t;
+  owner : (int, int) Hashtbl.t;  (* line -> core owning a dirty L1 copy *)
+  on_nvm_writeback :
+    cycle:int -> line:int -> data:int array -> version:int -> unit;
+  stats : stats;
+}
+
+let pow2_ge n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create config memory ~on_nvm_writeback =
+  let mk lines ways =
+    let sets = max 1 (pow2_ge (lines / ways)) in
+    Cache.create ~sets ~ways
+  in
+  {
+    config;
+    memory;
+    l1 =
+      Array.init config.Config.cores (fun _ ->
+          mk config.Config.l1_lines config.Config.l1_ways);
+    l2 = mk config.Config.l2_lines config.Config.l2_ways;
+    dram = Cache.create ~sets:(pow2_ge config.Config.dram_cache_lines) ~ways:1;
+    owner = Hashtbl.create 1024;
+    on_nvm_writeback;
+    stats =
+      {
+        l1_hits = 0;
+        l2_hits = 0;
+        dram_hits = 0;
+        nvm_accesses = 0;
+        writebacks = 0;
+        invalidations = 0;
+      };
+  }
+
+let latency (config : Config.t) = function
+  | L1 -> config.l1_hit
+  | L2 -> config.l2_hit
+  | Dram -> config.dram_hit
+  | Nvm -> config.nvm_read
+
+(* Dirty eviction sinks one level down; clean evictions vanish. *)
+let rec sink t ~cycle ~line ~dirty ~from =
+  if dirty then begin
+    t.stats.writebacks <- t.stats.writebacks + 1;
+    match from with
+    | L1 ->
+      Hashtbl.remove t.owner line;
+      if Cache.mem t.l2 line then Cache.touch t.l2 line ~dirty:true
+      else insert_into t ~cycle t.l2 ~line ~dirty:true ~level:L2
+    | L2 ->
+      if Cache.mem t.dram line then Cache.touch t.dram line ~dirty:true
+      else insert_into t ~cycle t.dram ~line ~dirty:true ~level:Dram
+    | Dram ->
+      t.on_nvm_writeback ~cycle ~line
+        ~data:(Memory.line_snapshot t.memory line)
+        ~version:(Memory.line_version t.memory line)
+    | Nvm -> assert false
+  end
+  else if from = L1 then Hashtbl.remove t.owner line
+
+and insert_into t ~cycle cache ~line ~dirty ~level =
+  match Cache.insert cache line ~dirty with
+  | None -> ()
+  | Some { Cache.line = victim; dirty = vdirty } ->
+    sink t ~cycle ~line:victim ~dirty:vdirty ~from:level
+
+(* Find the line below L1 and remove it from there (it moves up). Returns
+   the level it was found at and whether the copy was dirty. *)
+let fetch_from_below t ~cycle ~line =
+  (* Another core's L1? Dirty-or-clean, invalidate it; dirty data migrates
+     (it stays architecturally current, nothing to write back). *)
+  let stolen_dirty = ref false in
+  (match Hashtbl.find_opt t.owner line with
+   | Some other ->
+     ignore (Cache.invalidate t.l1.(other) line);
+     Hashtbl.remove t.owner line;
+     t.stats.invalidations <- t.stats.invalidations + 1;
+     stolen_dirty := true
+   | None ->
+     Array.iteri
+       (fun _ l1 ->
+         if Cache.mem l1 line then begin
+           ignore (Cache.invalidate l1 line);
+           t.stats.invalidations <- t.stats.invalidations + 1
+         end)
+       t.l1);
+  if !stolen_dirty then (L2, true)  (* cache-to-cache transfer, L2-ish cost *)
+  else if Cache.mem t.l2 line then begin
+    let dirty = Cache.invalidate t.l2 line in
+    (L2, dirty)
+  end
+  else if Cache.mem t.dram line then begin
+    let dirty = Cache.invalidate t.dram line in
+    (Dram, dirty)
+  end
+  else begin
+    ignore cycle;
+    (Nvm, false)
+  end
+
+let access t ~core ~cycle ~addr ~write =
+  let line = Memory.line_of_addr addr in
+  let l1 = t.l1.(core) in
+  if Cache.mem l1 line then begin
+    (* On a write, ownership may still belong elsewhere only if the copy
+       was shared; steal it. *)
+    if write then begin
+      (match Hashtbl.find_opt t.owner line with
+       | Some other when other <> core ->
+         ignore (Cache.invalidate t.l1.(other) line);
+         Hashtbl.remove t.owner line;
+         t.stats.invalidations <- t.stats.invalidations + 1;
+         (* also drop other shared copies *)
+         Array.iteri
+           (fun i l1o ->
+             if i <> core && Cache.mem l1o line then begin
+               ignore (Cache.invalidate l1o line);
+               t.stats.invalidations <- t.stats.invalidations + 1
+             end)
+           t.l1
+       | Some _ -> ()
+       | None ->
+         Array.iteri
+           (fun i l1o ->
+             if i <> core && Cache.mem l1o line then begin
+               ignore (Cache.invalidate l1o line);
+               t.stats.invalidations <- t.stats.invalidations + 1
+             end)
+           t.l1);
+      Hashtbl.replace t.owner line core;
+      Cache.touch l1 line ~dirty:true
+    end
+    else Cache.touch l1 line ~dirty:false;
+    t.stats.l1_hits <- t.stats.l1_hits + 1;
+    L1
+  end
+  else begin
+    let found_at, was_dirty = fetch_from_below t ~cycle ~line in
+    (match found_at with
+     | L2 -> t.stats.l2_hits <- t.stats.l2_hits + 1
+     | Dram -> t.stats.dram_hits <- t.stats.dram_hits + 1
+     | Nvm -> t.stats.nvm_accesses <- t.stats.nvm_accesses + 1
+     | L1 -> assert false);
+    let dirty = write || was_dirty in
+    if write then Hashtbl.replace t.owner line core
+    else if was_dirty then Hashtbl.replace t.owner line core;
+    insert_into t ~cycle l1 ~line ~dirty ~level:L1;
+    found_at
+  end
+
+let load t ~core ~cycle ~addr = access t ~core ~cycle ~addr ~write:false
+let store t ~core ~cycle ~addr = access t ~core ~cycle ~addr ~write:true
+
+let flush_all t ~cycle =
+  Array.iter
+    (fun l1 ->
+      List.iter
+        (fun line ->
+          ignore (Cache.invalidate l1 line);
+          Hashtbl.remove t.owner line;
+          t.on_nvm_writeback ~cycle ~line
+            ~data:(Memory.line_snapshot t.memory line)
+            ~version:(Memory.line_version t.memory line))
+        (Cache.dirty_lines l1))
+    t.l1;
+  List.iter
+    (fun line ->
+      ignore (Cache.invalidate t.l2 line);
+      t.on_nvm_writeback ~cycle ~line
+        ~data:(Memory.line_snapshot t.memory line)
+        ~version:(Memory.line_version t.memory line))
+    (Cache.dirty_lines t.l2);
+  List.iter
+    (fun line ->
+      ignore (Cache.invalidate t.dram line);
+      t.on_nvm_writeback ~cycle ~line
+        ~data:(Memory.line_snapshot t.memory line)
+        ~version:(Memory.line_version t.memory line))
+    (Cache.dirty_lines t.dram)
+
+let drop_all t =
+  Array.iter Cache.clear t.l1;
+  Cache.clear t.l2;
+  Cache.clear t.dram;
+  Hashtbl.reset t.owner
+
+let stats t = t.stats

@@ -1,0 +1,50 @@
+(** The cache hierarchy: per-core private L1Ds over a shared L2 over a
+    direct-mapped memory-side DRAM cache over NVM (Optane memory mode,
+    Figure 1).
+
+    Coherence keeps the single-dirty-copy invariant (MSI-flavoured): a
+    store acquires exclusive ownership, invalidating other L1 copies; a
+    dirty line therefore always holds the architecturally-latest data, so
+    a writeback's payload can be snapshotted from {!Memory} at eviction
+    time. Dirty evictions cascade L1 -> L2 -> DRAM cache -> NVM; only the
+    last step leaves the volatile domain and is reported through
+    [on_nvm_writeback] (feeding {!Persist}'s stale-read machinery and the
+    durable NVM image). *)
+
+type t
+
+type level = L1 | L2 | Dram | Nvm
+
+val create :
+  Config.t -> Memory.t ->
+  on_nvm_writeback:(cycle:int -> line:int -> data:int array -> version:int -> unit) ->
+  t
+
+val load : t -> core:int -> cycle:int -> addr:int -> level
+(** Where the line was found; allocates it upward. *)
+
+val store : t -> core:int -> cycle:int -> addr:int -> level
+(** Write-allocate; returns the level the line had to be fetched from
+    ([L1] when already owned). The caller updates {!Memory} itself —
+    ordering between the two does not matter to the hierarchy. *)
+
+val latency : Config.t -> level -> int
+(** Access latency to the given level. *)
+
+val flush_all : t -> cycle:int -> unit
+(** Write every dirty line back to NVM (used by the volatile baseline at
+    halt and by tests; a Capri crash does {e not} flush — caches die). *)
+
+val drop_all : t -> unit
+(** Power loss: every cached line vanishes. *)
+
+type stats = {
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable dram_hits : int;
+  mutable nvm_accesses : int;
+  mutable writebacks : int;
+  mutable invalidations : int;
+}
+
+val stats : t -> stats

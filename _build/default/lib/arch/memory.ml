@@ -1,0 +1,95 @@
+let line_words = Config.line_words
+
+type line = { data : int array; mutable version : int }
+
+type t = { lines : (int, line) Hashtbl.t }
+
+let create () = { lines = Hashtbl.create 1024 }
+
+let line_of_addr addr =
+  if addr >= 0 then addr / line_words else (addr - line_words + 1) / line_words
+
+let addr_of_line line = line * line_words
+
+let offset addr =
+  let o = addr mod line_words in
+  if o < 0 then o + line_words else o
+
+let find_line t l =
+  match Hashtbl.find_opt t.lines l with
+  | Some line -> line
+  | None ->
+    let line = { data = Array.make line_words 0; version = 0 } in
+    Hashtbl.replace t.lines l line;
+    line
+
+let read t addr =
+  match Hashtbl.find_opt t.lines (line_of_addr addr) with
+  | Some line -> line.data.(offset addr)
+  | None -> 0
+
+let write t addr v =
+  let line = find_line t (line_of_addr addr) in
+  line.data.(offset addr) <- v;
+  line.version <- line.version + 1
+
+let line_snapshot t l =
+  match Hashtbl.find_opt t.lines l with
+  | Some line -> Array.copy line.data
+  | None -> Array.make line_words 0
+
+let line_version t l =
+  match Hashtbl.find_opt t.lines l with Some line -> line.version | None -> 0
+
+let write_line t l data =
+  let line = find_line t l in
+  Array.blit data 0 line.data 0 line_words;
+  line.version <- line.version + 1
+
+let write_line_masked t l data mask =
+  let line = find_line t l in
+  for o = 0 to line_words - 1 do
+    if mask land (1 lsl o) <> 0 then line.data.(o) <- data.(o)
+  done;
+  line.version <- line.version + 1
+
+let copy t =
+  let lines = Hashtbl.create (Hashtbl.length t.lines) in
+  Hashtbl.iter
+    (fun l line ->
+      Hashtbl.replace lines l
+        { data = Array.copy line.data; version = line.version })
+    t.lines;
+  { lines }
+
+let iter_lines t f = Hashtbl.iter (fun l line -> f l line.data) t.lines
+
+let zero_line = Array.make line_words 0
+
+let diff ?(from = min_int) a b =
+  let mismatches = ref [] in
+  let seen = Hashtbl.create 64 in
+  let check l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      let da =
+        match Hashtbl.find_opt a.lines l with
+        | Some line -> line.data
+        | None -> zero_line
+      and db =
+        match Hashtbl.find_opt b.lines l with
+        | Some line -> line.data
+        | None -> zero_line
+      in
+      for o = 0 to line_words - 1 do
+        let addr = addr_of_line l + o in
+        if addr >= from && da.(o) <> db.(o) then
+          mismatches := (addr, da.(o), db.(o)) :: !mismatches
+      done
+    end
+  in
+  Hashtbl.iter (fun l _ -> check l) a.lines;
+  Hashtbl.iter (fun l _ -> check l) b.lines;
+  List.sort compare !mismatches
+
+let equal ?from a b = diff ?from a b = []

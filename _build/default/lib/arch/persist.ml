@@ -1,0 +1,809 @@
+type mode = Capri | Naive_sync | Undo_sync | Redo_nowb | Volatile
+
+type stats = {
+  mutable entries_created : int;
+  mutable entries_merged : int;
+  mutable commits : int;
+  mutable boundaries_elided : int;
+  mutable ckpt_flushes : int;
+  mutable redo_writes : int;
+  mutable redo_skipped_invalid : int;
+  mutable redo_skipped_stale : int;
+  mutable scan_invalidations : int;
+  mutable window_invalidations : int;
+  mutable store_stall_cycles : int;
+  mutable boundary_stall_cycles : int;
+  mutable nvm_line_writes : int;
+  mutable nvm_writes_wb : int;  (* line writes from dirty writebacks *)
+  mutable nvm_writes_redo : int;  (* line writes from phase-2 redo copies *)
+  mutable nvm_writes_slot : int;  (* line writes to the checkpoint arrays *)
+}
+
+type resume =
+  | Resume of { boundary : int; sp : int }
+  | Done
+  | Never_started
+
+type image = {
+  nvm : Memory.t;
+  resume : resume array;
+  slots : int array array;
+  journal : int list array;
+      (* per core: committed I/O journal (Section 3.3's suggested
+         exactly-once treatment of outputs), in emission order *)
+}
+
+type entry = {
+  line : int;
+  undo : int array;
+  mutable redo : int array;
+  mutable mask : int;  (* bit per stored word offset within the line *)
+  mutable version : int;
+  mutable valid : bool;
+  seq : int;  (* dynamic region sequence number, per core *)
+}
+
+type commit_info = {
+  resume_boundary : int;
+  sp : int;
+  elide_resume : bool;
+  outs : int list;  (* the region's journaled outputs, in order *)
+}
+
+(* An item travelling the per-core proxy path, in FIFO order. *)
+type item =
+  | Data of entry
+  | Ckpt_flush of { seq : int; slot : int; value : int }
+  | Commit of { seq : int; info : commit_info }
+
+(* A region as seen by the back-end proxy. *)
+type back_region = {
+  bseq : int;
+  mutable bentries : entry list;  (* reverse arrival order *)
+  mutable bcount : int;
+  mutable bslots : (int * int) list;
+  mutable bcommit : commit_info option;
+}
+
+type core_state = {
+  id : int;
+  front : item Queue.t;
+  mutable front_data : int;  (* Data items currently in the front queue *)
+  front_index : (int, entry) Hashtbl.t;  (* line -> mergeable front entry *)
+  mutable staged : (int * int) list;  (* slot, value; latest first *)
+  staged_index : (int, int) Hashtbl.t;
+  mutable out_staged : int list;  (* I/O journal: open region, reversed *)
+  mutable journal : int list;  (* committed outputs, reversed *)
+  mutable open_seq : int;
+  mutable open_entries : int;  (* data entries created in the open region *)
+  mutable next_drain : int;
+  mutable back : back_region list;  (* ascending seq *)
+  mutable back_used : int;
+  mutable resume : resume;
+  slot_array : int array;
+  mutable halted : bool;
+}
+
+type event =
+  | Arrive of int * item  (* core *)
+  | Free of int * int  (* core, entry count to release *)
+
+module Heap = struct
+  (* Tiny binary heap on (time, serial) so equal-time events keep
+     insertion order. *)
+  type 'a t = {
+    mutable arr : (int * int * 'a) array;
+    mutable size : int;
+    mutable serial : int;
+  }
+
+  let create () = { arr = Array.make 64 (0, 0, Obj.magic 0); size = 0; serial = 0 }
+
+  let less (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+  let push h time v =
+    if h.size = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.size) h.arr.(0) in
+      Array.blit h.arr 0 bigger 0 h.size;
+      h.arr <- bigger
+    end;
+    h.serial <- h.serial + 1;
+    let item = (time, h.serial, v) in
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.arr.(!i) <- item;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if less h.arr.(!i) h.arr.(parent) then begin
+        let tmp = h.arr.(parent) in
+        h.arr.(parent) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let peek_time h = if h.size = 0 then None else (fun (t, _, _) -> Some t) h.arr.(0)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let (_, _, v) as top = h.arr.(0) in
+      ignore top;
+      h.size <- h.size - 1;
+      h.arr.(0) <- h.arr.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some v
+    end
+end
+
+type t = {
+  config : Config.t;
+  mode : mode;
+  cores : core_state array;
+  events : event Heap.t;
+  nvm : Memory.t;  (* durable contents *)
+  nvm_stamp : (int, int array) Hashtbl.t;
+      (* line -> per-word version of the stored data: the age guard must
+         match the word granularity of masked redo/undo application *)
+  mutable nvm_wq_free : int;  (* write-queue service timeline *)
+  mutable recent_wb : (int * int * int) list;  (* line, version, ctrl time *)
+  pending : (int, int array) Hashtbl.t;
+      (* line -> per-core count of not-yet-committed entries; drives the
+         cross-core conflict fence (see store_conflict) *)
+  stats : stats;
+}
+
+let create config ~mode =
+  {
+    config;
+    mode;
+    cores =
+      Array.init config.Config.cores (fun id ->
+          {
+            id;
+            front = Queue.create ();
+            front_data = 0;
+            front_index = Hashtbl.create 64;
+            staged = [];
+            staged_index = Hashtbl.create 8;
+            out_staged = [];
+            journal = [];
+            open_seq = 0;
+            open_entries = 0;
+            next_drain = 0;
+            back = [];
+            back_used = 0;
+            resume = Never_started;
+            slot_array = Array.make Capri_ir.Reg.count 0;
+            halted = false;
+          });
+    events = Heap.create ();
+    nvm = Memory.create ();
+    nvm_stamp = Hashtbl.create 1024;
+    nvm_wq_free = 0;
+    recent_wb = [];
+    pending = Hashtbl.create 256;
+    stats =
+      {
+        entries_created = 0;
+        entries_merged = 0;
+        commits = 0;
+        boundaries_elided = 0;
+        ckpt_flushes = 0;
+        redo_writes = 0;
+        redo_skipped_invalid = 0;
+        redo_skipped_stale = 0;
+        scan_invalidations = 0;
+        window_invalidations = 0;
+        store_stall_cycles = 0;
+        boundary_stall_cycles = 0;
+        nvm_line_writes = 0;
+        nvm_writes_wb = 0;
+        nvm_writes_redo = 0;
+        nvm_writes_slot = 0;
+      };
+  }
+
+let debug_line =
+  match Sys.getenv_opt "CAPRI_DEBUG_LINE" with
+  | Some s -> (try Some (int_of_string s) with _ -> None)
+  | None -> None
+
+let dbg line fmt =
+  if debug_line = Some line then Printf.eprintf fmt
+  else Printf.ifprintf stderr fmt
+
+let mode t = t.mode
+let stats t = t.stats
+
+let init_slots t ~core ~slots ~resume_boundary ~sp =
+  let cs = t.cores.(core) in
+  Array.blit slots 0 cs.slot_array 0 (Array.length cs.slot_array);
+  match resume_boundary with
+  | Some boundary -> cs.resume <- Resume { boundary; sp }
+  | None -> cs.resume <- Never_started
+
+let seed_core t ~core ~slots ~resume =
+  let cs = t.cores.(core) in
+  Array.blit slots 0 cs.slot_array 0 (Array.length cs.slot_array);
+  cs.resume <- resume;
+  (match resume with Done -> cs.halted <- true | Resume _ | Never_started -> ())
+
+let stamps_of t line =
+  match Hashtbl.find_opt t.nvm_stamp line with
+  | Some a -> a
+  | None ->
+    let a = Array.make Config.line_words (-1) in
+    Hashtbl.replace t.nvm_stamp line a;
+    a
+
+(* Word-granular aged write: each masked word lands only if its data is
+   at least as new as what that word already holds. *)
+let nvm_write ?(mask = 0xFF) t ~line ~data ~version =
+  let stamps = stamps_of t line in
+  t.stats.nvm_line_writes <- t.stats.nvm_line_writes + 1;
+  let write_mask = ref 0 in
+  for o = 0 to Config.line_words - 1 do
+    if mask land (1 lsl o) <> 0 && version >= stamps.(o) then begin
+      write_mask := !write_mask lor (1 lsl o);
+      stamps.(o) <- version
+    end
+  done;
+  dbg line "nvm_write line=%d mask=%x wrote=%x v=%d data2=%d\n" line mask
+    !write_mask version data.(2);
+  if !write_mask <> 0 then begin
+    Memory.write_line_masked t.nvm line data !write_mask;
+    true
+  end
+  else begin
+    t.stats.redo_skipped_stale <- t.stats.redo_skipped_stale + 1;
+    false
+  end
+
+let nvm_line t line = Memory.line_snapshot t.nvm line
+
+(* ---------------- cross-core conflict fence ---------------- *)
+
+(* Per line and core: how many uncommitted entries touch it, and the OR
+   of their word masks. The mask clears when the count drops to zero —
+   slightly conservative when several of a core's regions overlap on a
+   line, never unsound. *)
+let pending_counts t line =
+  match Hashtbl.find_opt t.pending line with
+  | Some a -> a
+  | None ->
+    let a = Array.make (2 * t.config.Config.cores) 0 in
+    Hashtbl.replace t.pending line a;
+    a
+
+let pending_inc t ~core ~line ~mask =
+  let a = pending_counts t line in
+  a.(2 * core) <- a.(2 * core) + 1;
+  a.((2 * core) + 1) <- a.((2 * core) + 1) lor mask
+
+let pending_add_mask t ~core ~line ~mask =
+  let a = pending_counts t line in
+  a.((2 * core) + 1) <- a.((2 * core) + 1) lor mask
+
+let pending_dec t ~core ~line =
+  let a = pending_counts t line in
+  a.(2 * core) <- max 0 (a.(2 * core) - 1);
+  if a.(2 * core) = 0 then a.((2 * core) + 1) <- 0
+
+(* ---------------- back-end ---------------- *)
+
+let back_region_for cs seq =
+  match List.find_opt (fun r -> r.bseq = seq) cs.back with
+  | Some r -> r
+  | None ->
+    let r = { bseq = seq; bentries = []; bcount = 0; bslots = [];
+              bcommit = None } in
+    cs.back <- cs.back @ [ r ];
+    r
+
+let prune_window t now =
+  let w = t.config.Config.monitor_window in
+  t.recent_wb <- List.filter (fun (_, _, tw) -> tw + w >= now) t.recent_wb
+
+(* Phase 2: copy redo data of valid entries, apply checkpoint slots, update
+   the resume record, and schedule the space release. *)
+let do_commit t cs region info now =
+  (match debug_line with
+   | Some l when List.exists (fun e -> e.line = l) region.bentries ->
+     Printf.eprintf "commit seq=%d resume=%d now=%d entries=%d\n" region.bseq
+       info.resume_boundary now region.bcount
+   | _ -> ());
+  t.stats.commits <- t.stats.commits + 1;
+  let entries = List.rev region.bentries in
+  List.iter (fun e -> pending_dec t ~core:cs.id ~line:e.line) entries;
+  List.iter
+    (fun e ->
+      if not e.valid then
+        t.stats.redo_skipped_invalid <- t.stats.redo_skipped_invalid + 1
+      else begin
+        t.nvm_wq_free <-
+          max t.nvm_wq_free now + t.config.Config.nvm_write_service;
+        if nvm_write ~mask:e.mask t ~line:e.line ~data:e.redo
+             ~version:e.version
+        then begin
+          t.stats.redo_writes <- t.stats.redo_writes + 1;
+          t.stats.nvm_writes_redo <- t.stats.nvm_writes_redo + 1
+        end
+      end)
+    entries;
+  List.iter
+    (fun (slot, value) -> cs.slot_array.(slot) <- value)
+    (List.rev region.bslots);
+  (* Slot stores are adjacent 8-byte words of the per-core checkpoint
+     array: they coalesce into whole-line writes (at most 4 lines for 32
+     registers). *)
+  let slot_lines = (List.length region.bslots + 7) / 8 in
+  t.stats.nvm_writes_slot <- t.stats.nvm_writes_slot + slot_lines;
+  for _ = 1 to slot_lines do
+    t.nvm_wq_free <- max t.nvm_wq_free now + t.config.Config.nvm_write_service
+  done;
+  cs.journal <- List.rev_append info.outs cs.journal;
+  if not info.elide_resume then
+    cs.resume <-
+      (if info.resume_boundary >= 0 then
+         Resume { boundary = info.resume_boundary; sp = info.sp }
+       else Done);
+  if region.bcount > 0 then
+    Heap.push t.events (max now t.nvm_wq_free) (Free (cs.id, region.bcount));
+  cs.back <- List.filter (fun r -> r != region) cs.back
+
+let deliver t core item now =
+  let cs = t.cores.(core) in
+  match item with
+  | Data e ->
+    (* Monitoring window: a writeback that already carried data at least
+       this new (same line) invalidates the arriving redo. *)
+    prune_window t now;
+    if
+      List.exists
+        (fun (line, v, _) -> line = e.line && v >= e.version)
+        t.recent_wb
+    then begin
+      if e.valid then begin
+        e.valid <- false;
+        t.stats.window_invalidations <- t.stats.window_invalidations + 1
+      end
+    end;
+    let r = back_region_for cs e.seq in
+    r.bentries <- e :: r.bentries;
+    r.bcount <- r.bcount + 1;
+    (match r.bcommit with
+     | Some info -> do_commit t cs r info now  (* late entry: can't happen
+                                                  with FIFO, kept for safety *)
+     | None -> ())
+  | Ckpt_flush { seq; slot; value } ->
+    let r = back_region_for cs seq in
+    r.bslots <- (slot, value) :: r.bslots
+  | Commit { seq; info } ->
+    let r = back_region_for cs seq in
+    r.bcommit <- Some info;
+    do_commit t cs r info now
+
+(* ---------------- draining ---------------- *)
+
+let head_drainable t cs =
+  match Queue.peek_opt cs.front with
+  | None -> false
+  | Some (Data _) -> cs.back_used < t.config.Config.back_proxy_entries
+  | Some (Ckpt_flush _ | Commit _) -> true
+
+let drain_one t cs now =
+  let item = Queue.pop cs.front in
+  (match item with
+   | Data e ->
+     cs.front_data <- cs.front_data - 1;
+     cs.back_used <- cs.back_used + 1;
+     (* The entry leaves the front-end: no longer mergeable. *)
+     (match Hashtbl.find_opt cs.front_index e.line with
+      | Some e' when e' == e -> Hashtbl.remove cs.front_index e.line
+      | Some _ | None -> ())
+   | Ckpt_flush _ | Commit _ -> ());
+  Heap.push t.events
+    (now + t.config.Config.proxy_path_latency)
+    (Arrive (cs.id, item));
+  (* Occupancy is proportional to payload: a data entry carries two cache
+     lines (undo + redo), a checkpoint flush or commit marker a dozen
+     bytes. *)
+  let gap =
+    match item with
+    | Data _ -> t.config.Config.proxy_path_gap
+    | Ckpt_flush _ | Commit _ -> max 1 (t.config.Config.proxy_path_gap / 4)
+  in
+  cs.next_drain <- now + gap
+
+let rec advance t ~cycle =
+  (* Interleave heap events and per-core drains in time order. *)
+  let next_drain_candidate () =
+    Array.fold_left
+      (fun acc cs ->
+        if head_drainable t cs then
+          match acc with
+          | Some (tbest, _) when tbest <= max cs.next_drain 0 -> acc
+          | _ -> Some (max cs.next_drain 0, cs)
+        else acc)
+      None t.cores
+  in
+  let heap_time = Heap.peek_time t.events in
+  let drain = next_drain_candidate () in
+  match (heap_time, drain) with
+  | None, None -> ()
+  | Some th, _ when th <= cycle
+                    && (match drain with
+                        | Some (td, _) -> th <= td
+                        | None -> true) -> (
+    match Heap.pop t.events with
+    | Some (Arrive (core, item)) ->
+      deliver t core item th;
+      advance t ~cycle
+    | Some (Free (core, n)) ->
+      t.cores.(core).back_used <- t.cores.(core).back_used - n;
+      advance t ~cycle
+    | None -> ())
+  | _, Some (td, cs) when td <= cycle ->
+    drain_one t cs td;
+    advance t ~cycle
+  | _, _ -> ()
+
+(* Pump time forward until [cond] holds; returns the cycle at which it
+   does. Used to model core stalls on full buffers. *)
+let stall_until t ~cycle cond =
+  let now = ref cycle in
+  advance t ~cycle:!now;
+  let guard = ref 0 in
+  while not (cond ()) do
+    incr guard;
+    if !guard > 100_000_000 then failwith "Persist: stall does not resolve";
+    let next_time =
+      let heap = Heap.peek_time t.events in
+      let drain =
+        Array.fold_left
+          (fun acc cs ->
+            if head_drainable t cs then
+              match acc with
+              | Some tb when tb <= max cs.next_drain 0 -> acc
+              | _ -> Some (max cs.next_drain 0)
+            else acc)
+          None t.cores
+      in
+      match (heap, drain) with
+      | None, None -> None
+      | Some a, None -> Some a
+      | None, Some b -> Some b
+      | Some a, Some b -> Some (min a b)
+    in
+    match next_time with
+    | None -> failwith "Persist: stalled with no pending events"
+    | Some tn ->
+      now := max !now tn;
+      advance t ~cycle:!now
+  done;
+  !now
+
+let store_conflict t ~core ~cycle ~line ~mask =
+  match t.mode with
+  | Volatile -> false
+  | _ when not t.config.Config.conflict_fence -> false
+  | Capri | Naive_sync | Undo_sync | Redo_nowb ->
+    advance t ~cycle;
+    (match Hashtbl.find_opt t.pending line with
+     | None -> false
+     | Some a ->
+       let conflict = ref false in
+       for c = 0 to t.config.Config.cores - 1 do
+         if c <> core && a.(2 * c) > 0 && a.((2 * c) + 1) land mask <> 0 then
+           conflict := true
+       done;
+       !conflict)
+
+(* ---------------- core-facing operations ---------------- *)
+
+let on_store t ~core ~cycle ~line ~mask ~undo ~redo ~version =
+  match t.mode with
+  | Volatile -> 0
+  | Capri | Naive_sync | Undo_sync | Redo_nowb ->
+    let cs = t.cores.(core) in
+    advance t ~cycle;
+    (* Merge with a front-resident entry of the same open region. *)
+    (match Hashtbl.find_opt cs.front_index line with
+     | Some e when e.seq = cs.open_seq ->
+       e.redo <- redo;
+       e.mask <- e.mask lor mask;
+       e.version <- version;
+       dbg line "merge line=%d seq=%d mask=%x v=%d redo2=%d\n" line e.seq
+         e.mask version redo.(2);
+       pending_add_mask t ~core ~line ~mask;
+       t.stats.entries_merged <- t.stats.entries_merged + 1;
+       0
+     | Some _ | None ->
+       let resolved =
+         if cs.front_data >= t.config.Config.front_proxy_entries then begin
+           let target = cycle in
+           let finish =
+             stall_until t ~cycle (fun () ->
+                 cs.front_data < t.config.Config.front_proxy_entries)
+           in
+           let stall = max 0 (finish - target) in
+           t.stats.store_stall_cycles <- t.stats.store_stall_cycles + stall;
+           stall
+         end
+         else 0
+       in
+       let e =
+         { line; undo; redo; mask; version; valid = true; seq = cs.open_seq }
+       in
+       dbg line "entry line=%d seq=%d mask=%x v=%d redo2=%d undo2=%d\n" line
+         e.seq mask version redo.(2) undo.(2);
+       pending_inc t ~core:cs.id ~line ~mask;
+       Queue.push (Data e) cs.front;
+       cs.front_data <- cs.front_data + 1;
+       cs.open_entries <- cs.open_entries + 1;
+       Hashtbl.replace cs.front_index line e;
+       (* The transfer to the back-end cannot begin in the creation
+          cycle, so a same-cycle second store to the line still merges. *)
+       cs.next_drain <- max cs.next_drain (cycle + 1);
+       t.stats.entries_created <- t.stats.entries_created + 1;
+       resolved)
+
+let on_ckpt t ~core ~slot ~value =
+  match t.mode with
+  | Volatile -> ()
+  | Capri | Naive_sync | Undo_sync | Redo_nowb ->
+    let cs = t.cores.(core) in
+    if not (Hashtbl.mem cs.staged_index slot) then
+      cs.staged <- (slot, value) :: cs.staged;
+    Hashtbl.replace cs.staged_index slot value
+
+(* Section 3.3's open I/O problem, handled as the paper suggests: outputs
+   stage durably with their region and become externally visible only at
+   the region's commit, so an interrupted region's re-execution cannot
+   double-emit. *)
+let on_out t ~core ~value =
+  let cs = t.cores.(core) in
+  cs.out_staged <- value :: cs.out_staged
+
+let journal t ~core = List.rev t.cores.(core).journal
+
+let seed_journal t ~core ~outs =
+  t.cores.(core).journal <- List.rev outs
+
+let flush_region t cs ~boundary ~sp =
+  (* Close the open region: flush staged checkpoints (final values),
+     journaled outputs and the commit marker, unless the region produced
+     nothing (elided boundary entry, Section 5.2.1 optimization). *)
+  let staged =
+    List.rev_map
+      (fun (slot, _) -> (slot, Hashtbl.find cs.staged_index slot))
+      cs.staged
+  in
+  let outs = List.rev cs.out_staged in
+  let has_work = cs.open_entries > 0 || staged <> [] || outs <> [] in
+  if has_work then begin
+    List.iter
+      (fun (slot, value) ->
+        t.stats.ckpt_flushes <- t.stats.ckpt_flushes + 1;
+        Queue.push (Ckpt_flush { seq = cs.open_seq; slot; value }) cs.front)
+      staged;
+    Queue.push
+      (Commit
+         { seq = cs.open_seq;
+           info = { resume_boundary = boundary; sp; elide_resume = false;
+                    outs } })
+      cs.front
+  end
+  else t.stats.boundaries_elided <- t.stats.boundaries_elided + 1;
+  cs.out_staged <- [];
+  cs.staged <- [];
+  Hashtbl.reset cs.staged_index;
+  (* Entries of the finished region still in the front-end must not merge
+     with the next region's stores. *)
+  Hashtbl.reset cs.front_index;
+  cs.open_seq <- cs.open_seq + 1;
+  cs.open_entries <- 0
+
+let fully_drained cs = Queue.is_empty cs.front && cs.back = [] && cs.back_used = 0
+
+let on_boundary t ~core ~cycle ~boundary ~sp =
+  match t.mode with
+  | Volatile -> 0
+  | Capri | Redo_nowb ->
+    let cs = t.cores.(core) in
+    advance t ~cycle;
+    flush_region t cs ~boundary ~sp;
+    0
+  | Naive_sync | Undo_sync ->
+    (* Synchronous region persistence: wait until everything this core has
+       produced, including this region, is durable. *)
+    let cs = t.cores.(core) in
+    advance t ~cycle;
+    flush_region t cs ~boundary ~sp;
+    let finish = stall_until t ~cycle (fun () -> fully_drained cs) in
+    let stall = max 0 (finish - cycle) in
+    t.stats.boundary_stall_cycles <- t.stats.boundary_stall_cycles + stall;
+    stall
+
+let on_writeback t ~cycle ~line ~data ~version =
+  match t.mode with
+  | Volatile ->
+    t.stats.nvm_writes_wb <- t.stats.nvm_writes_wb + 1;
+    ignore (nvm_write t ~line ~data ~version)
+  | Redo_nowb ->
+    (* Dirty lines are dropped: only the redo log updates NVM. *)
+    ()
+  | Capri | Naive_sync | Undo_sync ->
+    advance t ~cycle;
+    dbg line "writeback line=%d v=%d data2=%d cyc=%d\n" line version data.(2)
+      cycle;
+    t.stats.nvm_writes_wb <- t.stats.nvm_writes_wb + 1;
+    ignore (nvm_write t ~line ~data ~version);
+    t.nvm_wq_free <- max t.nvm_wq_free cycle + t.config.Config.nvm_write_service;
+    (* Scan the back-end proxies: invalidate overtaken redo entries. *)
+    Array.iter
+      (fun cs ->
+        List.iter
+          (fun r ->
+            List.iter
+              (fun e ->
+                if e.line = line && e.valid && e.version <= version then begin
+                  e.valid <- false;
+                  t.stats.scan_invalidations <- t.stats.scan_invalidations + 1
+                end)
+              r.bentries)
+          cs.back)
+      t.cores;
+    (* Arm the monitoring window for in-flight entries. *)
+    prune_window t cycle;
+    t.recent_wb <- (line, version, cycle) :: t.recent_wb
+
+let on_halt t ~core ~cycle =
+  match t.mode with
+  | Volatile -> 0
+  | Capri | Redo_nowb ->
+    (* Asynchronous region persistence extends to program exit: the final
+       region's commit drains in the background (its marker flips the
+       resume record to Done when it lands; a crash in between replays the
+       idempotent tail). The paper's measurements are steady-state
+       execution windows and likewise exclude exit-drain time. *)
+    let cs = t.cores.(core) in
+    advance t ~cycle;
+    flush_region t cs ~boundary:(-1) ~sp:0;
+    cs.halted <- true;
+    0
+  | Naive_sync | Undo_sync ->
+    let cs = t.cores.(core) in
+    advance t ~cycle;
+    flush_region t cs ~boundary:(-1) ~sp:0;
+    let finish = stall_until t ~cycle (fun () -> fully_drained cs) in
+    cs.halted <- true;
+    cs.resume <- Done;
+    max 0 (finish - cycle)
+
+let load_extra_latency t (level : Hierarchy.level) =
+  match (t.mode, level) with
+  | Redo_nowb, (Hierarchy.Dram | Hierarchy.Nvm) ->
+    t.config.Config.proxy_path_latency / 2
+  | Redo_nowb, (Hierarchy.L1 | Hierarchy.L2) -> 0
+  | (Capri | Naive_sync | Undo_sync | Volatile), _ -> 0
+
+let writebacks_reach_nvm t =
+  match t.mode with
+  | Redo_nowb -> false
+  | Capri | Naive_sync | Undo_sync | Volatile -> true
+
+(* ---------------- crash and recovery ---------------- *)
+
+let crash_recover t ~cycle =
+  advance t ~cycle;
+  (* Battery drain: everything still in the front-end or on the path
+     reaches the back-end structures. *)
+  Array.iter
+    (fun cs ->
+      Queue.iter
+        (fun item ->
+          match item with
+          | Data e ->
+            let r = back_region_for cs e.seq in
+            r.bentries <- e :: r.bentries;
+            r.bcount <- r.bcount + 1
+          | Ckpt_flush { seq; slot; value } ->
+            let r = back_region_for cs seq in
+            r.bslots <- (slot, value) :: r.bslots
+          | Commit { seq; info } ->
+            let r = back_region_for cs seq in
+            r.bcommit <- Some info)
+        cs.front;
+      Queue.clear cs.front)
+    t.cores;
+  let rec drain_events () =
+    match Heap.pop t.events with
+    | Some (Arrive (core, item)) ->
+      let cs = t.cores.(core) in
+      (match item with
+       | Data e ->
+         let r = back_region_for cs e.seq in
+         r.bentries <- e :: r.bentries;
+         r.bcount <- r.bcount + 1
+       | Ckpt_flush { seq; slot; value } ->
+         let r = back_region_for cs seq in
+         r.bslots <- (slot, value) :: r.bslots
+       | Commit { seq; info } ->
+         let r = back_region_for cs seq in
+         r.bcommit <- Some info);
+      drain_events ()
+    | Some (Free _) -> drain_events ()
+    | None -> ()
+  in
+  drain_events ();
+  (* Section 5.4: redo committed regions in order, then undo the (at most
+     one per core) interrupted region. *)
+  Array.iter
+    (fun cs ->
+      let regions = List.sort (fun a b -> Int.compare a.bseq b.bseq) cs.back in
+      List.iter
+        (fun r ->
+          match r.bcommit with
+          | Some info ->
+            List.iter
+              (fun e ->
+                dbg e.line "recover-redo line=%d seq=%d valid=%b v=%d redo2=%d\n"
+                  e.line e.seq e.valid e.version e.redo.(2);
+                if e.valid then
+                  ignore
+                    (nvm_write ~mask:e.mask t ~line:e.line ~data:e.redo
+                       ~version:e.version))
+              (List.rev r.bentries);
+            List.iter
+              (fun (slot, value) -> cs.slot_array.(slot) <- value)
+              (List.rev r.bslots);
+            (* Committed journaled outputs survive the crash too. *)
+            cs.journal <- List.rev_append info.outs cs.journal;
+            if not info.elide_resume then
+              if info.resume_boundary >= 0 then
+                cs.resume <-
+                  Resume { boundary = info.resume_boundary; sp = info.sp }
+              else cs.resume <- Done
+          | None ->
+            (* Interrupted region: roll back with undo data, newest entry
+               first. Staged slots of this region are discarded. *)
+            List.iter
+              (fun e ->
+                dbg e.line "undo line=%d seq=%d mask=%x v=%d undo2=%d\n"
+                  e.line e.seq e.mask e.version e.undo.(2);
+                Memory.write_line_masked t.nvm e.line e.undo e.mask;
+                let stamps = stamps_of t e.line in
+                for o = 0 to Config.line_words - 1 do
+                  if e.mask land (1 lsl o) <> 0 then
+                    stamps.(o) <- max stamps.(o) (e.version + 1)
+                done)
+              r.bentries)
+        regions;
+      cs.back <- [];
+      cs.back_used <- 0)
+    t.cores;
+  Hashtbl.reset t.pending;
+  {
+    nvm = Memory.copy t.nvm;
+    resume = Array.map (fun cs -> cs.resume) t.cores;
+    slots = Array.map (fun cs -> Array.copy cs.slot_array) t.cores;
+    journal = Array.map (fun cs -> List.rev cs.journal) t.cores;
+  }

@@ -1,0 +1,146 @@
+(** The Capri persistence engine: two-phase atomic stores over decoupled
+    non-volatile proxy buffers (Section 5).
+
+    Phase 1 creates an undo+redo entry per regular store in the per-core
+    front-end proxy (beside the L1D), merging by line within the open
+    region. Entries, staged register-checkpoint flushes and the region's
+    commit marker travel in FIFO order down the dedicated per-core proxy
+    path into the back-end proxy at the memory controller. Phase 2 runs
+    when the commit marker arrives: redo data of valid entries is copied
+    to NVM through the (persistent-domain) write queue, checkpoint slots
+    and the resume record are updated, and the region's back-end space is
+    freed once the writes retire.
+
+    Dirty cache writebacks are also allowed to reach NVM
+    (indirect-read-free, Section 5.1.1); the stale-read machinery of
+    Section 5.3 — scanning the back-end on writeback and monitoring the
+    path for one worst-case latency window — clears redo valid-bits of
+    overtaken entries. As a formal backstop this model stamps every NVM
+    line with the version of the data written (a writeback stuck behind
+    unbounded front-end backpressure could otherwise be overtaken in ways
+    the window cannot see); phase-2 writes are skipped when their data is
+    older than the line's stamp. The paper's mechanisms remain the ones
+    accounted and measured.
+
+    The engine also hosts the design-space modes the benchmarks compare:
+    [Naive_sync] (stall at every boundary until the region is fully
+    persistent — the "up to 2x" strawman), [Undo_sync] (undo logging
+    without asynchronous region persistence, Section 5.1.2's limitation),
+    [Redo_nowb] (redo logging with dropped writebacks and indirect-read
+    latency on deep loads, Section 5.1.1's problem), and [Volatile] (no
+    persistence; the normalization baseline). *)
+
+type mode = Capri | Naive_sync | Undo_sync | Redo_nowb | Volatile
+
+type stats = {
+  mutable entries_created : int;
+  mutable entries_merged : int;
+  mutable commits : int;
+  mutable boundaries_elided : int;
+  mutable ckpt_flushes : int;
+  mutable redo_writes : int;
+  mutable redo_skipped_invalid : int;
+  mutable redo_skipped_stale : int;
+  mutable scan_invalidations : int;
+  mutable window_invalidations : int;
+  mutable store_stall_cycles : int;
+  mutable boundary_stall_cycles : int;
+  mutable nvm_line_writes : int;
+  mutable nvm_writes_wb : int;  (** line writes from dirty writebacks *)
+  mutable nvm_writes_redo : int;  (** line writes from phase-2 redo copies *)
+  mutable nvm_writes_slot : int;
+      (** line writes to the checkpoint slot arrays *)
+}
+
+type resume =
+  | Resume of { boundary : int; sp : int }
+  | Done
+  | Never_started
+
+type image = {
+  nvm : Memory.t;  (** the durable memory image after recovery *)
+  resume : resume array;  (** per core *)
+  slots : int array array;  (** per core, mutable: recovery blocks update *)
+  journal : int list array;
+      (** per core: the committed I/O journal (see {!on_out}) *)
+}
+
+type t
+
+val create : Config.t -> mode:mode -> t
+val mode : t -> mode
+val stats : t -> stats
+
+val init_slots :
+  t -> core:int -> slots:int array -> resume_boundary:int option ->
+  sp:int -> unit
+(** Loader setup: durably record a thread's initial register context and
+    its entry boundary so a crash inside the first region can restore the
+    starting state (the paper's loader-written initial checkpoint). *)
+
+val seed_core : t -> core:int -> slots:int array -> resume:resume -> unit
+(** Restart setup after recovery: install the recovered slot array and
+    resume record for a core in a fresh engine. *)
+
+val store_conflict :
+  t -> core:int -> cycle:int -> line:int -> mask:int -> bool
+(** Cross-core conflict fence (our extension closing the paper's open
+    multi-core recovery question): true while another core holds
+    not-yet-committed entries for the line. The core must retry the store
+    later — otherwise a committed region's redo data could embed another
+    core's uncommitted value, which a post-crash rollback would clobber
+    (the barrier-counter anomaly). Properly synchronized programs hit this
+    only around locks/barriers, for roughly a commit latency. Conflicts
+    are word-granular ([mask] = bit per word offset): undo/redo entries
+    carry word masks and recovery applies them word-selectively, so
+    false sharing of a line across cores needs no fence at all. *)
+
+val on_store :
+  t -> core:int -> cycle:int -> line:int -> mask:int -> undo:int array ->
+  redo:int array -> version:int -> int
+(** Phase-1 entry creation; returns stall cycles (front-end proxy full). *)
+
+val on_ckpt : t -> core:int -> slot:int -> value:int -> unit
+(** Stage into the register-file storage (merged per slot per region). *)
+
+val on_out : t -> core:int -> value:int -> unit
+(** Journaled I/O (our implementation of the paper's Section 3.3
+    suggestion): the output stages with the open region and becomes
+    externally visible only at the region's commit, giving exactly-once
+    output semantics across crashes. *)
+
+val journal : t -> core:int -> int list
+(** Committed journal contents, in emission order. *)
+
+val seed_journal : t -> core:int -> outs:int list -> unit
+(** Restart setup: carry a recovered journal into a fresh engine. *)
+
+val on_boundary : t -> core:int -> cycle:int -> boundary:int -> sp:int -> int
+(** Commit the open region, open the next; returns stall cycles (0 in
+    Capri mode — asynchronous region persistence). *)
+
+val on_writeback :
+  t -> cycle:int -> line:int -> data:int array -> version:int -> unit
+(** A dirty line left the volatile domain (DRAM-cache eviction or final
+    flush). *)
+
+val on_halt : t -> core:int -> cycle:int -> int
+(** Final implicit boundary + full drain; returns stall cycles. *)
+
+val load_extra_latency : t -> Hierarchy.level -> int
+(** Indirect-read penalty ([Redo_nowb] mode only). *)
+
+val writebacks_reach_nvm : t -> bool
+(** False in [Redo_nowb] mode: dirty lines are dropped on eviction. *)
+
+val advance : t -> cycle:int -> unit
+(** Process internal events up to the given time. *)
+
+val nvm_line : t -> int -> int array
+(** Current durable contents of a line (for stale-read oracles). *)
+
+val crash_recover : t -> cycle:int -> image
+(** Power failure at [cycle]: volatile state dies, battery-backed proxy
+    contents drain, and the Section 5.4 protocol rebuilds the durable
+    image — committed regions redone in order, the interrupted region
+    undone, slots and resume records as of the last committed boundary. *)

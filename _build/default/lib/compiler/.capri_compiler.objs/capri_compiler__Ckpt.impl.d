@@ -1,0 +1,1 @@
+lib/compiler/ckpt.ml: Block Capri_dataflow Capri_ir Func Hashtbl Instr Label List Options Program Reg Region_map

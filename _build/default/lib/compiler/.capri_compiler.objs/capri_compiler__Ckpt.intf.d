@@ -1,0 +1,1 @@
+lib/compiler/ckpt.mli: Capri_dataflow Capri_ir Hashtbl Options Program Reg Region_map

@@ -1,0 +1,1 @@
+lib/compiler/compiled.ml: Block Capri_ir Ckpt Format Func Hashtbl Instr Licm List Options Program Prune Region_map Unroll

@@ -1,0 +1,1 @@
+lib/compiler/compiled.mli: Capri_ir Ckpt Format Licm Options Program Prune Region_map Unroll

@@ -1,0 +1,1 @@
+lib/compiler/form.ml: Block Capri_dataflow Capri_ir Func Hashtbl Instr Int Label List Options Program Reg Region_map

@@ -1,0 +1,1 @@
+lib/compiler/licm.ml: Array Block Capri_dataflow Capri_ir Func Instr Label List Option Options Program Reg Region_map

@@ -1,0 +1,1 @@
+lib/compiler/licm.mli: Capri_ir Options Program Region_map

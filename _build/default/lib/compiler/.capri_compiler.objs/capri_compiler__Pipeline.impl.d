@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Block Capri_ir Ckpt Compiled Form Func Hashtbl Licm List Options Program Prune Unroll Validate

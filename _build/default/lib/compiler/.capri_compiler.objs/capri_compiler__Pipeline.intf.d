@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Capri_ir Compiled Options Program

@@ -1,0 +1,1 @@
+lib/compiler/prune.ml: Block Capri_dataflow Capri_ir Ckpt Func Hashtbl Instr Label List Options Program Reg Region_map

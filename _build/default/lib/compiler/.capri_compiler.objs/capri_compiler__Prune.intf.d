@@ -1,0 +1,1 @@
+lib/compiler/prune.mli: Capri_ir Func Hashtbl Options Program Reg Region_map

@@ -1,0 +1,1 @@
+lib/compiler/region_map.ml: Capri_ir Hashtbl Int Label List Printf

@@ -1,0 +1,1 @@
+lib/compiler/region_map.mli: Capri_ir Label

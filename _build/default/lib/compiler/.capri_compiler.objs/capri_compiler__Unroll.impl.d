@@ -1,0 +1,1 @@
+lib/compiler/unroll.ml: Array Block Capri_dataflow Capri_ir Func Instr Label List Options Printf Program

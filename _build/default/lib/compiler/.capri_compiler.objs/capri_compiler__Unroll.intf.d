@@ -1,0 +1,1 @@
+lib/compiler/unroll.mli: Capri_ir Options Program

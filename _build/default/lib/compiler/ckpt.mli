@@ -1,0 +1,32 @@
+(** Register-checkpointing stores (Section 4.2).
+
+    Semantics implemented by the architecture: a [Ckpt] stages the
+    register's value in the dedicated register-file storage beside the
+    front-end proxy buffer; staged values flush to the fixed per-core NVM
+    slot array when the region commits at its next boundary. The recovery
+    protocol reloads {e all} architectural registers from the slot array,
+    so the compiler maintains this invariant: for every register live into
+    a region, its slot (as of the last committed boundary) holds the value
+    the register had when that boundary executed.
+
+    Insertion rule (the paper's "last instructions that update the same
+    registers"): in every block, for every register the block defines that
+    is both live out of the block and live out of the block's region, one
+    checkpoint store is placed immediately after the register's last def
+    in the block. Multiple blocks of a region may checkpoint the same
+    register (Figure 3's diamond); only the last staging before the commit
+    survives, which is exactly the value at the boundary. *)
+
+open Capri_ir
+
+type report = { ckpts_inserted : int }
+
+val region_live_out :
+  Capri_dataflow.Inter_liveness.t -> Region_map.t -> Program.t ->
+  (int, Reg.Set.t) Hashtbl.t
+(** For each region id, the registers that may be read after the region
+    commits (union of live-ins of successor regions, callee entries for
+    call exits, and the return-value convention at [Ret]). *)
+
+val run : Options.t -> Program.t -> Region_map.t -> report
+(** Rewrites the program in place. *)

@@ -1,0 +1,49 @@
+open Capri_ir
+
+type t = {
+  program : Program.t;
+  options : Options.t;
+  regions : Region_map.t;
+  recovery : Prune.table;
+  unroll_report : Unroll.report;
+  ckpt_report : Ckpt.report;
+  prune_report : Prune.report;
+  licm_report : Licm.report;
+}
+
+let find_recovery t ~boundary =
+  Hashtbl.fold
+    (fun (b, _) recovery acc ->
+      if b = boundary then recovery :: acc else acc)
+    t.recovery []
+
+let static_ckpt_count t =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          acc
+          + List.length
+              (List.filter
+                 (function
+                   | Instr.Ckpt _ -> true
+                   | Instr.Binop _ | Instr.Mov _ | Instr.Load _
+                   | Instr.Store _ | Instr.Atomic_rmw _ | Instr.Fence
+                   | Instr.Out _ | Instr.Boundary _ | Instr.Ckpt_load _ ->
+                     false)
+                 b.Block.instrs))
+        acc (Func.blocks f))
+    0 t.program.Program.funcs
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>regions: %d (max store bound %d)@,\
+     unrolled loops: %d/%d@,\
+     checkpoints: %d inserted, %d pruned (%d recovery blocks), %d \
+     hoisted, %d deduped; %d remain@]"
+    (Region_map.region_count t.regions)
+    (Region_map.max_store_bound t.regions)
+    t.unroll_report.Unroll.loops_unrolled t.unroll_report.Unroll.loops_seen
+    t.ckpt_report.Ckpt.ckpts_inserted t.prune_report.Prune.ckpts_pruned
+    t.prune_report.Prune.recovery_blocks t.licm_report.Licm.ckpts_hoisted
+    t.licm_report.Licm.ckpts_deduped (static_ckpt_count t)

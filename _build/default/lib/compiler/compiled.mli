@@ -1,0 +1,24 @@
+(** Result of compiling a program with the Capri pipeline: the rewritten
+    program, its region partition, and the side tables the runtime and the
+    recovery protocol consume. *)
+
+open Capri_ir
+
+type t = {
+  program : Program.t;
+  options : Options.t;
+  regions : Region_map.t;
+  recovery : Prune.table;  (** (boundary id, register) -> recovery block *)
+  unroll_report : Unroll.report;
+  ckpt_report : Ckpt.report;
+  prune_report : Prune.report;
+  licm_report : Licm.report;
+}
+
+val find_recovery : t -> boundary:int -> Prune.recovery list
+(** All recovery blocks to execute when resuming at the given boundary. *)
+
+val static_ckpt_count : t -> int
+(** Checkpoint stores currently in the program text. *)
+
+val pp_summary : Format.formatter -> t -> unit

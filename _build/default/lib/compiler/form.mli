@@ -1,0 +1,27 @@
+(** Region formation (Sections 3.2 and 4.1).
+
+    The pass rewrites each function so that every region is a single-entry
+    subgraph headed by a block whose first instruction is a [Boundary], and
+    guarantees that no execution of a region performs more than
+    [options.threshold] stores (register checkpoints included, via the
+    per-block checkpoint estimate that breaks the paper's circular
+    dependence between boundary placement and checkpoint insertion).
+
+    Steps:
+    + split blocks so every [Fence]/[Atomic_rmw] starts a block, and chunk
+      blocks whose own store count already approaches the threshold;
+    + mark mandatory heads: function entries, call-return blocks,
+      fence/atomic blocks, and loop headers — except loops with a known
+      constant trip count whose whole execution fits the threshold, which
+      may be absorbed into an enclosing region ([options.absorb_loops]);
+    + greedily merge blocks into their predecessors' region in reverse
+      post order, tracking the worst-case store path from the region head,
+      and start a new region whenever merging would break the bound, the
+      block is mandatory, or its predecessors disagree;
+    + prepend a [Boundary] with the region id to every head block. *)
+
+open Capri_ir
+
+val run : Options.t -> Program.t -> Region_map.t
+(** Rewrites the program in place and returns the partition. The region
+    ids are globally unique and match the inserted [Boundary] ids. *)

@@ -1,0 +1,25 @@
+(** Checkpoint motion out of loops (Section 4.4.2, Figure 4).
+
+    Because checkpoint stores stage into the register-file storage and only
+    the last staged value per register flushes to the slot array at the
+    region's commit, a checkpoint may move anywhere later within its region
+    without changing recovery semantics. Two rewrites exploit that:
+
+    - {b hoisting}: a checkpoint inside a loop whose whole body lies
+      within the region is re-executed every iteration for nothing; it
+      moves to the loop's in-region exit-successor blocks, turning O(trip)
+      dynamic checkpoint stores into O(1) (the figure's "moving
+      checkpoints out of loops");
+    - {b dedup}: a checkpoint is deleted when every path from it to the
+      region's exits passes another checkpoint of the same register (only
+      the last staging matters — the figure's removal of the now-shadowed
+      earlier checkpoint).
+
+    Both rewrites only ever lower the dynamic store count of a region
+    execution, so the formation-time threshold bound is preserved. *)
+
+open Capri_ir
+
+type report = { ckpts_hoisted : int; ckpts_deduped : int }
+
+val run : Options.t -> Program.t -> Region_map.t -> report

@@ -1,0 +1,47 @@
+open Capri_ir
+
+let copy_func f =
+  let blocks =
+    List.map
+      (fun (b : Block.t) -> Block.create b.Block.label b.Block.instrs b.Block.term)
+      (Func.blocks f)
+  in
+  Func.create ~name:(Func.name f) ~entry:(Func.entry f) blocks
+
+let copy_program (p : Program.t) =
+  Program.create ~funcs:(List.map copy_func p.Program.funcs) ~main:p.main
+    ~data:p.data
+
+let compile ?unroll_hints options source =
+  let program = copy_program source in
+  let unroll_report =
+    if options.Options.unroll then
+      Unroll.run ?hints:unroll_hints options program
+    else { Unroll.loops_seen = 0; loops_unrolled = 0; total_factor = 0 }
+  in
+  let regions = Form.run options program in
+  let ckpt_report =
+    if options.Options.ckpt then Ckpt.run options program regions
+    else { Ckpt.ckpts_inserted = 0 }
+  in
+  let recovery, prune_report =
+    if options.Options.ckpt && options.Options.prune then
+      Prune.run options program regions
+    else (Hashtbl.create 1, { Prune.ckpts_pruned = 0; recovery_blocks = 0 })
+  in
+  let licm_report =
+    if options.Options.ckpt && options.Options.licm then
+      Licm.run options program regions
+    else { Licm.ckpts_hoisted = 0; ckpts_deduped = 0 }
+  in
+  Validate.check_exn program;
+  {
+    Compiled.program;
+    options;
+    regions;
+    recovery;
+    unroll_report;
+    ckpt_report;
+    prune_report;
+    licm_report;
+  }

@@ -1,0 +1,17 @@
+(** The Capri compilation pipeline: speculative unrolling, region
+    formation, checkpoint insertion, checkpoint pruning, checkpoint
+    motion — each gated by {!Options}. The input program is deep-copied
+    first, so callers can compile one source program under many
+    configurations (as the benchmark sweeps do). *)
+
+open Capri_ir
+
+val copy_program : Program.t -> Program.t
+(** Structural deep copy (blocks are mutable). *)
+
+val compile :
+  ?unroll_hints:(string -> string -> int option) -> Options.t -> Program.t ->
+  Compiled.t
+(** Never mutates its input. The result is validated. [unroll_hints]
+    feeds measured trip counts to {!Unroll.run} (profile-guided
+    compilation). *)

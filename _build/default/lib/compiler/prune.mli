@@ -1,0 +1,37 @@
+(** Optimal checkpoint pruning (Section 4.4.1, Figure 3).
+
+    A checkpoint of register [r] in region [R1] can be removed when [r]'s
+    value at [R1]'s commit can be recomputed during recovery from other
+    slot-resident values: the pass extracts the pure backward slice of
+    [r] (including branch predicates, as in Figure 3) from [R1], turns it
+    into a {e recovery block} — a miniature function whose leaves are
+    [Ckpt_load]s of registers unchanged throughout [R1] — and registers it
+    against every boundary that can immediately follow [R1]. When a crash
+    interrupts such a region, recovery executes the block to rebuild the
+    pruned slot before reloading registers.
+
+    Soundness conditions enforced here:
+    - every region that can execute right after [R1] is known statically
+      (no call/return exits from [R1], successor heads entered only from
+      [R1]) and [r] dies inside it, so no later boundary ever needs [r]'s
+      slot;
+    - the slice is pure ([Binop]/[Mov] only — no loads, since recovery-time
+      memory reflects [R1]'s commit, not intermediate states);
+    - slice leaves are registers with no def anywhere in [R1] (their slots
+      still hold their region-entry values) and are globally locked
+      against being pruned themselves;
+    - the stack pointer never participates (it is boundary-managed). *)
+
+open Capri_ir
+
+type recovery = {
+  target : Reg.t;  (** register whose slot the block recomputes *)
+  code : Func.t;  (** entered at its entry label; [Halt] ends it *)
+}
+
+type table = (int * int, recovery) Hashtbl.t
+(** Keyed by (boundary id of the interrupted region, register index). *)
+
+type report = { ckpts_pruned : int; recovery_blocks : int }
+
+val run : Options.t -> Program.t -> Region_map.t -> table * report

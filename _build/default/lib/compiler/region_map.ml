@@ -1,0 +1,40 @@
+open Capri_ir
+
+type region = {
+  id : int;
+  func : string;
+  head : Label.t;
+  members : Label.Set.t;
+  static_store_bound : int;
+}
+
+type t = {
+  by_id : (int, region) Hashtbl.t;
+  by_block : (string * string, int) Hashtbl.t;  (* func, label *)
+}
+
+let create () = { by_id = Hashtbl.create 64; by_block = Hashtbl.create 256 }
+
+let add_region t r =
+  if Hashtbl.mem t.by_id r.id then
+    invalid_arg (Printf.sprintf "Region_map.add_region: duplicate id %d" r.id);
+  Hashtbl.replace t.by_id r.id r
+
+let set_block t ~func label id =
+  Hashtbl.replace t.by_block (func, Label.to_string label) id
+
+let region_count t = Hashtbl.length t.by_id
+
+let regions t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.by_id []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let find t id = Hashtbl.find t.by_id id
+
+let region_of_block t ~func label =
+  Hashtbl.find t.by_block (func, Label.to_string label)
+
+let head_of t id = (find t id).head
+
+let max_store_bound t =
+  Hashtbl.fold (fun _ r acc -> max acc r.static_store_bound) t.by_id 0

@@ -1,0 +1,39 @@
+(** The region partition produced by region formation.
+
+    A region is a single-entry subgraph of one function's CFG: it is
+    entered only through its head block, whose first instruction is the
+    region's [Boundary]. Region ids are unique across the program and equal
+    the id carried by the head's [Boundary] instruction. *)
+
+open Capri_ir
+
+type region = {
+  id : int;
+  func : string;
+  head : Label.t;
+  members : Label.Set.t;  (** blocks of the region, head included *)
+  static_store_bound : int;
+      (** Compiler's bound on dynamic stores per execution of the region
+          (checkpoint estimate included); must never be exceeded at run
+          time — the back-end proxy buffer is sized from the threshold. *)
+}
+
+type t
+
+val create : unit -> t
+val add_region : t -> region -> unit
+val set_block : t -> func:string -> Label.t -> int -> unit
+(** Record that a block belongs to a region. *)
+
+val region_count : t -> int
+val regions : t -> region list
+(** In ascending id order. *)
+
+val find : t -> int -> region
+val region_of_block : t -> func:string -> Label.t -> int
+(** Raises [Not_found] for unassigned blocks. *)
+
+val head_of : t -> int -> Label.t
+val max_store_bound : t -> int
+(** Largest [static_store_bound] across regions: what the back-end proxy
+    must accommodate. *)

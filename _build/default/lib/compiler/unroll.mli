@@ -1,0 +1,34 @@
+(** Speculative loop unrolling (Section 4.3, Figure 2).
+
+    Loops whose trip count is unknown at compile time normally cap region
+    size at one loop body, because the region boundary sits in the loop
+    header and is re-crossed every iteration. Speculative unrolling clones
+    the loop body {e and its exit test} [factor - 1] times, chaining the
+    back edge through the clones, so one boundary then covers [factor]
+    iterations. Every clone keeps its exit branch, so the transformation
+    is safe for any trip count — that is what makes it "speculative"
+    rather than traditional unrolling (Figure 2b), which needs a known
+    constant count.
+
+    The pass targets innermost simple loops only and picks the largest
+    factor such that the unrolled body's worst-case store count stays
+    within half the region threshold and code growth stays within
+    [options.unroll_code_growth]. Loops with a known constant trip count
+    are left alone here: region formation can absorb them wholesale
+    (see {!Form}). *)
+
+open Capri_ir
+
+type report = {
+  loops_seen : int;
+  loops_unrolled : int;
+  total_factor : int;  (** Sum of factors over unrolled loops. *)
+}
+
+val run :
+  ?hints:(string -> string -> int option) -> Options.t -> Program.t -> report
+(** Rewrites the program in place. [hints func header_label] supplies a
+    measured mean trip count for a loop header (profile-guided region
+    formation, the paper's Section 6.3 future work); it overrides the
+    static factor heuristic within the same threshold and code-growth
+    caps. *)

@@ -1,0 +1,1 @@
+lib/dataflow/dom.ml: Block Capri_ir Func Label List

@@ -1,0 +1,1 @@
+lib/dataflow/dom.mli: Capri_ir Func Label

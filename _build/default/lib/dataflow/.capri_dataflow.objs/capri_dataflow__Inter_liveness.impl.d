@@ -1,0 +1,1 @@
+lib/dataflow/inter_liveness.ml: Array Block Capri_ir Func Hashtbl Instr Label List Program Queue Reg

@@ -1,0 +1,1 @@
+lib/dataflow/inter_liveness.mli: Block Capri_ir Func Label Program Reg

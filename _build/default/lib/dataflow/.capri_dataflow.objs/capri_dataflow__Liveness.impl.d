@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Array Block Capri_ir Instr Label List Reg Solver

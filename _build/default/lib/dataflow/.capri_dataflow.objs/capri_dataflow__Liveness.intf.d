@@ -1,0 +1,1 @@
+lib/dataflow/liveness.mli: Block Capri_ir Func Label Reg

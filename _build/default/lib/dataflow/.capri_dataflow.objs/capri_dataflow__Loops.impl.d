@@ -1,0 +1,1 @@
+lib/dataflow/loops.ml: Block Capri_ir Dom Func Instr Int Label List Reg

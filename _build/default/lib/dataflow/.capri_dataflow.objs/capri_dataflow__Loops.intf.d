@@ -1,0 +1,1 @@
+lib/dataflow/loops.mli: Capri_ir Func Label

@@ -1,0 +1,1 @@
+lib/dataflow/solver.ml: Block Capri_ir Func Instr Label List Queue

@@ -1,0 +1,1 @@
+lib/dataflow/solver.mli: Block Capri_ir Func Label

@@ -1,0 +1,70 @@
+open Capri_ir
+
+type t = { f : Func.t; doms : Label.Set.t Label.Map.t }
+
+(* Classic iterative dominator dataflow: dom(entry) = {entry};
+   dom(b) = {b} ∪ ⋂ dom(preds). The intersection over an empty predecessor
+   set of a reachable block only happens for the entry block. *)
+let compute f =
+  let labels = List.map (fun (b : Block.t) -> b.Block.label) (Func.blocks f) in
+  let all = Label.Set.of_list labels in
+  let entry = Func.entry f in
+  let preds = Func.preds_map f in
+  let doms =
+    ref
+      (List.fold_left
+         (fun m l ->
+           let init =
+             if Label.equal l entry then Label.Set.singleton entry else all
+           in
+           Label.Map.add l init m)
+         Label.Map.empty labels)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if not (Label.equal l entry) then begin
+          let ps = Label.Map.find l preds in
+          let inter =
+            Label.Set.fold
+              (fun p acc ->
+                let dp = Label.Map.find p !doms in
+                match acc with
+                | None -> Some dp
+                | Some s -> Some (Label.Set.inter s dp))
+              ps None
+          in
+          let next =
+            match inter with
+            | None -> Label.Set.singleton l  (* unreachable *)
+            | Some s -> Label.Set.add l s
+          in
+          if not (Label.Set.equal next (Label.Map.find l !doms)) then begin
+            doms := Label.Map.add l next !doms;
+            changed := true
+          end
+        end)
+      labels
+  done;
+  { f; doms = !doms }
+
+let dominators t l = Label.Map.find l t.doms
+let dominates t a b = Label.Set.mem a (dominators t b)
+
+let idom t l =
+  let ds = Label.Set.remove l (dominators t l) in
+  (* The immediate dominator is the unique strict dominator dominated by
+     every other strict dominator. *)
+  Label.Set.fold
+    (fun candidate acc ->
+      match acc with
+      | Some best when dominates t candidate best -> acc
+      | _
+        when Label.Set.for_all
+               (fun other -> dominates t other candidate)
+               ds ->
+        Some candidate
+      | _ -> acc)
+    ds None

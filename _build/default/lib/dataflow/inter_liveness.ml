@@ -1,0 +1,141 @@
+open Capri_ir
+
+type func_live = {
+  entry : Label.t;
+  live_in : Reg.Set.t Label.Tbl.t;
+  live_out : Reg.Set.t Label.Tbl.t;
+}
+
+type t = {
+  per_func : (string, func_live) Hashtbl.t;
+  ret_out : (string, Reg.Set.t) Hashtbl.t;
+      (* live-out at a function's Ret = r0 (return convention) plus every
+         register live at some caller's continuation: values may flow
+         callee -> caller -> later code without the caller touching them *)
+}
+
+let ret_live = Reg.Set.singleton (Reg.of_int 0)
+
+let get tbl l =
+  match Label.Tbl.find_opt tbl l with Some s -> s | None -> Reg.Set.empty
+
+let block_transfer (b : Block.t) live_out =
+  let after_term = Reg.Set.union live_out (Instr.term_uses b.term) in
+  List.fold_right
+    (fun i live ->
+      Reg.Set.union (Instr.uses i) (Reg.Set.diff live (Instr.defs i)))
+    b.instrs after_term
+
+(* One backward pass over a function given current callee entry live-ins
+   and this function's return live-out; returns true if the function's
+   entry live-in changed. *)
+let solve_func fl f ~callee_entry ~ret_out =
+  let preds = Func.preds_map f in
+  let work = Queue.create () in
+  List.iter (fun (b : Block.t) -> Queue.add b.Block.label work) (Func.blocks f);
+  let entry_before = get fl.live_in (Func.entry f) in
+  while not (Queue.is_empty work) do
+    let l = Queue.pop work in
+    let b = Func.find f l in
+    let exit_fact =
+      match b.term with
+      | Instr.Ret -> ret_out
+      | Instr.Halt -> Reg.Set.empty
+      | Instr.Call { callee; ret_to } ->
+        Reg.Set.union (get fl.live_in ret_to) (callee_entry callee)
+      | Instr.Jump _ | Instr.Branch _ ->
+        List.fold_left
+          (fun acc s -> Reg.Set.union acc (get fl.live_in s))
+          Reg.Set.empty (Instr.term_succs b.term)
+    in
+    let entry_fact = block_transfer b exit_fact in
+    Label.Tbl.replace fl.live_out l exit_fact;
+    if not (Reg.Set.equal entry_fact (get fl.live_in l)) then begin
+      Label.Tbl.replace fl.live_in l entry_fact;
+      Label.Set.iter (fun p -> Queue.add p work) (Label.Map.find l preds)
+    end
+  done;
+  not (Reg.Set.equal entry_before (get fl.live_in (Func.entry f)))
+
+let compute (program : Program.t) =
+  let per_func = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace per_func (Func.name f)
+        { entry = Func.entry f;
+          live_in = Label.Tbl.create 16;
+          live_out = Label.Tbl.create 16 })
+    program.Program.funcs;
+  let callee_entry name =
+    match Hashtbl.find_opt per_func name with
+    | Some fl -> get fl.live_in fl.entry
+    | None -> Reg.Set.empty
+  in
+  let ret_out_tbl = Hashtbl.create 16 in
+  let ret_out name =
+    match Hashtbl.find_opt ret_out_tbl name with
+    | Some s -> s
+    | None -> ret_live
+  in
+  (* Iterate until neither cross-function fact moves: callee entry
+     live-ins and per-function return live-outs both grow
+     monotonically. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        let fl = Hashtbl.find per_func (Func.name f) in
+        if solve_func fl f ~callee_entry ~ret_out:(ret_out (Func.name f))
+        then changed := true)
+      program.Program.funcs;
+    (* Refresh every callee's return live-out from its callers'
+       continuation live-ins. *)
+    List.iter
+      (fun f ->
+        let fl = Hashtbl.find per_func (Func.name f) in
+        List.iter
+          (fun (b : Block.t) ->
+            match b.Block.term with
+            | Instr.Call { callee; ret_to } ->
+              let cur = ret_out callee in
+              let next = Reg.Set.union cur (get fl.live_in ret_to) in
+              if not (Reg.Set.equal next cur) then begin
+                Hashtbl.replace ret_out_tbl callee next;
+                changed := true
+              end
+            | Instr.Jump _ | Instr.Branch _ | Instr.Ret | Instr.Halt -> ())
+          (Func.blocks f))
+      program.Program.funcs
+  done;
+  { per_func; ret_out = ret_out_tbl }
+
+let func_live t f = Hashtbl.find t.per_func (Func.name f)
+
+let ret_live_out t name =
+  match Hashtbl.find_opt t.ret_out name with
+  | Some s -> s
+  | None -> ret_live
+let live_in t f l = get (func_live t f).live_in l
+let live_out t f l = get (func_live t f).live_out l
+
+let entry_live_in t name =
+  match Hashtbl.find_opt t.per_func name with
+  | Some fl -> get fl.live_in fl.entry
+  | None -> Reg.Set.empty
+
+let live_before_instrs t f (b : Block.t) =
+  let n = List.length b.instrs in
+  let result = Array.make (n + 1) Reg.Set.empty in
+  let after_term =
+    Reg.Set.union (live_out t f b.Block.label) (Instr.term_uses b.term)
+  in
+  result.(n) <- after_term;
+  let instrs = Array.of_list b.instrs in
+  for i = n - 1 downto 0 do
+    let instr = instrs.(i) in
+    result.(i) <-
+      Reg.Set.union (Instr.uses instr)
+        (Reg.Set.diff result.(i + 1) (Instr.defs instr))
+  done;
+  result

@@ -1,0 +1,44 @@
+open Capri_ir
+
+module Fact = struct
+  type t = Reg.Set.t
+
+  let bottom = Reg.Set.empty
+  let equal = Reg.Set.equal
+  let join = Reg.Set.union
+end
+
+module S = Solver.Make (Fact)
+
+type t = S.result
+
+let transfer (b : Block.t) live_out =
+  let after_term =
+    Reg.Set.union live_out (Instr.term_uses b.term)
+  in
+  List.fold_right
+    (fun i live ->
+      Reg.Set.union (Instr.uses i) (Reg.Set.diff live (Instr.defs i)))
+    b.instrs after_term
+
+let compute f = S.backward f ~exit_init:Reg.Set.empty ~transfer
+
+let get m l =
+  match Label.Map.find_opt l m with Some s -> s | None -> Reg.Set.empty
+
+let live_in (t : t) l = get t.S.at_entry l
+let live_out (t : t) l = get t.S.at_exit l
+
+let live_before_instrs t (b : Block.t) =
+  let n = List.length b.instrs in
+  let result = Array.make (n + 1) Reg.Set.empty in
+  let after_term = Reg.Set.union (live_out t b.label) (Instr.term_uses b.term) in
+  result.(n) <- after_term;
+  let instrs = Array.of_list b.instrs in
+  for i = n - 1 downto 0 do
+    let instr = instrs.(i) in
+    result.(i) <-
+      Reg.Set.union (Instr.uses instr)
+        (Reg.Set.diff result.(i + 1) (Instr.defs instr))
+  done;
+  result

@@ -1,0 +1,26 @@
+(** Register liveness.
+
+    The Capri compiler's checkpoint-set analysis (Section 4.2) needs, at
+    each region boundary, the registers whose current values may still be
+    read later ("live-out registers"). Liveness is computed per function;
+    values that must survive a call do so through the call's explicit save
+    list (spilled to the in-memory stack), so the intra-procedural result
+    is sound for checkpointing. *)
+
+open Capri_ir
+
+type t
+
+val compute : Func.t -> t
+
+val live_in : t -> Label.t -> Reg.Set.t
+(** Registers live at the block's entry. *)
+
+val live_out : t -> Label.t -> Reg.Set.t
+(** Registers live at the block's exit (after the terminator's uses). *)
+
+val live_before_instrs : t -> Block.t -> Reg.Set.t array
+(** [live_before_instrs t b] has one entry per instruction of [b]: the
+    registers live immediately before that instruction. Entry [n] (one past
+    the last instruction) is the set live just before the terminator. The
+    array has length [List.length b.instrs + 1]. *)

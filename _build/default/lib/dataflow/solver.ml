@@ -1,0 +1,72 @@
+open Capri_ir
+
+module type FACT = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (F : FACT) = struct
+  type result = { at_entry : F.t Label.Map.t; at_exit : F.t Label.Map.t }
+
+  let join_all facts = List.fold_left F.join F.bottom facts
+
+  let forward f ~init ~transfer =
+    let preds = Func.preds_map f in
+    let at_entry = ref Label.Map.empty and at_exit = ref Label.Map.empty in
+    let get m l = match Label.Map.find_opt l !m with
+      | Some v -> v
+      | None -> F.bottom
+    in
+    let work = Queue.create () in
+    List.iter (fun (b : Block.t) -> Queue.add b.label work) (Func.blocks f);
+    while not (Queue.is_empty work) do
+      let l = Queue.pop work in
+      let b = Func.find f l in
+      let pred_facts =
+        Label.Set.fold
+          (fun p acc -> get at_exit p :: acc)
+          (Label.Map.find l preds) []
+      in
+      let entry_fact =
+        if Label.equal l (Func.entry f) then join_all (init :: pred_facts)
+        else join_all pred_facts
+      in
+      let exit_fact = transfer b entry_fact in
+      at_entry := Label.Map.add l entry_fact !at_entry;
+      if not (F.equal exit_fact (get at_exit l)) then begin
+        at_exit := Label.Map.add l exit_fact !at_exit;
+        List.iter (fun s -> Queue.add s work) (Instr.term_succs b.term)
+      end
+    done;
+    { at_entry = !at_entry; at_exit = !at_exit }
+
+  let backward f ~exit_init ~transfer =
+    let at_entry = ref Label.Map.empty and at_exit = ref Label.Map.empty in
+    let get m l = match Label.Map.find_opt l !m with
+      | Some v -> v
+      | None -> F.bottom
+    in
+    let preds = Func.preds_map f in
+    let work = Queue.create () in
+    List.iter (fun (b : Block.t) -> Queue.add b.label work) (Func.blocks f);
+    while not (Queue.is_empty work) do
+      let l = Queue.pop work in
+      let b = Func.find f l in
+      let succs = Instr.term_succs b.term in
+      let exit_fact =
+        match succs with
+        | [] -> exit_init
+        | _ -> join_all (List.map (get at_entry) succs)
+      in
+      let entry_fact = transfer b exit_fact in
+      at_exit := Label.Map.add l exit_fact !at_exit;
+      if not (F.equal entry_fact (get at_entry l)) then begin
+        at_entry := Label.Map.add l entry_fact !at_entry;
+        Label.Set.iter (fun p -> Queue.add p work) (Label.Map.find l preds)
+      end
+    done;
+    { at_entry = !at_entry; at_exit = !at_exit }
+end

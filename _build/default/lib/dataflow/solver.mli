@@ -1,0 +1,35 @@
+(** Generic iterative dataflow solver over a function's CFG.
+
+    The solver computes, for every block, a fact at block entry and exit,
+    iterating a monotone transfer function to a fixed point with a
+    worklist. Functions in this code base are small (at most a few hundred
+    blocks), so the straightforward algorithm is plenty. *)
+
+open Capri_ir
+
+module type FACT = sig
+  type t
+
+  val bottom : t
+  (** Initial fact everywhere. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (F : FACT) : sig
+  type result = { at_entry : F.t Label.Map.t; at_exit : F.t Label.Map.t }
+
+  val forward :
+    Func.t -> init:F.t -> transfer:(Block.t -> F.t -> F.t) -> result
+  (** [forward f ~init ~transfer] seeds the entry block's entry fact with
+      [init]; a block's entry fact is the join of its predecessors' exit
+      facts (joined with [init] for the entry block). *)
+
+  val backward :
+    Func.t -> exit_init:F.t -> transfer:(Block.t -> F.t -> F.t) -> result
+  (** [backward f ~exit_init ~transfer] seeds blocks without successors
+      ([Ret]/[Halt]) with [exit_init]; a block's exit fact is the join of
+      its successors' entry facts. [transfer b fact] maps the block's exit
+      fact to its entry fact. *)
+end

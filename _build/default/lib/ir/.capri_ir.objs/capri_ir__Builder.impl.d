@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Block Func Instr Label List Printf Program Reg String Validate

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Block Format Instr Label List Printf

@@ -1,0 +1,1 @@
+lib/ir/label.ml: Format Hashtbl Map Printf Set String

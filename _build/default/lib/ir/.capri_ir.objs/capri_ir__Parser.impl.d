@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Block Format Func Instr Label List Printf Program Reg String Validate

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Block Buffer Format Func Instr Label List Printf Program Reg

@@ -1,0 +1,26 @@
+(** Basic blocks: a straight-line instruction list closed by a terminator.
+    Blocks are mutable because the Capri passes rewrite them in place
+    (splitting at boundaries, inserting checkpoints, cloning for
+    unrolling). *)
+
+type t = {
+  label : Label.t;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.terminator;
+}
+
+val create : Label.t -> Instr.t list -> Instr.terminator -> t
+
+val store_count : t -> int
+(** Static count of threshold-relevant stores in the block, including the
+    terminator's implicit call-frame stores. *)
+
+val instr_count : t -> int
+(** Instructions including the terminator. *)
+
+val defs : t -> Reg.Set.t
+val uses_before_def : t -> Reg.Set.t
+(** Registers read before any write within the block (the block's live-in
+    gen set), terminator included. *)
+
+val pp : Format.formatter -> t -> unit

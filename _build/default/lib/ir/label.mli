@@ -1,0 +1,19 @@
+(** Basic-block labels. Labels are interned strings, unique per function;
+    freshness is managed by {!Builder} and the compiler passes through
+    {!fresh}. *)
+
+type t = private string
+
+val of_string : string -> t
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val fresh : base:t -> int -> t
+(** [fresh ~base n] derives a label like ["base.n"], used when passes clone
+    or split blocks. Callers guarantee uniqueness via [n]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,346 @@
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line message = raise (Parse_error { line; message })
+
+(* ---------------- tokenizing helpers ---------------- *)
+
+let strip s = String.trim s
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let after prefix s =
+  String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+let split2 ~on ~line s =
+  match String.index_opt s on with
+  | Some i ->
+    ( strip (String.sub s 0 i),
+      strip (String.sub s (i + 1) (String.length s - i - 1)) )
+  | None -> fail line (Printf.sprintf "expected '%c' in %S" on s)
+
+let parse_reg ~line s =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> 'r' then
+    fail line (Printf.sprintf "expected register, got %S" s)
+  else
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i when i >= 0 && i < Reg.count -> Reg.of_int i
+    | Some _ | None -> fail line (Printf.sprintf "bad register %S" s)
+
+let parse_operand ~line s =
+  let s = strip s in
+  if String.length s > 0 && s.[0] = 'r' && String.length s > 1
+     && s.[1] >= '0' && s.[1] <= '9'
+  then Instr.Reg (parse_reg ~line s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Instr.Imm i
+    | None -> fail line (Printf.sprintf "expected operand, got %S" s)
+
+let binop_of_name ~line name =
+  match name with
+  | "add" -> Instr.Add
+  | "sub" -> Instr.Sub
+  | "mul" -> Instr.Mul
+  | "div" -> Instr.Div
+  | "rem" -> Instr.Rem
+  | "and" -> Instr.And
+  | "or" -> Instr.Or
+  | "xor" -> Instr.Xor
+  | "shl" -> Instr.Shl
+  | "shr" -> Instr.Shr
+  | "lt" -> Instr.Lt
+  | "le" -> Instr.Le
+  | "eq" -> Instr.Eq
+  | "ne" -> Instr.Ne
+  | "min" -> Instr.Min
+  | "max" -> Instr.Max
+  | _ -> fail line (Printf.sprintf "unknown operation %S" name)
+
+(* "[rB + K]" -> base, offset (K may be negative) *)
+let parse_addr ~line s =
+  let s = strip s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail line (Printf.sprintf "expected address, got %S" s)
+  else begin
+    let inner = strip (String.sub s 1 (n - 2)) in
+    match String.index_opt inner '+' with
+    | Some i ->
+      let base = parse_reg ~line (String.sub inner 0 i) in
+      let off =
+        match
+          int_of_string_opt
+            (strip (String.sub inner (i + 1) (String.length inner - i - 1)))
+        with
+        | Some v -> v
+        | None -> fail line (Printf.sprintf "bad offset in %S" s)
+      in
+      (base, off)
+    | None -> (parse_reg ~line inner, 0)
+  end
+
+let parse_slot ~line s =
+  (* "slot[K]" *)
+  let s = strip s in
+  if starts_with "slot[" s && String.length s > 6 && s.[String.length s - 1] = ']'
+  then
+    match int_of_string_opt (String.sub s 5 (String.length s - 6)) with
+    | Some k -> k
+    | None -> fail line (Printf.sprintf "bad slot %S" s)
+  else fail line (Printf.sprintf "expected slot[..], got %S" s)
+
+(* ---------------- instruction grammar ---------------- *)
+
+(* Forms with an "=" (destination):
+     rD = mov OP
+     rD = load [rB + K]
+     rD = ckpt_load slot[K]
+     rD = atomic_OPNAME [rB + K], OP
+     rD = OPNAME OP, OP *)
+let parse_def ~line lhs rhs =
+  let dst = parse_reg ~line lhs in
+  match String.index_opt rhs ' ' with
+  | None -> fail line (Printf.sprintf "truncated instruction %S" rhs)
+  | Some i ->
+    let head = String.sub rhs 0 i in
+    let rest = strip (String.sub rhs (i + 1) (String.length rhs - i - 1)) in
+    if head = "mov" then Instr.Mov { dst; src = parse_operand ~line rest }
+    else if head = "load" then begin
+      let base, offset = parse_addr ~line rest in
+      Instr.Load { dst; base; offset }
+    end
+    else if head = "ckpt_load" then
+      Instr.Ckpt_load { dst; slot = parse_slot ~line rest }
+    else if starts_with "atomic_" head then begin
+      let op = binop_of_name ~line (after "atomic_" head) in
+      let addr_s, src_s = split2 ~on:',' ~line rest in
+      let base, offset = parse_addr ~line addr_s in
+      Instr.Atomic_rmw { op; dst; base; offset;
+                         src = parse_operand ~line src_s }
+    end
+    else begin
+      let op = binop_of_name ~line head in
+      let a_s, b_s = split2 ~on:',' ~line rest in
+      Instr.Binop { op; dst; a = parse_operand ~line a_s;
+                    b = parse_operand ~line b_s }
+    end
+
+type parsed_line =
+  | Pinstr of Instr.t
+  | Pterm of Instr.terminator
+  | Plabel of Label.t
+
+let parse_code_line ~line s =
+  let s = strip s in
+  if String.length s > 0 && s.[String.length s - 1] = ':' then
+    Plabel (Label.of_string (String.sub s 0 (String.length s - 1)))
+  else if s = "fence" then Pinstr Instr.Fence
+  else if s = "ret" then Pterm Instr.Ret
+  else if s = "halt" then Pterm Instr.Halt
+  else if starts_with "out " s then
+    Pinstr (Instr.Out (parse_operand ~line (after "out " s)))
+  else if starts_with "boundary #" s then
+    match int_of_string_opt (after "boundary #" s) with
+    | Some id -> Pinstr (Instr.Boundary { id })
+    | None -> fail line "bad boundary id"
+  else if starts_with "ckpt " s then begin
+    (* "ckpt rX -> slot[K]" *)
+    let rest = after "ckpt " s in
+    match String.index_opt rest '-' with
+    | Some i when i + 1 < String.length rest && rest.[i + 1] = '>' ->
+      let reg = parse_reg ~line (String.sub rest 0 i) in
+      let slot =
+        parse_slot ~line
+          (String.sub rest (i + 2) (String.length rest - i - 2))
+      in
+      Pinstr (Instr.Ckpt { reg; slot })
+    | Some _ | None -> fail line (Printf.sprintf "bad ckpt %S" s)
+  end
+  else if starts_with "store " s then begin
+    let addr_s, src_s = split2 ~on:',' ~line (after "store " s) in
+    let base, offset = parse_addr ~line addr_s in
+    Pinstr (Instr.Store { base; offset; src = parse_operand ~line src_s })
+  end
+  else if starts_with "jump " s then
+    Pterm (Instr.Jump (Label.of_string (strip (after "jump " s))))
+  else if starts_with "branch " s then begin
+    (* "branch OP ? L1 : L2" *)
+    let rest = after "branch " s in
+    let cond_s, targets = split2 ~on:'?' ~line rest in
+    let t_s, f_s = split2 ~on:':' ~line targets in
+    Pterm
+      (Instr.Branch
+         { cond = parse_operand ~line cond_s;
+           if_true = Label.of_string t_s;
+           if_false = Label.of_string f_s })
+  end
+  else if starts_with "call " s then begin
+    (* "call NAME ret LABEL" *)
+    let rest = after "call " s in
+    match String.index_opt rest ' ' with
+    | Some i ->
+      let callee = String.sub rest 0 i in
+      let tail = strip (String.sub rest (i + 1) (String.length rest - i - 1)) in
+      if starts_with "ret " tail then
+        Pterm
+          (Instr.Call
+             { callee; ret_to = Label.of_string (strip (after "ret " tail)) })
+      else fail line (Printf.sprintf "bad call %S" s)
+    | None -> fail line (Printf.sprintf "bad call %S" s)
+  end
+  else if String.contains s '=' then begin
+    let lhs, rhs = split2 ~on:'=' ~line s in
+    Pinstr (parse_def ~line lhs rhs)
+  end
+  else fail line (Printf.sprintf "unrecognized line %S" s)
+
+(* ---------------- program structure ---------------- *)
+
+type fstate = {
+  fname : string;
+  fentry : Label.t;
+  mutable blocks_rev : Block.t list;
+  mutable cur_label : Label.t option;
+  mutable cur_instrs_rev : Instr.t list;
+}
+
+let close_block ~line fs term =
+  match fs.cur_label with
+  | None -> fail line "terminator outside a block"
+  | Some label ->
+    fs.blocks_rev <-
+      Block.create label (List.rev fs.cur_instrs_rev) term :: fs.blocks_rev;
+    fs.cur_label <- None;
+    fs.cur_instrs_rev <- []
+
+let finish_func ~line fs =
+  (match fs.cur_label with
+   | Some l ->
+     fail line
+       (Printf.sprintf "function %s ends inside block %s" fs.fname
+          (Label.to_string l))
+   | None -> ());
+  Func.create ~name:fs.fname ~entry:fs.fentry (List.rev fs.blocks_rev)
+
+let parse source =
+  try
+    let lines = String.split_on_char '\n' source in
+    let main = ref None in
+    let data = ref [] in
+    let funcs_rev = ref [] in
+    let cur : fstate option ref = ref None in
+    let flush_func ~line =
+      match !cur with
+      | Some fs ->
+        funcs_rev := finish_func ~line fs :: !funcs_rev;
+        cur := None
+      | None -> ()
+    in
+    List.iteri
+      (fun idx raw ->
+        let line = idx + 1 in
+        let s = strip raw in
+        if s = "" then ()
+        else if starts_with "program (main = " s then begin
+          let inner = after "program (main = " s in
+          match String.index_opt inner ')' with
+          | Some i -> main := Some (String.sub inner 0 i)
+          | None -> fail line "bad program header"
+        end
+        else if starts_with "data " s then begin
+          let addr_s, v_s = split2 ~on:'=' ~line (after "data " s) in
+          match (int_of_string_opt addr_s, int_of_string_opt v_s) with
+          | Some addr, Some v -> data := (addr, v) :: !data
+          | _ -> fail line (Printf.sprintf "bad data line %S" s)
+        end
+        else if starts_with "func " s then begin
+          flush_func ~line;
+          (* "func NAME (entry LABEL):" *)
+          let rest = after "func " s in
+          match String.index_opt rest ' ' with
+          | Some i ->
+            let fname = String.sub rest 0 i in
+            let tail = strip (String.sub rest (i + 1) (String.length rest - i - 1)) in
+            if starts_with "(entry " tail then begin
+              match String.index_opt tail ')' with
+              | Some j ->
+                let entry = strip (String.sub tail 7 (j - 7)) in
+                cur :=
+                  Some
+                    {
+                      fname;
+                      fentry = Label.of_string entry;
+                      blocks_rev = [];
+                      cur_label = None;
+                      cur_instrs_rev = [];
+                    }
+              | None -> fail line "bad func header"
+            end
+            else fail line "bad func header"
+          | None -> fail line "bad func header"
+        end
+        else begin
+          match !cur with
+          | None -> fail line (Printf.sprintf "code outside a function: %S" s)
+          | Some fs -> (
+            match parse_code_line ~line s with
+            | Plabel l ->
+              (match fs.cur_label with
+               | Some open_l ->
+                 fail line
+                   (Printf.sprintf "label %s begins inside open block %s"
+                      (Label.to_string l) (Label.to_string open_l))
+               | None ->
+                 fs.cur_label <- Some l;
+                 fs.cur_instrs_rev <- [])
+            | Pinstr i -> (
+              match fs.cur_label with
+              | Some _ -> fs.cur_instrs_rev <- i :: fs.cur_instrs_rev
+              | None -> fail line "instruction outside a block")
+            | Pterm t -> close_block ~line fs t)
+        end)
+      lines;
+    let nlines = List.length lines in
+    flush_func ~line:nlines;
+    let main =
+      match !main with
+      | Some m -> m
+      | None -> fail nlines "missing program header"
+    in
+    let program =
+      Program.create ~funcs:(List.rev !funcs_rev) ~main ~data:(List.rev !data)
+    in
+    (match Validate.check program with
+     | Ok () -> Ok program
+     | Error (e :: _) ->
+       Error
+         { line = 0;
+           message = Format.asprintf "%a" Validate.pp_error e }
+     | Error [] -> Ok program)
+  with Parse_error e -> Error e
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  parse contents
+
+let print_program fmt (p : Program.t) =
+  Format.fprintf fmt "program (main = %s)@.@." p.Program.main;
+  List.iter
+    (fun (addr, v) -> Format.fprintf fmt "data %d = %d@." addr v)
+    p.Program.data;
+  if p.Program.data <> [] then Format.pp_print_newline fmt ();
+  List.iter
+    (fun f -> Format.fprintf fmt "%a@.@." Func.pp f)
+    p.Program.funcs
+
+let to_string p = Format.asprintf "%a" print_program p

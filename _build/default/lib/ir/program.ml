@@ -1,0 +1,26 @@
+type t = {
+  funcs : Func.t list;
+  main : string;
+  data : (int * int) list;
+}
+
+let create ~funcs ~main ~data = { funcs; main; data }
+
+let find_func t name =
+  match List.find_opt (fun f -> String.equal (Func.name f) name) t.funcs with
+  | Some f -> f
+  | None -> raise Not_found
+
+let mem_func t name =
+  List.exists (fun f -> String.equal (Func.name f) name) t.funcs
+
+let instr_count t =
+  List.fold_left (fun acc f -> acc + Func.instr_count f) 0 t.funcs
+
+let store_count t =
+  List.fold_left (fun acc f -> acc + Func.store_count f) 0 t.funcs
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>program (main = %s)" t.main;
+  List.iter (fun f -> Format.fprintf fmt "@,@,%a" Func.pp f) t.funcs;
+  Format.fprintf fmt "@]"

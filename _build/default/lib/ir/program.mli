@@ -1,0 +1,20 @@
+(** Whole programs: functions plus initial data-segment contents.
+
+    Code is position-independent at the IR level; the runtime loader
+    assigns integer code addresses to blocks (used for return addresses
+    pushed on the in-memory stack and for checkpointed resume PCs). *)
+
+type t = {
+  funcs : Func.t list;
+  main : string;
+  data : (int * int) list;  (** initial [addr, value] words *)
+}
+
+val create : funcs:Func.t list -> main:string -> data:(int * int) list -> t
+val find_func : t -> string -> Func.t
+(** Raises [Not_found]. *)
+
+val mem_func : t -> string -> bool
+val instr_count : t -> int
+val store_count : t -> int
+val pp : Format.formatter -> t -> unit

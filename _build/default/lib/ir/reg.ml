@@ -1,0 +1,17 @@
+type t = int
+
+let count = 32
+
+let of_int i =
+  if i < 0 || i >= count then invalid_arg "Reg.of_int: out of range" else i
+
+let to_int r = r
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt r = Format.fprintf fmt "r%d" r
+let to_string r = "r" ^ string_of_int r
+let all = List.init count (fun i -> i)
+let sp = count - 1
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

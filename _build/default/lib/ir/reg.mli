@@ -1,0 +1,29 @@
+(** Architectural registers.
+
+    The IR models a fixed file of 32 integer registers, mirroring an
+    ARMv8-like ISA. The Capri compiler checkpoints architectural registers
+    into a fixed NVM array indexed by register number (Section 4.2), which
+    is only possible because this set is statically bounded. *)
+
+type t = private int
+
+val count : int
+(** Number of architectural registers (32). *)
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside [\[0, count)]. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val all : t list
+(** All registers, in index order. *)
+
+val sp : t
+(** Stack-pointer register (r31), implicitly updated by call/return. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,59 @@
+type error = { func : string; block : Label.t option; message : string }
+
+let pp_error fmt e =
+  match e.block with
+  | Some b ->
+    Format.fprintf fmt "%s/%a: %s" e.func Label.pp b e.message
+  | None -> Format.fprintf fmt "%s: %s" e.func e.message
+
+let check program =
+  let errors = ref [] in
+  let err ~func ?block message = errors := { func; block; message } :: !errors in
+  if not (Program.mem_func program program.Program.main) then
+    err ~func:program.Program.main "main function not defined";
+  let check_func f =
+    let fname = Func.name f in
+    let check_label b l what =
+      if not (Func.mem f l) then
+        err ~func:fname ~block:b
+          (Printf.sprintf "%s target %s undefined" what (Label.to_string l))
+    in
+    let check_instr b (i : Instr.t) =
+      match i with
+      | Ckpt { slot; _ } | Ckpt_load { slot; _ } ->
+        if slot < 0 || slot >= Reg.count then
+          err ~func:fname ~block:b
+            (Printf.sprintf "checkpoint slot %d out of range" slot)
+      | Binop _ | Mov _ | Load _ | Store _ | Atomic_rmw _ | Fence | Out _
+      | Boundary _ ->
+        ()
+    in
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter (check_instr b.label) b.instrs;
+        (match b.term with
+         | Jump l -> check_label b.label l "jump"
+         | Branch { if_true; if_false; _ } ->
+           check_label b.label if_true "branch";
+           check_label b.label if_false "branch"
+         | Call { callee; ret_to } ->
+           if not (Program.mem_func program callee) then
+             err ~func:fname ~block:b.label
+               (Printf.sprintf "call target %s undefined" callee);
+           check_label b.label ret_to "call return"
+         | Ret | Halt -> ()))
+      (Func.blocks f)
+  in
+  List.iter check_func program.Program.funcs;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn program =
+  match check program with
+  | Ok () -> ()
+  | Error es ->
+    let buf = Buffer.create 256 in
+    let fmt = Format.formatter_of_buffer buf in
+    Format.fprintf fmt "invalid program:@.";
+    List.iter (fun e -> Format.fprintf fmt "  %a@." pp_error e) es;
+    Format.pp_print_flush fmt ();
+    invalid_arg (Buffer.contents buf)

@@ -1,0 +1,15 @@
+(** Structural validation of programs. Run by tests after every compiler
+    pass: a pass that leaves a dangling label or an out-of-range checkpoint
+    slot is caught here rather than deep inside a simulation. *)
+
+type error = { func : string; block : Label.t option; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Program.t -> (unit, error list) result
+(** Verifies: every jump/branch/call-return label resolves within its
+    function; every call target is a defined function; checkpoint slots lie
+    in [\[0, Reg.count)]; the main function exists. *)
+
+val check_exn : Program.t -> unit
+(** Raises [Invalid_argument] with a rendered report on failure. *)

@@ -1,0 +1,1 @@
+lib/runtime/code.ml: Block Capri_ir Func Hashtbl Label List Program

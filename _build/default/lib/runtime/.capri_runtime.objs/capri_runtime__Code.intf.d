@@ -1,0 +1,1 @@
+lib/runtime/code.mli: Capri_ir Label Program

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Block Capri_arch Capri_compiler Capri_ir Code Func Hashtbl Instr Label Layout List Option Printf Program Reg String Trace

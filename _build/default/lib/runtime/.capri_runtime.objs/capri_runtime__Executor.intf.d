@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Capri_arch Capri_compiler Capri_ir Hashtbl Program Reg Trace

@@ -1,0 +1,1 @@
+lib/runtime/recovery.ml: Array Block Capri_arch Capri_compiler Capri_ir Executor Func Instr List Reg

@@ -1,0 +1,1 @@
+lib/runtime/recovery.mli: Capri_arch Capri_compiler Executor

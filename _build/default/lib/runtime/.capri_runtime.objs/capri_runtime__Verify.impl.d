@@ -1,0 +1,1 @@
+lib/runtime/verify.ml: Array Capri_arch Capri_compiler Executor List Printf Recovery String

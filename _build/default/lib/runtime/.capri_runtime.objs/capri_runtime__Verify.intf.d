@@ -1,0 +1,1 @@
+lib/runtime/verify.mli: Capri_arch Capri_compiler Executor

@@ -1,0 +1,32 @@
+open Capri_ir
+
+type t = {
+  by_key : (string * string, int) Hashtbl.t;
+  by_addr : (int, string * Label.t) Hashtbl.t;
+}
+
+(* Code addresses start high so they are recognizable in dumps and cannot
+   collide with small data values in tests. *)
+let code_base = 0x4000_0000
+
+let build (program : Program.t) =
+  let t = { by_key = Hashtbl.create 256; by_addr = Hashtbl.create 256 } in
+  let next = ref code_base in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (b : Block.t) ->
+          let addr = !next in
+          incr next;
+          Hashtbl.replace t.by_key
+            (Func.name f, Label.to_string b.Block.label)
+            addr;
+          Hashtbl.replace t.by_addr addr (Func.name f, b.Block.label))
+        (Func.blocks f))
+    program.Program.funcs;
+  t
+
+let addr_of t ~func label =
+  Hashtbl.find t.by_key (func, Label.to_string label)
+
+let target_of t addr = Hashtbl.find t.by_addr addr

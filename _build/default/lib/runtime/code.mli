@@ -1,0 +1,12 @@
+(** Code addressing: every basic block gets an integer code address, used
+    for return addresses pushed on the in-memory stack and decoded again by
+    [Ret]. *)
+
+open Capri_ir
+
+type t
+
+val build : Program.t -> t
+val addr_of : t -> func:string -> Label.t -> int
+val target_of : t -> int -> string * Label.t
+(** Raises [Not_found] for addresses that are not block entries. *)

@@ -1,0 +1,611 @@
+open Capri_ir
+module Arch = Capri_arch
+module Memory = Arch.Memory
+module Hierarchy = Arch.Hierarchy
+module Persist = Arch.Persist
+module Config = Arch.Config
+
+type thread_spec = { func : string; args : (Reg.t * int) list }
+
+let main_thread (p : Program.t) = { func = p.Program.main; args = [] }
+
+type region_stats = {
+  regions_executed : int;
+  total_instrs : int;
+  total_stores : int;
+  max_stores_in_region : int;
+}
+
+type boundary_profile = {
+  mutable instances : int;
+  mutable p_instrs : int;
+  mutable p_stores : int;
+  mutable p_max_stores : int;
+}
+
+type result = {
+  cycles : int;
+  instrs : int;
+  payload_instrs : int;
+  stores : int;
+  ckpt_stores : int;
+  boundaries : int;
+  region_stats : region_stats;
+  profile : (int, boundary_profile) Hashtbl.t;
+      (* per boundary id: dynamic instance counts (profile-guided
+         region formation consumes this) *)
+  outputs : int list array;
+  memory : Arch.Memory.t;
+  final_regs : int array array;
+  persist_stats : Arch.Persist.stats;
+  hier_stats : Arch.Hierarchy.stats;
+  stale_reads : int;
+}
+
+type crash = {
+  image : Arch.Persist.image;
+  at_instr : int;
+  at_cycle : int;
+  outputs_before : int list array;
+}
+
+type outcome = Finished of result | Crashed of crash
+
+type thread = {
+  core : int;
+  regs : int array;
+  mutable tfunc : Func.t;
+  mutable block : Instr.t array;
+  mutable term : Instr.terminator;
+  mutable index : int;
+  mutable cycle : int;
+  mutable halted : bool;
+  mutable outputs : int list;  (* reversed *)
+  (* dynamic region accounting *)
+  mutable cur_region_instrs : int;
+  mutable cur_region_stores : int;
+  mutable cur_region_id : int;
+  mutable in_region : bool;
+}
+
+type session = {
+  config : Config.t;
+  journal_io : bool;
+  trace : Trace.t option;
+  program : Program.t;
+  code : Code.t;
+  memory : Memory.t;
+  hier : Hierarchy.t;
+  persist : Persist.t;
+  threads : thread array;
+  check_threshold : int option;
+  mutable instr_count : int;
+  mutable payload_count : int;
+  mutable store_count : int;
+  mutable ckpt_count : int;
+  mutable boundary_count : int;
+  mutable stale_reads : int;
+  rstats : region_stats ref;
+  profile : (int, boundary_profile) Hashtbl.t;
+}
+
+let block_cache : (string * string, Instr.t array * Instr.terminator) Hashtbl.t =
+  Hashtbl.create 1024
+
+let fetch_block program fname label =
+  let key = (fname, Label.to_string label) in
+  match Hashtbl.find_opt block_cache key with
+  | Some (instrs, term) -> (instrs, term)
+  | None ->
+    let f = Program.find_func program fname in
+    let b = Func.find f label in
+    let v = (Array.of_list b.Block.instrs, b.Block.term) in
+    Hashtbl.replace block_cache key v;
+    v
+
+(* The cache is keyed on function/label names only, so distinct program
+   objects (e.g. several compilations of one source) must not share it. *)
+let reset_block_cache () = Hashtbl.reset block_cache
+
+let make_thread program code core (spec : thread_spec) =
+  ignore code;
+  let f = Program.find_func program spec.func in
+  let instrs, term = fetch_block program spec.func (Func.entry f) in
+  let regs = Array.make Reg.count 0 in
+  regs.(Reg.to_int Reg.sp) <- Layout.stack_top ~core;
+  List.iter (fun (r, v) -> regs.(Reg.to_int r) <- v) spec.args;
+  {
+    core;
+    regs;
+    tfunc = f;
+    block = instrs;
+    term;
+    index = 0;
+    cycle = 0;
+    halted = false;
+    outputs = [];
+    cur_region_instrs = 0;
+    cur_region_stores = 0;
+    cur_region_id = -1;
+    in_region = false;
+  }
+
+let fresh_region_stats () =
+  ref
+    {
+      regions_executed = 0;
+      total_instrs = 0;
+      total_stores = 0;
+      max_stores_in_region = 0;
+    }
+
+let load_data program memory =
+  List.iter (fun (addr, v) -> Memory.write memory addr v)
+    program.Program.data
+
+let entry_boundary_id program fname =
+  let f = Program.find_func program fname in
+  let b = Func.find f (Func.entry f) in
+  match b.Block.instrs with
+  | Instr.Boundary { id } :: _ -> Some id
+  | _ :: _ | [] -> None
+
+let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
+    ?(journal_io = false) ?trace ?check_threshold ~program ~threads () =
+  reset_block_cache ();
+  let config = { config with Config.cores = max 1 (List.length threads) } in
+  let memory = Memory.create () in
+  load_data program memory;
+  let persist = Persist.create config ~mode in
+  let hier =
+    Hierarchy.create config memory
+      ~on_nvm_writeback:(fun ~cycle ~line ~data ~version ->
+        Persist.on_writeback persist ~cycle ~line ~data ~version)
+  in
+  let code = Code.build program in
+  (* Seed NVM with the initial image: the data segment is durable before
+     execution starts (the loader wrote it). *)
+  Memory.iter_lines memory (fun l data ->
+      Persist.on_writeback persist ~cycle:0 ~line:l
+        ~data:(Array.copy data) ~version:0);
+  let threads =
+    Array.of_list
+      (List.mapi (fun i spec -> make_thread program code i spec) threads)
+  in
+  (* The loader also durably records each thread's initial context, so a
+     crash inside the very first region restores the right arguments. *)
+  Array.iteri
+    (fun i th ->
+      Persist.init_slots persist ~core:i ~slots:th.regs
+        ~resume_boundary:(entry_boundary_id program (Func.name th.tfunc))
+        ~sp:th.regs.(Reg.to_int Reg.sp))
+    threads;
+  {
+    config;
+    journal_io;
+    trace;
+    program;
+    code;
+    memory;
+    hier;
+    persist;
+    threads;
+    check_threshold;
+    instr_count = 0;
+    payload_count = 0;
+    store_count = 0;
+    ckpt_count = 0;
+    boundary_count = 0;
+    stale_reads = 0;
+    rstats = fresh_region_stats ();
+    profile = Hashtbl.create 64;
+  }
+
+let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
+    ?(journal_io = false) ?trace ?check_threshold
+    ~(compiled : Capri_compiler.Compiled.t) ~(image : Persist.image)
+    ~threads () =
+  reset_block_cache ();
+  let program = compiled.Capri_compiler.Compiled.program in
+  let config = { config with Config.cores = max 1 (List.length threads) } in
+  let memory = Memory.copy image.Persist.nvm in
+  let persist = Persist.create config ~mode in
+  let hier =
+    Hierarchy.create config memory
+      ~on_nvm_writeback:(fun ~cycle ~line ~data ~version ->
+        Persist.on_writeback persist ~cycle ~line ~data ~version)
+  in
+  (* NVM of the new engine = the recovered image. *)
+  Memory.iter_lines memory (fun l data ->
+      Persist.on_writeback persist ~cycle:0 ~line:l ~data:(Array.copy data)
+        ~version:0);
+  let code = Code.build program in
+  let regions = compiled.Capri_compiler.Compiled.regions in
+  let specs = Array.of_list threads in
+  let threads =
+    Array.of_list
+      (List.mapi
+         (fun i (spec : thread_spec) ->
+           let th = make_thread program code i spec in
+           (match image.Persist.resume.(i) with
+            | Persist.Done -> th.halted <- true
+            | Persist.Never_started -> ()
+            | Persist.Resume { boundary; sp } ->
+              let region = Capri_compiler.Region_map.find regions boundary in
+              let head = region.Capri_compiler.Region_map.head in
+              let fname = region.Capri_compiler.Region_map.func in
+              Array.blit image.Persist.slots.(i) 0 th.regs 0 Reg.count;
+              th.regs.(Reg.to_int Reg.sp) <- sp;
+              th.tfunc <- Program.find_func program fname;
+              let instrs, term = fetch_block program fname head in
+              th.block <- instrs;
+              th.term <- term;
+              th.index <- 0);
+           th)
+         (Array.to_list specs))
+  in
+  (* Seed the fresh engine's durable per-core records from the image (or
+     from scratch for threads that never reached their first boundary). *)
+  Array.iteri
+    (fun i th ->
+      (match image.Persist.resume.(i) with
+       | Persist.Never_started ->
+         Persist.init_slots persist ~core:i ~slots:th.regs
+           ~resume_boundary:(entry_boundary_id program specs.(i).func)
+           ~sp:th.regs.(Reg.to_int Reg.sp)
+       | Persist.Done ->
+         Persist.seed_core persist ~core:i ~slots:image.Persist.slots.(i)
+           ~resume:Persist.Done
+       | Persist.Resume { boundary; sp } ->
+         Persist.seed_core persist ~core:i ~slots:image.Persist.slots.(i)
+           ~resume:(Persist.Resume { boundary; sp }));
+      if journal_io then
+        Persist.seed_journal persist ~core:i ~outs:image.Persist.journal.(i))
+    threads;
+  {
+    config;
+    journal_io;
+    trace;
+    program;
+    code;
+    memory;
+    hier;
+    persist;
+    threads;
+    check_threshold;
+    instr_count = 0;
+    payload_count = 0;
+    store_count = 0;
+    ckpt_count = 0;
+    boundary_count = 0;
+    stale_reads = 0;
+    rstats = fresh_region_stats ();
+    profile = Hashtbl.create 64;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stepping.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let operand_value (th : thread) = function
+  | Instr.Reg r -> th.regs.(Reg.to_int r)
+  | Instr.Imm i -> i
+
+(* Cross-core conflict fence: the store must wait (without executing)
+   until the other core's conflicting region commits. The thread retries
+   the same instruction after a short delay, letting other threads
+   progress. *)
+exception Retry_conflict
+
+let conflict_retry_cycles = 24
+
+let word_bit addr =
+  let o = addr mod 8 in
+  1 lsl (if o < 0 then o + 8 else o)
+
+let fence_store s (th : thread) addr =
+  if
+    Persist.store_conflict s.persist ~core:th.core ~cycle:th.cycle
+      ~line:(Memory.line_of_addr addr) ~mask:(word_bit addr)
+  then raise Retry_conflict
+
+let close_dyn_region s (th : thread) ~next_id =
+  if th.in_region then begin
+    (match s.check_threshold with
+     | Some limit when th.cur_region_stores > limit ->
+       failwith
+         (Printf.sprintf
+            "region store threshold violated: %d > %d (core %d)"
+            th.cur_region_stores limit th.core)
+     | Some _ | None -> ());
+    let r = !(s.rstats) in
+    s.rstats :=
+      {
+        regions_executed = r.regions_executed + 1;
+        total_instrs = r.total_instrs + th.cur_region_instrs;
+        total_stores = r.total_stores + th.cur_region_stores;
+        max_stores_in_region = max r.max_stores_in_region th.cur_region_stores;
+      };
+    let bp =
+      match Hashtbl.find_opt s.profile th.cur_region_id with
+      | Some bp -> bp
+      | None ->
+        let bp =
+          { instances = 0; p_instrs = 0; p_stores = 0; p_max_stores = 0 }
+        in
+        Hashtbl.replace s.profile th.cur_region_id bp;
+        bp
+    in
+    bp.instances <- bp.instances + 1;
+    bp.p_instrs <- bp.p_instrs + th.cur_region_instrs;
+    bp.p_stores <- bp.p_stores + th.cur_region_stores;
+    bp.p_max_stores <- max bp.p_max_stores th.cur_region_stores
+  end;
+  th.cur_region_instrs <- 0;
+  th.cur_region_stores <- 0;
+  th.cur_region_id <- next_id;
+  th.in_region <- true
+
+(* One architectural store: functional update, undo/redo capture, cache
+   timing, phase-1 proxy entry. Returns the cycle cost. *)
+let do_store s (th : thread) addr value =
+  let line = Memory.line_of_addr addr in
+  let undo = Memory.line_snapshot s.memory line in
+  Memory.write s.memory addr value;
+  let redo = Memory.line_snapshot s.memory line in
+  let version = Memory.line_version s.memory line in
+  let level = Hierarchy.store s.hier ~core:th.core ~cycle:th.cycle ~addr in
+  let miss_cost =
+    match level with
+    | Hierarchy.L1 -> 0
+    | (Hierarchy.L2 | Hierarchy.Dram | Hierarchy.Nvm) as l ->
+      Hierarchy.latency s.config l / s.config.Config.store_miss_div
+  in
+  let stall =
+    Persist.on_store s.persist ~core:th.core ~cycle:th.cycle ~line
+      ~mask:(word_bit addr) ~undo ~redo ~version
+  in
+  s.store_count <- s.store_count + 1;
+  th.cur_region_stores <- th.cur_region_stores + 1;
+  1 + miss_cost + stall
+
+let do_load s (th : thread) addr =
+  let value = Memory.read s.memory addr in
+  let level = Hierarchy.load s.hier ~core:th.core ~cycle:th.cycle ~addr in
+  (match level with
+   | Hierarchy.Nvm ->
+     (* Stale-read oracle: an NVM-level load must observe the latest data
+        (Section 5.3); mismatches are counted (and would be real bugs in
+        modes without prevention). *)
+     let line = Memory.line_of_addr addr in
+     let durable = Persist.nvm_line s.persist line in
+     let current = Memory.line_snapshot s.memory line in
+     if durable <> current then s.stale_reads <- s.stale_reads + 1
+   | Hierarchy.L1 | Hierarchy.L2 | Hierarchy.Dram -> ());
+  let cost =
+    1
+    + (Hierarchy.latency s.config level / s.config.Config.load_shadow_div)
+    + Persist.load_extra_latency s.persist level
+  in
+  (value, cost)
+
+let goto s (th : thread) fname label =
+  if not (String.equal fname (Func.name th.tfunc)) then
+    th.tfunc <- Program.find_func s.program fname;
+  let instrs, term = fetch_block s.program fname label in
+  th.block <- instrs;
+  th.term <- term;
+  th.index <- 0
+
+let exec_instr s (th : thread) (i : Instr.t) =
+  s.payload_count <- s.payload_count + 1;
+  match i with
+  | Instr.Binop { op; dst; a; b } ->
+    th.regs.(Reg.to_int dst) <-
+      Instr.eval_binop op (operand_value th a) (operand_value th b);
+    1
+  | Instr.Mov { dst; src } ->
+    th.regs.(Reg.to_int dst) <- operand_value th src;
+    1
+  | Instr.Load { dst; base; offset } ->
+    let addr = th.regs.(Reg.to_int base) + offset in
+    let value, cost = do_load s th addr in
+    th.regs.(Reg.to_int dst) <- value;
+    cost
+  | Instr.Store { base; offset; src } ->
+    let addr = th.regs.(Reg.to_int base) + offset in
+    fence_store s th addr;
+    do_store s th addr (operand_value th src)
+  | Instr.Atomic_rmw { op; dst; base; offset; src } ->
+    let addr = th.regs.(Reg.to_int base) + offset in
+    fence_store s th addr;
+    let old_value, load_cost = do_load s th addr in
+    let new_value = Instr.eval_binop op old_value (operand_value th src) in
+    let store_cost = do_store s th addr new_value in
+    th.regs.(Reg.to_int dst) <- old_value;
+    load_cost + store_cost
+  | Instr.Fence -> 1
+  | Instr.Out src ->
+    let value = operand_value th src in
+    if s.journal_io && Persist.mode s.persist <> Persist.Volatile then
+      Persist.on_out s.persist ~core:th.core ~value
+    else th.outputs <- value :: th.outputs;
+    1
+  | Instr.Boundary { id } ->
+    s.payload_count <- s.payload_count - 1;
+    s.boundary_count <- s.boundary_count + 1;
+    (match s.trace with
+     | Some tr ->
+       Trace.record tr
+         (Trace.Boundary
+            { core = th.core; boundary = id; cycle = th.cycle;
+              stores = th.cur_region_stores })
+     | None -> ());
+    close_dyn_region s th ~next_id:id;
+    let stall =
+      Persist.on_boundary s.persist ~core:th.core ~cycle:th.cycle ~boundary:id
+        ~sp:th.regs.(Reg.to_int Reg.sp)
+    in
+    1 + stall
+  | Instr.Ckpt { reg; slot } ->
+    s.payload_count <- s.payload_count - 1;
+    s.ckpt_count <- s.ckpt_count + 1;
+    th.cur_region_stores <- th.cur_region_stores + 1;
+    Persist.on_ckpt s.persist ~core:th.core ~slot
+      ~value:th.regs.(Reg.to_int reg);
+    1
+  | Instr.Ckpt_load _ ->
+    failwith "Executor: Ckpt_load outside a recovery block"
+
+let exec_term s (th : thread) =
+  let fname = Func.name th.tfunc in
+  match th.term with
+  | Instr.Jump l ->
+    goto s th fname l;
+    1
+  | Instr.Branch { cond; if_true; if_false } ->
+    let taken = operand_value th cond <> 0 in
+    goto s th fname (if taken then if_true else if_false);
+    1
+  | Instr.Call { callee; ret_to } ->
+    fence_store s th (th.regs.(Reg.to_int Reg.sp) - 1);
+    let sp = th.regs.(Reg.to_int Reg.sp) - 1 in
+    th.regs.(Reg.to_int Reg.sp) <- sp;
+    let ret_addr = Code.addr_of s.code ~func:fname ret_to in
+    let cost = do_store s th sp ret_addr in
+    goto s th callee (Func.entry (Program.find_func s.program callee));
+    1 + cost
+  | Instr.Ret ->
+    let sp = th.regs.(Reg.to_int Reg.sp) in
+    let ret_addr, cost = do_load s th sp in
+    th.regs.(Reg.to_int Reg.sp) <- sp + 1;
+    let tfname, label = Code.target_of s.code ret_addr in
+    goto s th tfname label;
+    1 + cost
+  | Instr.Halt ->
+    (match s.trace with
+     | Some tr ->
+       Trace.record tr (Trace.Halted { core = th.core; cycle = th.cycle })
+     | None -> ());
+    close_dyn_region s th ~next_id:(-1);
+    th.in_region <- false;
+    let stall = Persist.on_halt s.persist ~core:th.core ~cycle:th.cycle in
+    th.halted <- true;
+    1 + stall
+
+let step s (th : thread) =
+  s.instr_count <- s.instr_count + 1;
+  th.cur_region_instrs <- th.cur_region_instrs + 1;
+  let cost =
+    if th.index < Array.length th.block then begin
+      let i = th.block.(th.index) in
+      th.index <- th.index + 1;
+      try exec_instr s th i
+      with Retry_conflict ->
+        (* Undo the fetch: the instruction re-executes once the other
+           core's conflicting region has committed. *)
+        th.index <- th.index - 1;
+        s.instr_count <- s.instr_count - 1;
+        th.cur_region_instrs <- th.cur_region_instrs - 1;
+        s.payload_count <- s.payload_count - 1;
+        conflict_retry_cycles
+    end
+    else
+      try exec_term s th
+      with Retry_conflict ->
+        s.instr_count <- s.instr_count - 1;
+        th.cur_region_instrs <- th.cur_region_instrs - 1;
+        conflict_retry_cycles
+  in
+  th.cycle <- th.cycle + cost
+
+let finish s =
+  let cycles = Array.fold_left (fun acc th -> max acc th.cycle) 0 s.threads in
+  let outputs =
+    if s.journal_io && Persist.mode s.persist <> Persist.Volatile then begin
+      (* The final regions' commits drain in the background; pull the
+         clock far enough forward to read the complete journal. *)
+      Persist.advance s.persist ~cycle:(cycles + 1_000_000);
+      Array.map (fun th -> Persist.journal s.persist ~core:th.core) s.threads
+    end
+    else Array.map (fun th -> List.rev th.outputs) s.threads
+  in
+  Finished
+    {
+      cycles;
+      instrs = s.instr_count;
+      payload_instrs = s.payload_count;
+      stores = s.store_count;
+      ckpt_stores = s.ckpt_count;
+      boundaries = s.boundary_count;
+      region_stats = !(s.rstats);
+      profile = s.profile;
+      outputs;
+      memory = s.memory;
+      final_regs = Array.map (fun th -> Array.copy th.regs) s.threads;
+      persist_stats = Persist.stats s.persist;
+      hier_stats = Hierarchy.stats s.hier;
+      stale_reads = s.stale_reads;
+    }
+
+let run ?crash_at_instr ?(max_steps = 100_000_000) s =
+  let steps = ref 0 in
+  let crashed = ref None in
+  let rec loop () =
+    (* Earliest-cycle runnable thread. *)
+    let next =
+      Array.fold_left
+        (fun acc th ->
+          if th.halted then acc
+          else
+            match acc with
+            | Some best when best.cycle <= th.cycle -> acc
+            | Some _ | None -> Some th)
+        None s.threads
+    in
+    match next with
+    | None -> ()
+    | Some th ->
+      (match crash_at_instr with
+       | Some n when s.instr_count >= n ->
+         (match s.trace with
+          | Some tr -> Trace.record tr (Trace.Crashed { cycle = th.cycle })
+          | None -> ());
+         let image = Persist.crash_recover s.persist ~cycle:th.cycle in
+         Hierarchy.drop_all s.hier;
+         crashed :=
+           Some
+             {
+               image;
+               at_instr = s.instr_count;
+               at_cycle = th.cycle;
+               outputs_before =
+                 Array.map (fun th -> List.rev th.outputs) s.threads;
+             }
+       | Some _ | None ->
+         incr steps;
+         if !steps > max_steps then
+           failwith "Executor.run: step budget exceeded (livelock?)";
+         step s th;
+         loop ())
+  in
+  loop ();
+  match !crashed with Some c -> Crashed c | None -> finish s
+
+let positions s =
+  Array.map
+    (fun th ->
+      (* The label is not stored; recover it by matching the block arrays
+         of the current function. *)
+      let label =
+        List.find_map
+          (fun (b : Block.t) ->
+            let instrs, term = fetch_block s.program (Func.name th.tfunc) b.Block.label in
+            if instrs == th.block && term == th.term then
+              Some (Label.to_string b.Block.label)
+            else None)
+          (Func.blocks th.tfunc)
+        |> Option.value ~default:"?"
+      in
+      (Func.name th.tfunc, label, th.index, th.cycle))
+    s.threads

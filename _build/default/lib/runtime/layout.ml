@@ -1,0 +1,5 @@
+let stack_words_per_core = 4096
+
+let stack_top ~core =
+  (* Highest stack sits just under the data segment. *)
+  Capri_ir.Builder.data_base - (core * stack_words_per_core)

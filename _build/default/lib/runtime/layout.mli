@@ -1,0 +1,11 @@
+(** Address-space layout of the simulated machine (word addresses).
+
+    Stacks sit below the data segment, one per core, growing downward;
+    {!Capri_ir.Builder.alloc} hands out data addresses from
+    [Builder.data_base] upward. The checkpoint slot arrays and per-core
+    resume records are dedicated NVM structures owned by {!Capri_arch.Persist}
+    and are not part of the word address space. *)
+
+val stack_words_per_core : int
+val stack_top : core:int -> int
+(** Initial stack pointer for a core (exclusive top; pushes pre-decrement). *)

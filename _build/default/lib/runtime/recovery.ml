@@ -1,0 +1,63 @@
+open Capri_ir
+module Arch = Capri_arch
+module Compiled = Capri_compiler.Compiled
+module Prune = Capri_compiler.Prune
+
+(* Recovery blocks are pure mini-CFGs over Binop/Mov/Ckpt_load with
+   Jump/Branch control and Halt exits; interpret one against a slot
+   array. *)
+let run_recovery_block (slots : int array) (recovery : Prune.recovery) =
+  let code = recovery.Prune.code in
+  let regs = Array.make Reg.count 0 in
+  let operand = function
+    | Instr.Reg r -> regs.(Reg.to_int r)
+    | Instr.Imm i -> i
+  in
+  let steps = ref 0 in
+  let rec exec_block label =
+    incr steps;
+    if !steps > 1_000_000 then
+      failwith "Recovery: recovery block does not terminate";
+    let b = Func.find code label in
+    List.iter
+      (fun (i : Instr.t) ->
+        match i with
+        | Instr.Binop { op; dst; a; b } ->
+          regs.(Reg.to_int dst) <- Instr.eval_binop op (operand a) (operand b)
+        | Instr.Mov { dst; src } -> regs.(Reg.to_int dst) <- operand src
+        | Instr.Ckpt_load { dst; slot } -> regs.(Reg.to_int dst) <- slots.(slot)
+        | Instr.Load _ | Instr.Store _ | Instr.Atomic_rmw _ | Instr.Fence
+        | Instr.Out _ | Instr.Boundary _ | Instr.Ckpt _ ->
+          failwith "Recovery: impure instruction in recovery block")
+      b.Block.instrs;
+    match b.Block.term with
+    | Instr.Jump l -> exec_block l
+    | Instr.Branch { cond; if_true; if_false } ->
+      exec_block (if operand cond <> 0 then if_true else if_false)
+    | Instr.Halt -> ()
+    | Instr.Call _ | Instr.Ret ->
+      failwith "Recovery: call in recovery block"
+  in
+  exec_block (Func.entry code);
+  slots.(Reg.to_int recovery.Prune.target) <-
+    regs.(Reg.to_int recovery.Prune.target)
+
+let apply_recovery_blocks (compiled : Compiled.t) (image : Arch.Persist.image) =
+  let ran = ref 0 in
+  Array.iteri
+    (fun core resume ->
+      match (resume : Arch.Persist.resume) with
+      | Arch.Persist.Resume { boundary; _ } ->
+        List.iter
+          (fun recovery ->
+            run_recovery_block image.Arch.Persist.slots.(core) recovery;
+            incr ran)
+          (Compiled.find_recovery compiled ~boundary)
+      | Arch.Persist.Done | Arch.Persist.Never_started -> ())
+    image.Arch.Persist.resume;
+  !ran
+
+let resume_session ?config ?mode ?check_threshold ~compiled ~image ~threads ()
+    =
+  ignore (apply_recovery_blocks compiled image);
+  Executor.resume ?config ?mode ?check_threshold ~compiled ~image ~threads ()

@@ -1,0 +1,26 @@
+(** The crash-recovery protocol (Section 5.4), software side.
+
+    {!Capri_arch.Persist.crash_recover} already performed the architecture
+    side (redo committed regions, undo the interrupted one, drain the
+    battery-backed buffers). This module finishes the job the paper's
+    recovery threads do in software:
+
+    + execute the pruning pass's recovery blocks registered against each
+      core's resume boundary, rebuilding pruned checkpoint slots
+      (Section 4.4.1);
+    + hand back a resumable session whose threads sit at their interrupted
+      regions' boundaries with all architectural registers reloaded from
+      the slot arrays. *)
+
+module Arch = Capri_arch
+
+val apply_recovery_blocks :
+  Capri_compiler.Compiled.t -> Arch.Persist.image -> int
+(** Mutates the image's slot arrays in place; returns how many recovery
+    blocks ran. *)
+
+val resume_session :
+  ?config:Arch.Config.t -> ?mode:Arch.Persist.mode -> ?check_threshold:int ->
+  compiled:Capri_compiler.Compiled.t -> image:Arch.Persist.image ->
+  threads:Executor.thread_spec list -> unit -> Executor.session
+(** {!apply_recovery_blocks} followed by {!Executor.resume}. *)

@@ -1,0 +1,52 @@
+type event =
+  | Boundary of { core : int; boundary : int; cycle : int; stores : int }
+  | Halted of { core : int; cycle : int }
+  | Crashed of { cycle : int }
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t e =
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+
+let region_count t ~core =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Boundary b when b.core = core -> acc + 1
+      | Boundary _ | Halted _ | Crashed _ -> acc)
+    0 t.rev_events
+
+let render ?(max_rows = 64) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "cycle      core  event\n";
+  let rows = ref 0 in
+  let total = t.count in
+  List.iteri
+    (fun i e ->
+      let skip = total > max_rows && i >= max_rows / 2 && i < total - (max_rows / 2) in
+      if skip then begin
+        if i = max_rows / 2 then begin
+          Buffer.add_string buf
+            (Printf.sprintf "  ... %d events elided ...\n" (total - max_rows))
+        end
+      end
+      else begin
+        incr rows;
+        match e with
+        | Boundary { core; boundary; cycle; stores } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-10d %-5d boundary #%d (region closed with %d stores)\n"
+               cycle core boundary stores)
+        | Halted { core; cycle } ->
+          Buffer.add_string buf (Printf.sprintf "%-10d %-5d halt\n" cycle core)
+        | Crashed { cycle } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-10d ----- POWER FAILURE\n" cycle)
+      end)
+    (events t);
+  Buffer.contents buf

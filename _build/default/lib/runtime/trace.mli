@@ -1,0 +1,26 @@
+(** Region-event tracing: an optional, append-only record of boundary
+    crossings, crashes and halts, with a textual timeline renderer.
+    Useful for understanding how a program decomposes into dynamic
+    regions and where a crash landed (see `examples/region_explorer.ml`
+    and the CLI's `trace` output). *)
+
+type event =
+  | Boundary of { core : int; boundary : int; cycle : int; stores : int }
+      (** A region committed at this boundary; [stores] is the dynamic
+          store count (checkpoints included) of the region that just
+          ended. *)
+  | Halted of { core : int; cycle : int }
+  | Crashed of { cycle : int }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In recording order. *)
+
+val region_count : t -> core:int -> int
+
+val render : ?max_rows:int -> t -> string
+(** A per-core timeline table: one row per boundary crossing with cycle,
+    boundary id and the finished region's store count. *)

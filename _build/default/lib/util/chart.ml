@@ -1,0 +1,48 @@
+let bar_cells width max_value v =
+  if max_value <= 0.0 then 0
+  else
+    let n = int_of_float (Float.round (v /. max_value *. float_of_int width)) in
+    max 0 (min width n)
+
+let render_line buf ~label_width ~width ~max_value label value =
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s |%-*s| %.3f\n" label_width label width
+       (String.make (bar_cells width max_value value) '#')
+       value)
+
+let bar ?(width = 50) ?max_value ~title rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  let max_value =
+    match max_value with
+    | Some m -> m
+    | None -> List.fold_left (fun acc (_, v) -> max acc v) 0.0 rows
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  List.iter
+    (fun (label, v) -> render_line buf ~label_width ~width ~max_value label v)
+    rows;
+  Buffer.contents buf
+
+let grouped ?(width = 40) ~title ~series rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let max_value =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left max acc vs)
+      0.0 rows
+  in
+  let label_width =
+    List.fold_left (fun acc s -> max acc (String.length s)) 0 series
+  in
+  List.iter
+    (fun (group, values) ->
+      assert (List.length values = List.length series);
+      Buffer.add_string buf (Printf.sprintf "%s\n" group);
+      List.iter2
+        (fun s v -> render_line buf ~label_width ~width ~max_value s v)
+        series values)
+    rows;
+  Buffer.contents buf

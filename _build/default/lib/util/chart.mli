@@ -1,0 +1,17 @@
+(** Horizontal ASCII bar charts, used to render the paper's figures in the
+    benchmark output. Each series of a grouped chart gets its own bar line
+    under the same group label, mirroring the grouped-bar figures of the
+    paper. *)
+
+val bar :
+  ?width:int -> ?max_value:float -> title:string ->
+  (string * float) list -> string
+(** [bar ~title rows] renders one bar per [(label, value)]. Bars are scaled
+    to [max_value] (default: the maximum of the data) over [width] cells
+    (default 50). *)
+
+val grouped :
+  ?width:int -> title:string -> series:string list ->
+  (string * float list) list -> string
+(** [grouped ~title ~series rows] renders, for each [(group, values)] row,
+    one bar per series. [values] must have the same length as [series]. *)

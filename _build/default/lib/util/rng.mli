@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator and the workload generators
+    draws from an explicit [t] so that runs are reproducible bit-for-bit
+    from a seed, independently of global state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val split : t -> t
+(** [split t] draws from [t] and returns a new generator whose stream is
+    statistically independent from the remainder of [t]'s stream. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,52 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          assert (x > 0.0);
+          acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let min_max = function
+  | [] -> invalid_arg "Stat.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt var
+
+let percentile p = function
+  | [] -> invalid_arg "Stat.percentile: empty list"
+  | xs ->
+    let sorted = List.sort compare xs in
+    let n = List.length sorted in
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int n)) |> max 1 |> min n
+    in
+    List.nth sorted (rank - 1)
+
+module Acc = struct
+  type t = { mutable count : int; mutable total : float }
+
+  let create () = { count = 0; total = 0.0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then 0.0 else t.total /. float_of_int t.count
+end

@@ -1,0 +1,61 @@
+type row = Cells of string list | Sep
+
+type t = { header : string list; mutable rows : row list (* reversed *) }
+
+let create ~header = { header; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_sep t = t.rows <- Sep :: t.rows
+
+let fmt_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc -> function Cells cs -> max acc (List.length cs) | Sep -> acc)
+      (List.length t.header) rows
+  in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  measure t.header;
+  List.iter (function Cells cs -> measure cs | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad i c =
+    let w = widths.(i) in
+    let n = w - String.length c in
+    if i = 0 then c ^ String.make n ' ' else String.make n ' ' ^ c
+  in
+  let emit_cells cells =
+    let cells =
+      (* Right-pad short rows so every line has ncols cells. *)
+      cells @ List.init (ncols - List.length cells) (fun _ -> "")
+    in
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_sep ();
+  emit_cells t.header;
+  emit_sep ();
+  List.iter (function Cells cs -> emit_cells cs | Sep -> emit_sep ()) rows;
+  emit_sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,18 @@
+(** ASCII table rendering for the benchmark harness.
+
+    Columns are sized to their widest cell; the first column is
+    left-aligned, the rest right-aligned (matching how the paper's tables
+    read: a benchmark name followed by numeric columns). *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val add_sep : t -> unit
+(** Insert a horizontal separator before the next row. *)
+
+val render : t -> string
+val print : t -> unit
+
+val fmt_f : ?decimals:int -> float -> string
+(** Fixed-point float formatting, 2 decimals by default. *)

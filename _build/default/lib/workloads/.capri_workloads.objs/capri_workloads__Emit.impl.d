@@ -1,0 +1,1 @@
+lib/workloads/emit.ml: Builder Capri_ir Instr Reg

@@ -1,0 +1,1 @@
+lib/workloads/emit.mli: Builder Capri_ir Reg

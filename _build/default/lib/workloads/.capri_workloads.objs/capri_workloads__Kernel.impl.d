@@ -1,0 +1,1 @@
+lib/workloads/kernel.ml: Capri_ir Capri_runtime Program

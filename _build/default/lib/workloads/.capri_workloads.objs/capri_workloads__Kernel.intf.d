@@ -1,0 +1,1 @@
+lib/workloads/kernel.mli: Capri_ir Capri_runtime Program

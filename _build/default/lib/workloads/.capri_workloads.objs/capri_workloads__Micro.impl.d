@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Builder Capri_ir Capri_runtime Emit Instr Kernel Printf Reg

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Array Builder Capri_ir Capri_runtime Emit Instr Kernel Program Reg

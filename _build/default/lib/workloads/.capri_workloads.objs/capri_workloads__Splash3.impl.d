@@ -1,0 +1,1 @@
+lib/workloads/splash3.ml: Array Builder Capri_ir Capri_runtime Emit Instr Kernel List Reg

@@ -1,0 +1,1 @@
+lib/workloads/splash3.mli: Kernel

@@ -1,0 +1,1 @@
+lib/workloads/stamp.ml: Array Builder Capri_ir Capri_runtime Emit Instr Kernel Program Reg

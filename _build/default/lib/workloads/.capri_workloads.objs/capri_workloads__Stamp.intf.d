@@ -1,0 +1,1 @@
+lib/workloads/stamp.mli: Kernel

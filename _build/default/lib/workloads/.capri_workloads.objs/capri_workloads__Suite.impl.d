@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Kernel List Spec Splash3 Stamp String

@@ -1,0 +1,76 @@
+open Capri_ir
+
+let rg r = Builder.reg r
+let im i = Builder.imm i
+
+(* state <- (state * 1103515245 + 12345) mod 2^31 *)
+let lcg f ~state =
+  Builder.binop f Instr.Mul state (rg state) (im 1103515245);
+  Builder.add f state (rg state) (im 12345);
+  Builder.binop f Instr.And state (rg state) (im 0x7FFFFFFF)
+
+let lcg_bounded f ~state ~dst ~bound =
+  lcg f ~state;
+  Builder.binop f Instr.Rem dst (rg state) (im bound)
+
+(* Test-test-and-set: spin on plain loads (no proxy traffic, no
+   cross-core pending entries) and only attempt the atomic when the lock
+   reads free. *)
+let spin_lock f ~addr ~scratch =
+  let spin = Builder.block f "lock.spin" in
+  let try_ = Builder.block f "lock.try" in
+  let got = Builder.block f "lock.got" in
+  Builder.jump f spin;
+  Builder.switch f spin;
+  Builder.load f scratch ~base:addr ();
+  Builder.binop f Instr.Eq scratch (rg scratch) (im 0);
+  Builder.branch f (rg scratch) try_ spin;
+  Builder.switch f try_;
+  Builder.atomic_rmw f Instr.Or scratch ~base:addr (im 1);
+  Builder.binop f Instr.Eq scratch (rg scratch) (im 0);
+  Builder.branch f (rg scratch) got spin;
+  Builder.switch f got
+
+let spin_unlock f ~addr =
+  Builder.fence f;
+  Builder.store f ~base:addr (im 0)
+
+let barrier f ~base ~nthreads ~s1 ~s2 =
+  (* s1 <- my generation; bump the arrival count; the last arrival resets
+     the count and publishes the next generation, everyone else spins. *)
+  let wait = Builder.block f "bar.wait" in
+  let last = Builder.block f "bar.last" in
+  let done_ = Builder.block f "bar.done" in
+  Builder.load f s1 ~base ~off:1 ();
+  Builder.atomic_rmw f Instr.Add s2 ~base (im 1);
+  Builder.binop f Instr.Eq s2 (rg s2) (im (nthreads - 1));
+  Builder.branch f (rg s2) last wait;
+  Builder.switch f last;
+  Builder.store f ~base (im 0);
+  Builder.add f s2 (rg s1) (im 1);
+  Builder.fence f;
+  Builder.store f ~base ~off:1 (rg s2);
+  Builder.jump f done_;
+  Builder.switch f wait;
+  Builder.load f s2 ~base ~off:1 ();
+  Builder.binop f Instr.Eq s2 (rg s2) (rg s1);
+  Builder.branch f (rg s2) wait done_;
+  Builder.switch f done_
+
+let counted_loop f ~idx ~from ~below ~bound ~body =
+  let header = Builder.block f "loop.header" in
+  let bodyb = Builder.block f "loop.body" in
+  let exit_ = Builder.block f "loop.exit" in
+  Builder.li f idx from;
+  Builder.jump f header;
+  Builder.switch f header;
+  let cond = Reg.of_int 30 in
+  (match below with
+   | Some reg -> Builder.binop f Instr.Lt cond (rg idx) (rg reg)
+   | None -> Builder.binop f Instr.Lt cond (rg idx) (im bound));
+  Builder.branch f (rg cond) bodyb exit_;
+  Builder.switch f bodyb;
+  body ();
+  Builder.add f idx (rg idx) (im 1);
+  Builder.jump f header;
+  Builder.switch f exit_

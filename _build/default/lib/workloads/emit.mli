@@ -1,0 +1,32 @@
+(** Shared code-emission snippets for the workload kernels: a
+    linear-congruential PRNG, test-and-set spin locks, a
+    generation-counter barrier, and counted-loop scaffolding. *)
+
+open Capri_ir
+
+val lcg : Builder.fb -> state:Reg.t -> unit
+(** Advance a 31-bit LCG state in place (pure register arithmetic). *)
+
+val lcg_bounded : Builder.fb -> state:Reg.t -> dst:Reg.t -> bound:int -> unit
+(** [dst <- state mod bound] after advancing the state. *)
+
+val spin_lock : Builder.fb -> addr:Reg.t -> scratch:Reg.t -> unit
+(** Test-and-set acquire loop over [mem\[addr\]]; the atomic forces a
+    region boundary, as the paper requires for multithreaded programs. *)
+
+val spin_unlock : Builder.fb -> addr:Reg.t -> unit
+(** Release: fence + plain store of zero. *)
+
+val barrier :
+  Builder.fb -> base:Reg.t -> nthreads:int -> s1:Reg.t -> s2:Reg.t -> unit
+(** Central generation barrier over two words at [base] (count) and
+    [base + 1] (generation). Clobbers the two scratch registers. *)
+
+val counted_loop :
+  Builder.fb -> idx:Reg.t -> from:int -> below:Reg.t option -> bound:int ->
+  body:(unit -> unit) -> unit
+(** Emit [for idx = from; idx < bound (or reg); idx++ do body done]. When
+    [below] is a register the trip count is compile-time-unknown (the
+    speculative-unrolling case); with [None] the immediate [bound] makes
+    it a known counted loop (absorbable). The body callback emits into the
+    loop body; it must not leave the insertion point in another block. *)

@@ -1,0 +1,16 @@
+open Capri_ir
+
+type suite = Spec | Stamp | Splash3
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  program : Program.t;
+  threads : Capri_runtime.Executor.thread_spec list;
+}
+
+let suite_name = function
+  | Spec -> "cpu2017"
+  | Stamp -> "stamp"
+  | Splash3 -> "splash3"

@@ -1,0 +1,19 @@
+(** A benchmark kernel: an IR program plus its thread layout, standing in
+    for one benchmark of the paper's evaluation (Section 6.1). Each kernel
+    is parameterized by a [scale] knob so tests can run tiny instances and
+    the benchmark harness larger ones. *)
+
+open Capri_ir
+
+type suite = Spec | Stamp | Splash3
+
+type t = {
+  name : string;  (** the paper's benchmark name, e.g. "505.mcf_r" *)
+  suite : suite;
+  description : string;
+      (** which structural features of the original this kernel mimics *)
+  program : Program.t;
+  threads : Capri_runtime.Executor.thread_spec list;
+}
+
+val suite_name : suite -> string

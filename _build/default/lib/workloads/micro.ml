@@ -1,0 +1,104 @@
+open Capri_ir
+
+let r = Reg.of_int
+let rg i = Builder.reg (r i)
+let im = Builder.imm
+
+let single name description program =
+  {
+    Kernel.name;
+    suite = Kernel.Spec;
+    description;
+    program;
+    threads = [ { Capri_runtime.Executor.func = "main"; args = [] } ];
+  }
+
+let store_density ~percent ~n =
+  let b = Builder.create () in
+  let arr = Builder.alloc b ~words:64 in
+  let f = Builder.func b "main" in
+  Builder.li f (r 2) arr;
+  Builder.li f (r 3) 0;
+  Emit.counted_loop f ~idx:(r 1) ~from:0 ~below:None ~bound:n
+    ~body:(fun () ->
+      (* deterministic percent: store when (i * percent) mod 100 rolls
+         over, giving exactly percent stores per 100 iterations *)
+      Builder.mul f (r 10) (rg 1) (im percent);
+      Builder.binop f Instr.Rem (r 10) (rg 10) (im 100);
+      Builder.binop f Instr.Lt (r 10) (rg 10) (im percent);
+      let st = Builder.block f "st" in
+      let skip = Builder.block f "skip" in
+      Builder.branch f (rg 10) st skip;
+      Builder.switch f st;
+      Builder.binop f Instr.And (r 11) (rg 1) (im 63);
+      Builder.add f (r 11) (rg 11) (rg 2);
+      Builder.store f ~base:(r 11) (rg 1);
+      Builder.jump f skip;
+      Builder.switch f skip;
+      Builder.mul f (r 3) (rg 3) (im 3);
+      Builder.add f (r 3) (rg 3) (rg 1);
+      Builder.binop f Instr.And (r 3) (rg 3) (im 0xFFFF));
+  Builder.out f (rg 3);
+  Builder.halt f;
+  single
+    (Printf.sprintf "density-%d" percent)
+    "store-density micro-kernel"
+    (Builder.finish b ~main:"main")
+
+let loop_length ~mean ~outer =
+  let b = Builder.create () in
+  let arr = Builder.alloc b ~words:64 in
+  let f = Builder.func b "main" in
+  Builder.li f (r 2) arr;
+  Builder.li f (r 7) 12345;
+  Emit.counted_loop f ~idx:(r 1) ~from:0 ~below:None ~bound:outer
+    ~body:(fun () ->
+      (* inner trips vary around the mean: mean/2 .. 3*mean/2 *)
+      Emit.lcg_bounded f ~state:(r 7) ~dst:(r 4) ~bound:(max 1 mean);
+      Builder.add f (r 4) (rg 4) (im (max 1 (mean / 2)));
+      Emit.counted_loop f ~idx:(r 5) ~from:0 ~below:(Some (r 4)) ~bound:0
+        ~body:(fun () ->
+          Builder.add f (r 10) (rg 1) (rg 5);
+          Builder.binop f Instr.And (r 10) (rg 10) (im 63);
+          Builder.add f (r 10) (rg 10) (rg 2);
+          Builder.store f ~base:(r 10) (rg 5)));
+  Builder.out f (rg 7);
+  Builder.halt f;
+  single
+    (Printf.sprintf "loop-%d" mean)
+    "short-loop-length micro-kernel"
+    (Builder.finish b ~main:"main")
+
+let call_frequency ~period ~n =
+  let b = Builder.create () in
+  let arr = Builder.alloc b ~words:64 in
+  let leaf = Builder.func b "leaf" in
+  Builder.add leaf (r 0) (rg 0) (im 3);
+  Builder.binop leaf Instr.And (r 0) (rg 0) (im 0xFFF);
+  Builder.ret leaf;
+  let f = Builder.func b "main" in
+  Builder.li f (r 2) arr;
+  Builder.li f (r 3) 0;
+  Emit.counted_loop f ~idx:(r 1) ~from:0 ~below:None ~bound:n
+    ~body:(fun () ->
+      Builder.binop f Instr.Rem (r 10) (rg 1) (im (max 1 period));
+      let call = Builder.block f "docall" in
+      let skip = Builder.block f "skip" in
+      Builder.binop f Instr.Eq (r 10) (rg 10) (im 0);
+      Builder.branch f (rg 10) call skip;
+      Builder.switch f call;
+      Builder.mv f (r 0) (r 3);
+      Builder.call_cont f "leaf";
+      Builder.mv f (r 3) (r 0);
+      Builder.jump f skip;
+      Builder.switch f skip;
+      Builder.binop f Instr.And (r 11) (rg 1) (im 63);
+      Builder.add f (r 11) (rg 11) (rg 2);
+      Builder.store f ~base:(r 11) (rg 3);
+      Builder.add f (r 3) (rg 3) (im 1));
+  Builder.out f (rg 3);
+  Builder.halt f;
+  single
+    (Printf.sprintf "calls-1per%d" period)
+    "call-frequency micro-kernel"
+    (Builder.finish b ~main:"main")

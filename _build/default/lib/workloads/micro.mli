@@ -1,0 +1,19 @@
+(** Parameterized micro-kernels isolating the structural features that
+    drive Capri's overhead (Section 6.3 attributes benchmark variance to
+    exactly these): store density, short-loop length, and call frequency.
+    The sensitivity experiment of the benchmark harness sweeps them. *)
+
+val store_density : percent:int -> n:int -> Kernel.t
+(** A counted loop of [n] iterations where [percent]% of iterations store
+    (the rest are pure arithmetic). Sweeps the stores-per-instruction
+    axis. *)
+
+val loop_length : mean:int -> outer:int -> Kernel.t
+(** [outer] iterations of an unknown-trip inner loop averaging [mean]
+    iterations with one store each — the Figure 2 short-loop axis that
+    speculative unrolling attacks. *)
+
+val call_frequency : period:int -> n:int -> Kernel.t
+(** Every [period]-th iteration calls a small leaf function (calls force
+    region boundaries, Section 3.3). Sweeps the calls-per-instruction
+    axis. *)

@@ -1,0 +1,27 @@
+let all ?threads ~scale () =
+  Spec.all ~scale @ Stamp.all ~scale @ Splash3.all ?threads ~scale ()
+
+let names =
+  [
+    "505.mcf_r"; "531.deepsjeng_r"; "541.leela_r"; "508.namd_r"; "519.lbm_r";
+    "genome"; "intruder"; "labyrinth"; "ssca2"; "vacation";
+    "barnes"; "fmm"; "ocean"; "radiosity"; "raytrace"; "volrend";
+    "water-nsquared"; "water-spatial"; "radix";
+  ]
+
+let by_name ?threads ~scale name =
+  match
+    List.find_opt
+      (fun (k : Kernel.t) -> String.equal k.Kernel.name name)
+      (all ?threads ~scale ())
+  with
+  | Some k -> k
+  | None -> raise Not_found
+
+let of_suite suite ~scale =
+  List.filter
+    (fun (k : Kernel.t) -> k.Kernel.suite = suite)
+    (all ~scale ())
+
+let bench_scale = 12
+let test_scale = 3

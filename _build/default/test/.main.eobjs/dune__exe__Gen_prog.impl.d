@@ -1,0 +1,1 @@
+test/gen_prog.ml: Array Builder Capri Capri_util Instr List Reg

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Builder Capri Executor Instr Printf Reg

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Capri Capri_arch Config List Memory Option Printf

@@ -1,0 +1,1 @@
+test/test_ckpt.ml: Alcotest Block Builder Capri Capri_compiler Compiled Config Executor Func Hashtbl Helpers Instr Inter_liveness Label List Persist Pipeline Printf Program Reg

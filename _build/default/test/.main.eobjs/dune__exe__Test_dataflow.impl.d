@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Block Builder Capri Dom Func Helpers Instr Inter_liveness Label List Liveness Loops Program Reg String

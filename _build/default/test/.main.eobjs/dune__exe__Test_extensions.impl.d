@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Builder Capri Capri_compiler Capri_workloads Compiled Executor Gen_prog Helpers Instr List Memory Pipeline Printf Recovery String Verify

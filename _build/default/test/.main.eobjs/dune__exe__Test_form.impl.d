@@ -1,0 +1,1 @@
+test/test_form.ml: Alcotest Array Block Builder Capri Capri_compiler Compiled Config Executor Func Helpers Instr Label List Persist Pipeline Printf Program String Verify

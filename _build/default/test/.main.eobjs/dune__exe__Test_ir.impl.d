@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Capri Func Helpers Instr Label List Pipeline Program Reg Validate

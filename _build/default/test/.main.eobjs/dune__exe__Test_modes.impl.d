@@ -1,0 +1,1 @@
+test/test_modes.ml: Alcotest Array Builder Capri Capri_workloads Compiled Config Executor Helpers List Memory Persist Printf Verify

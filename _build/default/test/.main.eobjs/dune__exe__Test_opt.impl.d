@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Block Builder Capri Capri_compiler Compiled Executor Func Hashtbl Helpers Instr List Memory Pipeline Printf Program Reg String Verify

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Capri Capri_ir Compiled Executor Gen_prog Helpers List Memory Verify

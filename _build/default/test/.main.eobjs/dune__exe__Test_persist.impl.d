@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Capri Capri_arch Config Memory

@@ -1,0 +1,1 @@
+test/test_qcheck.ml: Array Builder Capri Capri_compiler Capri_ir Compiled Config Executor Gen_prog List Memory Pipeline QCheck QCheck_alcotest Recovery Validate Verify

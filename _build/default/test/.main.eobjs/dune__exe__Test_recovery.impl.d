@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Builder Capri Capri_compiler Capri_workloads Compiled Executor Helpers Instr List Memory Persist Pipeline Printf Recovery Verify

@@ -1,0 +1,1 @@
+test/test_runtime_bits.ml: Alcotest Array Block Builder Capri Capri_compiler Capri_runtime Capri_workloads Compiled Executor Func Helpers Instr Label List Memory Program String Verify

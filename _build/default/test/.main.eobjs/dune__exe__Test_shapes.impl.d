@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Capri Capri_compiler Capri_util Capri_workloads Config Executor List Persist Pipeline Printf Verify

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Builder Capri Executor Helpers List Memory String Verify

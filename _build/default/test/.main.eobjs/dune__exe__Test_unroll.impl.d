@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Array Builder Capri Capri_compiler Executor Func Helpers Instr List Memory Pipeline Printf Program String Validate Verify

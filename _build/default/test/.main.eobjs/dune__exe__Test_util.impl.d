@@ -1,0 +1,1 @@
+test/test_util.ml: Acc Alcotest Array Capri_util List String

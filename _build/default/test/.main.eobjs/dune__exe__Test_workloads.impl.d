@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Builder Capri Capri_compiler Capri_util Capri_workloads Config Executor List Memory Pipeline String Validate Verify

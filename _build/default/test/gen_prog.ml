@@ -1,0 +1,204 @@
+(* Random structured programs for property-based testing.
+
+   Programs are generated as a small statement AST (guaranteeing
+   termination and validity by construction) and lowered to the IR.
+   Register discipline: callers use r1-r15, callees touch only r0 and
+   r20-r25, so nothing is clobbered across calls; loop counters live in
+   r16-r19 by nesting depth; memory accesses stay inside one data array
+   (indices are taken modulo its size). *)
+
+open Capri
+
+type stmt =
+  | Arith of int * Instr.binop * int * int  (* dst, op, src reg, imm *)
+  | Li of int * int
+  | LoadArr of int * int  (* dst reg, index reg *)
+  | StoreArr of int * int  (* index reg, src reg *)
+  | CountedLoop of int * stmt list  (* trips, body *)
+  | DataLoop of stmt list  (* trip count read from memory at run time *)
+  | IfNz of int * stmt list * stmt list
+  | Fence
+  | AtomicAdd of int * int  (* index reg, amount *)
+  | CallLeaf of int  (* argument register *)
+  | Emit of int
+
+type prog = { stmts : stmt list; leaf_body : stmt list; array_words : int }
+
+(* ---------------- generation ---------------- *)
+
+let caller_regs = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let callee_regs = [ 20; 21; 22; 23; 24 ]
+
+let gen_reg rng regs = List.nth regs (Capri_util.Rng.int rng (List.length regs))
+
+let gen_binop rng =
+  let ops =
+    [| Instr.Add; Instr.Sub; Instr.Mul; Instr.Xor; Instr.And; Instr.Or;
+       Instr.Min; Instr.Max |]
+  in
+  ops.(Capri_util.Rng.int rng (Array.length ops))
+
+let rec gen_stmt rng ~depth ~regs ~allow_call =
+  let pick = Capri_util.Rng.int rng 100 in
+  if pick < 25 then
+    Arith (gen_reg rng regs, gen_binop rng, gen_reg rng regs,
+           Capri_util.Rng.int_in rng 1 9)
+  else if pick < 35 then Li (gen_reg rng regs, Capri_util.Rng.int rng 100)
+  else if pick < 50 then LoadArr (gen_reg rng regs, gen_reg rng regs)
+  else if pick < 65 then StoreArr (gen_reg rng regs, gen_reg rng regs)
+  else if pick < 75 && depth > 0 then
+    if Capri_util.Rng.bool rng then
+      CountedLoop
+        (Capri_util.Rng.int_in rng 1 6,
+         gen_stmts rng ~depth:(depth - 1) ~regs ~allow_call
+           ~len:(Capri_util.Rng.int_in rng 1 4))
+    else
+      DataLoop
+        (gen_stmts rng ~depth:(depth - 1) ~regs ~allow_call
+           ~len:(Capri_util.Rng.int_in rng 1 4))
+  else if pick < 85 && depth > 0 then
+    IfNz
+      (gen_reg rng regs,
+       gen_stmts rng ~depth:(depth - 1) ~regs ~allow_call
+         ~len:(Capri_util.Rng.int_in rng 1 3),
+       gen_stmts rng ~depth:(depth - 1) ~regs ~allow_call
+         ~len:(Capri_util.Rng.int_in rng 0 3))
+  else if pick < 90 then Fence
+  else if pick < 94 then
+    AtomicAdd (gen_reg rng regs, Capri_util.Rng.int_in rng 1 5)
+  else if pick < 97 && allow_call then CallLeaf (gen_reg rng regs)
+  else Emit (gen_reg rng regs)
+
+and gen_stmts rng ~depth ~regs ~len ~allow_call =
+  List.init len (fun _ -> gen_stmt rng ~depth ~regs ~allow_call)
+
+let generate seed =
+  let rng = Capri_util.Rng.create seed in
+  let stmts =
+    gen_stmts rng ~depth:3 ~regs:caller_regs ~allow_call:true
+      ~len:(Capri_util.Rng.int_in rng 4 12)
+  in
+  let leaf_body =
+    (* no calls inside the leaf: recursion would be unbounded *)
+    gen_stmts rng ~depth:1 ~regs:callee_regs ~allow_call:false
+      ~len:(Capri_util.Rng.int_in rng 2 6)
+  in
+  { stmts; leaf_body; array_words = 32 }
+
+(* ---------------- lowering ---------------- *)
+
+let r = Reg.of_int
+let rg i = Builder.reg (r i)
+let im = Builder.imm
+
+(* Scratch registers for address computation and loop bounds. *)
+let addr_tmp = 28
+let bound_tmp = 27
+let arr_base = 26
+
+let rec emit_stmt b f ~arr ~loop_depth stmt =
+  match stmt with
+  | Arith (dst, op, src, k) ->
+    Builder.binop f op (r dst) (rg src) (im k)
+  | Li (dst, v) -> Builder.li f (r dst) v
+  | LoadArr (dst, idx) ->
+    Builder.binop f Instr.And (r addr_tmp) (rg idx) (im 31);
+    Builder.add f (r addr_tmp) (rg addr_tmp) (rg arr_base);
+    Builder.load f (r dst) ~base:(r addr_tmp) ()
+  | StoreArr (idx, src) ->
+    Builder.binop f Instr.And (r addr_tmp) (rg idx) (im 31);
+    Builder.add f (r addr_tmp) (rg addr_tmp) (rg arr_base);
+    Builder.store f ~base:(r addr_tmp) (rg src)
+  | CountedLoop (trips, body) ->
+    let idx = 16 + loop_depth in
+    let header = Builder.block f "gh" in
+    let bodyb = Builder.block f "gb" in
+    let exit_ = Builder.block f "gx" in
+    Builder.li f (r idx) 0;
+    Builder.jump f header;
+    Builder.switch f header;
+    Builder.binop f Instr.Lt (r 30) (rg idx) (im trips);
+    Builder.branch f (rg 30) bodyb exit_;
+    Builder.switch f bodyb;
+    List.iter (emit_stmt b f ~arr ~loop_depth:(loop_depth + 1)) body;
+    Builder.add f (r idx) (rg idx) (im 1);
+    Builder.jump f header;
+    Builder.switch f exit_
+  | DataLoop body ->
+    (* Trip count = arr[0] mod 5, unknown at compile time. *)
+    let idx = 16 + loop_depth in
+    let header = Builder.block f "dh" in
+    let bodyb = Builder.block f "db" in
+    let exit_ = Builder.block f "dx" in
+    Builder.load f (r bound_tmp) ~base:(r arr_base) ();
+    Builder.binop f Instr.And (r bound_tmp) (rg bound_tmp) (im 3);
+    Builder.add f (r bound_tmp) (rg bound_tmp) (im 1);
+    Builder.li f (r idx) 0;
+    Builder.jump f header;
+    Builder.switch f header;
+    Builder.binop f Instr.Lt (r 30) (rg idx) (rg bound_tmp);
+    Builder.branch f (rg 30) bodyb exit_;
+    Builder.switch f bodyb;
+    List.iter (emit_stmt b f ~arr ~loop_depth:(loop_depth + 1)) body;
+    Builder.add f (r idx) (rg idx) (im 1);
+    Builder.jump f header;
+    Builder.switch f exit_
+  | IfNz (cond, then_, else_) ->
+    let tb = Builder.block f "gt" in
+    let eb = Builder.block f "ge" in
+    let join = Builder.block f "gj" in
+    Builder.branch f (rg cond) tb eb;
+    Builder.switch f tb;
+    List.iter (emit_stmt b f ~arr ~loop_depth) then_;
+    Builder.jump f join;
+    Builder.switch f eb;
+    List.iter (emit_stmt b f ~arr ~loop_depth) else_;
+    Builder.jump f join;
+    Builder.switch f join
+  | Fence -> Builder.fence f
+  | AtomicAdd (idx, k) ->
+    Builder.binop f Instr.And (r addr_tmp) (rg idx) (im 31);
+    Builder.add f (r addr_tmp) (rg addr_tmp) (rg arr_base);
+    Builder.atomic_rmw f Instr.Add (r 29) ~base:(r addr_tmp) (im k)
+  | CallLeaf arg ->
+    Builder.mv f (r 0) (r arg);
+    Builder.call_cont f "leaf"
+  | Emit src -> Builder.out f (rg src)
+
+let lower (p : prog) =
+  let b = Builder.create () in
+  let arr =
+    Builder.alloc_init b
+      (Array.init p.array_words (fun i -> (i * 17) mod 23))
+  in
+  (* leaf(r0) -> r0 *)
+  let leaf = Builder.func b "leaf" in
+  Builder.li leaf (r arr_base) arr;
+  List.iter (emit_stmt b leaf ~arr ~loop_depth:2) p.leaf_body;
+  Builder.add leaf (r 0) (rg 0) (rg 20);
+  Builder.ret leaf;
+  let m = Builder.func b "main" in
+  Builder.li m (r arr_base) arr;
+  List.iter (emit_stmt b m ~arr ~loop_depth:0) p.stmts;
+  (* emit a final digest of the array so outputs reflect memory *)
+  Builder.li m (r 9) 0;
+  let header = Builder.block m "digest.h" in
+  let body = Builder.block m "digest.b" in
+  let exit_ = Builder.block m "digest.x" in
+  Builder.li m (r 10) 0;
+  Builder.jump m header;
+  Builder.switch m header;
+  Builder.binop m Instr.Lt (r 30) (rg 10) (im p.array_words);
+  Builder.branch m (rg 30) body exit_;
+  Builder.switch m body;
+  Builder.add m (r addr_tmp) (rg arr_base) (rg 10);
+  Builder.load m (r 11) ~base:(r addr_tmp) ();
+  Builder.binop m Instr.Xor (r 9) (rg 9) (rg 11);
+  Builder.add m (r 10) (rg 10) (im 1);
+  Builder.jump m header;
+  Builder.switch m exit_;
+  Builder.out m (rg 9);
+  Builder.halt m;
+  Builder.finish b ~main:"main"
+
+let program_of_seed seed = lower (generate seed)

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "capri"
+    [
+      ("smoke", Test_smoke.suite);
+      ("ir", Test_ir.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("form", Test_form.suite);
+      ("ckpt", Test_ckpt.suite);
+      ("unroll", Test_unroll.suite);
+      ("opt", Test_opt.suite);
+      ("arch", Test_arch.suite);
+      ("persist", Test_persist.suite);
+      ("recovery", Test_recovery.suite);
+      ("workloads", Test_workloads.suite);
+      ("modes", Test_modes.suite);
+      ("extensions", Test_extensions.suite);
+      ("parser", Test_parser.suite);
+      ("util", Test_util.suite);
+      ("runtime", Test_runtime_bits.suite);
+      ("shapes", Test_shapes.suite);
+      ("qcheck", Test_qcheck.suite);
+    ]

@@ -1,0 +1,188 @@
+(* Architecture substrate: functional memory, caches, hierarchy
+   coherence, writeback values. *)
+
+open Capri
+module Cache = Capri_arch.Cache
+module Hier = Capri_arch.Hierarchy
+
+let test_memory_basics () =
+  let m = Memory.create () in
+  Alcotest.(check int) "zero default" 0 (Memory.read m 100);
+  Memory.write m 100 42;
+  Alcotest.(check int) "read back" 42 (Memory.read m 100);
+  Memory.write m 101 43;
+  let line = Memory.line_of_addr 100 in
+  Alcotest.(check int) "same line" line (Memory.line_of_addr 101);
+  let snap = Memory.line_snapshot m line in
+  Alcotest.(check int) "snapshot word" 42 (snap.(100 mod 8));
+  (* snapshots are copies *)
+  snap.(100 mod 8) <- 0;
+  Alcotest.(check int) "isolation" 42 (Memory.read m 100)
+
+let test_memory_versions () =
+  let m = Memory.create () in
+  let line = Memory.line_of_addr 64 in
+  Alcotest.(check int) "fresh version" 0 (Memory.line_version m line);
+  Memory.write m 64 1;
+  Memory.write m 65 2;
+  Alcotest.(check int) "bumped twice" 2 (Memory.line_version m line);
+  Memory.write m 72 9;  (* different line *)
+  Alcotest.(check int) "isolated" 2 (Memory.line_version m line)
+
+let test_memory_equal_diff () =
+  let a = Memory.create () and b = Memory.create () in
+  Memory.write a 10 1;
+  Memory.write b 10 1;
+  Alcotest.(check bool) "equal" true (Memory.equal a b);
+  Memory.write b 11 7;
+  Alcotest.(check bool) "unequal" false (Memory.equal a b);
+  (match Memory.diff a b with
+   | [ (addr, va, vb) ] ->
+     Alcotest.(check int) "addr" 11 addr;
+     Alcotest.(check int) "a" 0 va;
+     Alcotest.(check int) "b" 7 vb
+   | _ -> Alcotest.fail "expected one diff");
+  (* zero-valued line vs absent line are equal *)
+  Memory.write b 11 0;
+  Alcotest.(check bool) "zero = absent" true (Memory.equal a b)
+
+let test_cache_lru () =
+  let c = Cache.create ~sets:1 ~ways:2 in
+  Alcotest.(check (option unit)) "miss insert" None
+    (Option.map (fun _ -> ()) (Cache.insert c 1 ~dirty:false));
+  ignore (Cache.insert c 2 ~dirty:true);
+  Cache.touch c 1 ~dirty:false;  (* 1 is now MRU, 2 LRU *)
+  (match Cache.insert c 3 ~dirty:false with
+   | Some { Cache.line = 2; dirty = true } -> ()
+   | Some e -> Alcotest.failf "evicted %d" e.Cache.line
+   | None -> Alcotest.fail "expected eviction");
+  Alcotest.(check bool) "1 resident" true (Cache.mem c 1);
+  Alcotest.(check bool) "2 gone" false (Cache.mem c 2);
+  Alcotest.(check bool) "3 resident" true (Cache.mem c 3)
+
+let test_cache_dirty_invalidate () =
+  let c = Cache.create ~sets:2 ~ways:1 in
+  ignore (Cache.insert c 4 ~dirty:false);
+  Cache.touch c 4 ~dirty:true;
+  Alcotest.(check bool) "dirty" true (Cache.is_dirty c 4);
+  Alcotest.(check bool) "invalidate returns dirty" true (Cache.invalidate c 4);
+  Alcotest.(check bool) "gone" false (Cache.mem c 4);
+  Alcotest.(check bool) "double invalidate" false (Cache.invalidate c 4)
+
+let test_cache_set_isolation () =
+  let c = Cache.create ~sets:2 ~ways:1 in
+  ignore (Cache.insert c 0 ~dirty:false);  (* set 0 *)
+  ignore (Cache.insert c 1 ~dirty:false);  (* set 1 *)
+  Alcotest.(check int) "both resident" 2 (Cache.resident c);
+  (* line 2 maps to set 0: evicts line 0, not line 1 *)
+  (match Cache.insert c 2 ~dirty:false with
+   | Some { Cache.line = 0; _ } -> ()
+   | _ -> Alcotest.fail "wrong victim");
+  Alcotest.(check bool) "line 1 untouched" true (Cache.mem c 1)
+
+let mk_hier ?(cores = 2) () =
+  let config =
+    { Config.sim_default with
+      Config.cores;
+      l1_lines = 4;
+      l1_ways = 2;
+      l2_lines = 8;
+      l2_ways = 2;
+      dram_cache_lines = 16;
+    }
+  in
+  let memory = Memory.create () in
+  let writebacks = ref [] in
+  let hier =
+    Hier.create config memory
+      ~on_nvm_writeback:(fun ~cycle:_ ~line ~data ~version ->
+        writebacks := (line, Array.copy data, version) :: !writebacks)
+  in
+  (config, memory, hier, writebacks)
+
+let test_hierarchy_levels () =
+  let _, _, hier, _ = mk_hier () in
+  Alcotest.(check bool) "first touch from NVM" true
+    (Hier.load hier ~core:0 ~cycle:0 ~addr:100 = Hier.Nvm);
+  Alcotest.(check bool) "second touch L1" true
+    (Hier.load hier ~core:0 ~cycle:1 ~addr:100 = Hier.L1);
+  Alcotest.(check bool) "same line L1" true
+    (Hier.load hier ~core:0 ~cycle:2 ~addr:101 = Hier.L1)
+
+let test_hierarchy_single_dirty_owner () =
+  let _, memory, hier, _ = mk_hier () in
+  Memory.write memory 100 7;
+  ignore (Hier.store hier ~core:0 ~cycle:0 ~addr:100);
+  (* Core 1 writes the same line: ownership migrates. *)
+  Memory.write memory 100 8;
+  ignore (Hier.store hier ~core:1 ~cycle:1 ~addr:100);
+  let s = Hier.stats hier in
+  Alcotest.(check bool) "invalidation happened" true (s.Hier.invalidations >= 1)
+
+let test_writeback_carries_current_data () =
+  let _, memory, hier, writebacks = mk_hier ~cores:1 () in
+  (* Dirty a line, then stream enough lines through the tiny hierarchy to
+     force it all the way out to NVM. *)
+  Memory.write memory 80 123;
+  ignore (Hier.store hier ~core:0 ~cycle:0 ~addr:80);
+  Hier.flush_all hier ~cycle:10;
+  let line = Memory.line_of_addr 80 in
+  (match List.find_opt (fun (l, _, _) -> l = line) !writebacks with
+   | Some (_, data, version) ->
+     Alcotest.(check int) "payload is architectural value" 123
+       data.(80 mod 8);
+     Alcotest.(check int) "stamped with line version" 1 version
+   | None -> Alcotest.fail "no writeback for the dirty line")
+
+let test_flush_then_drop_empty () =
+  let _, memory, hier, writebacks = mk_hier ~cores:1 () in
+  Memory.write memory 160 5;
+  ignore (Hier.store hier ~core:0 ~cycle:0 ~addr:160);
+  Hier.flush_all hier ~cycle:1;
+  let n = List.length !writebacks in
+  Alcotest.(check bool) "flush wrote back" true (n >= 1);
+  (* flushing again writes nothing: caches are clean *)
+  Hier.flush_all hier ~cycle:2;
+  Alcotest.(check int) "idempotent" n (List.length !writebacks);
+  Hier.drop_all hier;
+  Alcotest.(check bool) "after drop, line misses" true
+    (Hier.load hier ~core:0 ~cycle:3 ~addr:160 <> Hier.L1)
+
+let test_eviction_cascade () =
+  let _, memory, hier, writebacks = mk_hier ~cores:1 () in
+  (* Touch far more distinct lines than the whole hierarchy holds; dirty
+     them all so evictions cascade to NVM. *)
+  for i = 0 to 63 do
+    let addr = i * 8 in
+    Memory.write memory addr i;
+    ignore (Hier.store hier ~core:0 ~cycle:i ~addr)
+  done;
+  Alcotest.(check bool) "cascaded writebacks" true
+    (List.length !writebacks > 0);
+  (* Every writeback's payload matches the architectural value at the
+     time (single-dirty-copy invariant). *)
+  List.iter
+    (fun (line, data, _) ->
+      let addr = line * 8 in
+      Alcotest.(check int)
+        (Printf.sprintf "line %d payload" line)
+        (Memory.read memory addr) data.(0))
+    !writebacks
+
+let suite =
+  [
+    Alcotest.test_case "memory basics" `Quick test_memory_basics;
+    Alcotest.test_case "memory versions" `Quick test_memory_versions;
+    Alcotest.test_case "memory equal/diff" `Quick test_memory_equal_diff;
+    Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+    Alcotest.test_case "cache dirty/invalidate" `Quick
+      test_cache_dirty_invalidate;
+    Alcotest.test_case "cache set isolation" `Quick test_cache_set_isolation;
+    Alcotest.test_case "hierarchy hit levels" `Quick test_hierarchy_levels;
+    Alcotest.test_case "single dirty owner" `Quick
+      test_hierarchy_single_dirty_owner;
+    Alcotest.test_case "writeback payload correctness" `Quick
+      test_writeback_carries_current_data;
+    Alcotest.test_case "flush and drop" `Quick test_flush_then_drop_empty;
+    Alcotest.test_case "eviction cascade" `Quick test_eviction_cascade;
+  ]

@@ -1,0 +1,194 @@
+(* Checkpoint insertion: placement rules, liveness soundness, and the
+   slot invariant the recovery protocol relies on. *)
+
+open Capri
+open Helpers
+module Region_map = Capri_compiler.Region_map
+module Opt = Capri_compiler.Options
+
+let ckpts_in (f : Func.t) =
+  List.concat_map
+    (fun (b : Block.t) ->
+      List.filter_map
+        (fun i ->
+          match (i : Instr.t) with
+          | Instr.Ckpt { reg; slot } -> Some (b.Block.label, reg, slot)
+          | _ -> None)
+        b.Block.instrs)
+    (Func.blocks f)
+
+let test_slot_is_register_index () =
+  let program, _ = sum_program ~n:200 () in
+  let compiled = compile program in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (_, reg, slot) ->
+          Alcotest.(check int) "slot = register" (Reg.to_int reg) slot)
+        (ckpts_in f))
+    compiled.Compiled.program.Program.funcs
+
+let test_no_ckpt_without_option () =
+  let program, _ = sum_program ~n:20 () in
+  let compiled = Pipeline.compile Opt.region_only program in
+  List.iter
+    (fun f -> Alcotest.(check int) "no ckpts" 0 (List.length (ckpts_in f)))
+    compiled.Compiled.program.Program.funcs
+
+let test_sp_never_checkpointed () =
+  let compiled = compile (fib_program ~n:8 ()) in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (_, reg, _) ->
+          Alcotest.(check bool) "not sp" false (Reg.equal reg Reg.sp))
+        (ckpts_in f))
+    compiled.Compiled.program.Program.funcs
+
+(* The semantic invariant: for every region, every register that is (a)
+   live into a *later* region and (b) defined in this region, must have a
+   checkpoint (staging) in this region on the paths from the def to the
+   region end — otherwise the recovery protocol reloads a stale slot.
+   Rather than re-deriving the dataflow here, we check it dynamically: the
+   full crash sweeps of Test_recovery subsume it. Here we check the
+   simpler static necessary condition: a register live-in to a region head
+   that has a def in some earlier-region block has at least one checkpoint
+   somewhere in the program. *)
+let test_live_in_registers_covered () =
+  let program, _, _ = mixed_program ~n:10 () in
+  let compiled = compile program in
+  let p = compiled.Compiled.program in
+  let live = Inter_liveness.compute p in
+  List.iter
+    (fun f ->
+      let all_ckpt_regs =
+        List.fold_left
+          (fun acc (_, reg, _) -> Reg.Set.add reg acc)
+          Reg.Set.empty (ckpts_in f)
+      in
+      let all_defs =
+        List.fold_left
+          (fun acc (b : Block.t) -> Reg.Set.union acc (Block.defs b))
+          Reg.Set.empty (Func.blocks f)
+      in
+      List.iter
+        (fun (b : Block.t) ->
+          match b.Block.instrs with
+          | Instr.Boundary _ :: _ ->
+            let need =
+              Reg.Set.remove Reg.sp
+                (Reg.Set.inter (Inter_liveness.live_in live f b.Block.label)
+                   all_defs)
+            in
+            Reg.Set.iter
+              (fun reg ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s live-in %s checkpointed somewhere"
+                     (Label.to_string b.Block.label) (Reg.to_string reg))
+                  true
+                  (Reg.Set.mem reg all_ckpt_regs))
+              need
+          | _ -> ())
+        (Func.blocks f))
+    p.Program.funcs
+
+let test_ckpt_counts_against_threshold () =
+  (* Executor counts Ckpt as a store toward the per-region threshold:
+     run with the compiler threshold and rely on the built-in check. *)
+  let program, _, _ = mixed_program ~n:16 () in
+  List.iter
+    (fun threshold ->
+      let options = Opt.with_threshold threshold Opt.default in
+      let compiled = Pipeline.compile options program in
+      let config = Config.with_threshold threshold Config.sim_default in
+      ignore (run ~config compiled))
+    [ 12; 48 ]
+
+let test_ckpt_after_last_def_in_block () =
+  (* Within a block, a register's checkpoint must come after its final
+     def (otherwise the staged value is stale). *)
+  let program, _ = sum_program ~n:64 () in
+  let compiled = compile program in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (b : Block.t) ->
+          let last_def = Hashtbl.create 8 in
+          let ckpt_pos = Hashtbl.create 8 in
+          List.iteri
+            (fun i instr ->
+              (match (instr : Instr.t) with
+               | Instr.Ckpt { reg; _ } ->
+                 Hashtbl.replace ckpt_pos (Reg.to_int reg) i
+               | _ -> ());
+              Reg.Set.iter
+                (fun reg -> Hashtbl.replace last_def (Reg.to_int reg) i)
+                (Instr.defs instr))
+            b.Block.instrs;
+          Hashtbl.iter
+            (fun reg pos ->
+              match Hashtbl.find_opt last_def reg with
+              | Some dpos when dpos > pos ->
+                (* A later def in the same block must itself be followed
+                   by another checkpoint of the register. *)
+                let later_ckpt =
+                  List.exists
+                    (fun (i, instr) ->
+                      i > dpos
+                      &&
+                      match (instr : Instr.t) with
+                      | Instr.Ckpt { reg = r'; _ } -> Reg.to_int r' = reg
+                      | _ -> false)
+                    (List.mapi (fun i x -> (i, x)) b.Block.instrs)
+                in
+                Alcotest.(check bool) "def after ckpt re-checkpointed" true
+                  later_ckpt
+              | _ -> ())
+            ckpt_pos)
+        (Func.blocks f))
+    compiled.Compiled.program.Program.funcs
+
+let test_boundary_elision_stat () =
+  (* A program with store-free regions should elide boundary entries. *)
+  let b = Builder.create () in
+  let f = Builder.func b "main" in
+  (* pure compute loop, unknown trip: regions without stores *)
+  let header = Builder.block f "header" in
+  let body = Builder.block f "body" in
+  let exit_ = Builder.block f "exit" in
+  Builder.li f (r 1) 0;
+  Builder.li f (r 9) 50;
+  Builder.jump f header;
+  Builder.switch f header;
+  Builder.binop f Instr.Lt (r 2) (rg 1) (rg 9);
+  Builder.branch f (rg 2) body exit_;
+  Builder.switch f body;
+  Builder.binop f Instr.Xor (r 3) (rg 3) (rg 1);
+  Builder.add f (r 1) (rg 1) (im 1);
+  Builder.jump f header;
+  Builder.switch f exit_;
+  Builder.out f (rg 3);
+  Builder.halt f;
+  let program = Builder.finish b ~main:"main" in
+  let compiled = Pipeline.compile Opt.region_only program in
+  let result = run compiled in
+  Alcotest.(check bool) "some boundaries elided" true
+    (result.Executor.persist_stats.Persist.boundaries_elided > 0)
+
+let suite =
+  [
+    Alcotest.test_case "slot = register index" `Quick
+      test_slot_is_register_index;
+    Alcotest.test_case "no ckpts when disabled" `Quick
+      test_no_ckpt_without_option;
+    Alcotest.test_case "sp never checkpointed" `Quick
+      test_sp_never_checkpointed;
+    Alcotest.test_case "live-in registers covered" `Quick
+      test_live_in_registers_covered;
+    Alcotest.test_case "ckpts count against threshold" `Quick
+      test_ckpt_counts_against_threshold;
+    Alcotest.test_case "ckpt after last def" `Quick
+      test_ckpt_after_last_def_in_block;
+    Alcotest.test_case "store-free boundary elision" `Quick
+      test_boundary_elision_stat;
+  ]

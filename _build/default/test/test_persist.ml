@@ -1,0 +1,244 @@
+(* The persistence engine in isolation: entry creation and merging,
+   boundary elision, two-phase commits, crash drain, undo/redo replay,
+   and the stale-read machinery. *)
+
+open Capri
+module Persist = Capri_arch.Persist
+
+let config =
+  { Config.sim_default with Config.cores = 1; front_proxy_entries = 4 }
+
+let mk ?(mode = Persist.Capri) ?(cfg = config) () = Persist.create cfg ~mode
+
+let line_data v = Array.make 8 v
+
+let store t ~cycle ~line ~from ~to_ ~version =
+  ignore
+    (Persist.on_store t ~core:0 ~cycle ~line ~mask:0xFF
+       ~undo:(line_data from) ~redo:(line_data to_) ~version)
+
+let test_merge_within_region () =
+  let t = mk () in
+  (* Same cycle: the first entry is still in the front-end buffer. *)
+  store t ~cycle:0 ~line:5 ~from:0 ~to_:1 ~version:1;
+  store t ~cycle:0 ~line:5 ~from:1 ~to_:2 ~version:2;
+  let s = Persist.stats t in
+  Alcotest.(check int) "one entry" 1 s.Persist.entries_created;
+  Alcotest.(check int) "one merge" 1 s.Persist.entries_merged
+
+let test_no_merge_across_regions () =
+  let t = mk () in
+  store t ~cycle:0 ~line:5 ~from:0 ~to_:1 ~version:1;
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0);
+  store t ~cycle:2 ~line:5 ~from:1 ~to_:2 ~version:2;
+  let s = Persist.stats t in
+  Alcotest.(check int) "two entries" 2 s.Persist.entries_created;
+  Alcotest.(check int) "no merges" 0 s.Persist.entries_merged
+
+let test_boundary_elision () =
+  let t = mk () in
+  (* empty region: elided *)
+  ignore (Persist.on_boundary t ~core:0 ~cycle:0 ~boundary:1 ~sp:0);
+  Alcotest.(check int) "elided" 1 (Persist.stats t).Persist.boundaries_elided;
+  (* a region with a checkpoint flush is NOT elided *)
+  Persist.on_ckpt t ~core:0 ~slot:3 ~value:99;
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:2 ~sp:0);
+  Alcotest.(check int) "not elided" 1
+    (Persist.stats t).Persist.boundaries_elided
+
+let test_commit_reaches_nvm () =
+  let t = mk () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:42 ~version:1;
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0);
+  (* Give the path time to drain and commit. *)
+  Persist.advance t ~cycle:10_000;
+  Alcotest.(check int) "redo landed" 42 (Persist.nvm_line t 7).(0)
+
+let test_uncommitted_stays_out () =
+  let t = mk () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:42 ~version:1;
+  Persist.advance t ~cycle:10_000;
+  (* no boundary: the entry sits in the back-end without a commit marker *)
+  Alcotest.(check int) "nvm untouched" 0 (Persist.nvm_line t 7).(0)
+
+let test_crash_redo_committed () =
+  let t = mk () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:42 ~version:1;
+  Persist.on_ckpt t ~core:0 ~slot:4 ~value:77;
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:9 ~sp:500);
+  (* Crash immediately: everything is still in flight, but battery-backed
+     buffers drain and the committed region replays. *)
+  let image = Persist.crash_recover t ~cycle:2 in
+  Alcotest.(check int) "redo applied" 42
+    (Memory.line_snapshot image.Persist.nvm 7).(0);
+  Alcotest.(check int) "slot applied" 77 image.Persist.slots.(0).(4);
+  (match image.Persist.resume.(0) with
+   | Persist.Resume { boundary; sp } ->
+     Alcotest.(check int) "resume boundary" 9 boundary;
+     Alcotest.(check int) "resume sp" 500 sp
+   | _ -> Alcotest.fail "expected resume record")
+
+let test_crash_undo_interrupted () =
+  let t = mk () in
+  (* Region A commits line 7 = 10. *)
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:10 ~version:1;
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0);
+  (* Region B overwrites line 7 = 20 but never commits. *)
+  store t ~cycle:2 ~line:7 ~from:10 ~to_:20 ~version:2;
+  Persist.on_ckpt t ~core:0 ~slot:4 ~value:123;  (* staged, uncommitted *)
+  let image = Persist.crash_recover t ~cycle:3 in
+  Alcotest.(check int) "rolled back to region A" 10
+    (Memory.line_snapshot image.Persist.nvm 7).(0);
+  Alcotest.(check int) "uncommitted ckpt discarded" 0
+    image.Persist.slots.(0).(4)
+
+let test_figure7_writeback_race () =
+  (* The paper's Figure 7: region 1 commits A=10; region 2 stores A=20;
+     the dirty writeback (A=20) beats region 1's phase 2; the redo
+     valid-bit is cleared; a crash before region 2 commits must still
+     restore A=10 via region 2's undo. *)
+  let t = mk () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:10 ~version:1;
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0);
+  store t ~cycle:2 ~line:7 ~from:10 ~to_:20 ~version:2;
+  (* cache writeback of the line carrying region 2's data arrives *)
+  Persist.on_writeback t ~cycle:3 ~line:7 ~data:(line_data 20) ~version:2;
+  Alcotest.(check int) "writeback landed" 20 (Persist.nvm_line t 7).(0);
+  let image = Persist.crash_recover t ~cycle:4 in
+  Alcotest.(check int) "undo restores region 1's value" 10
+    (Memory.line_snapshot image.Persist.nvm 7).(0)
+
+let test_scan_invalidation_saves_bandwidth () =
+  let t = mk () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:10 ~version:1;
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0);
+  (* Let the entry reach the back-end, then a NEWER writeback arrives
+     before the commit marker is processed... simpler: send writeback
+     after the commit already applied; the scan just must not corrupt. *)
+  Persist.advance t ~cycle:10_000;
+  Persist.on_writeback t ~cycle:10_001 ~line:7 ~data:(line_data 99) ~version:5;
+  Alcotest.(check int) "newer writeback wins" 99 (Persist.nvm_line t 7).(0);
+  (* An older redo must never overwrite a newer writeback (version
+     guard). *)
+  store t ~cycle:10_002 ~line:7 ~from:99 ~to_:11 ~version:3 (* stale version *);
+  ignore (Persist.on_boundary t ~core:0 ~cycle:10_003 ~boundary:2 ~sp:0);
+  Persist.advance t ~cycle:20_000;
+  Alcotest.(check int) "stale redo skipped" 99 (Persist.nvm_line t 7).(0)
+
+let test_monitor_window () =
+  let t = mk () in
+  (* Entry created, writeback with same-or-newer version arrives at the
+     controller before the entry: the window must invalidate it. *)
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:10 ~version:1;
+  Persist.on_writeback t ~cycle:0 ~line:7 ~data:(line_data 10) ~version:1;
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0);
+  Persist.advance t ~cycle:10_000;
+  let s = Persist.stats t in
+  Alcotest.(check bool) "window or scan invalidated the entry" true
+    (s.Persist.window_invalidations + s.Persist.scan_invalidations >= 1);
+  Alcotest.(check int) "content correct" 10 (Persist.nvm_line t 7).(0)
+
+let test_naive_sync_stalls () =
+  let t = mk ~mode:Persist.Naive_sync () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:10 ~version:1;
+  let stall = Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0 in
+  Alcotest.(check bool) "boundary stalls" true (stall > 0);
+  Alcotest.(check int) "persisted on return" 10 (Persist.nvm_line t 7).(0)
+
+let test_capri_async () =
+  let t = mk () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:10 ~version:1;
+  let stall = Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0 in
+  Alcotest.(check int) "no stall" 0 stall
+
+let test_front_proxy_backpressure () =
+  (* A tiny front-end with a slow path: a dense store burst must stall
+     the core (but never deadlock — the back-end can hold the region). *)
+  let cfg = { config with Config.front_proxy_entries = 2;
+              back_proxy_entries = 64; proxy_path_gap = 16 } in
+  let t = mk ~cfg () in
+  let total_stall = ref 0 in
+  for i = 0 to 7 do
+    total_stall :=
+      !total_stall
+      + Persist.on_store t ~core:0 ~cycle:i ~line:(100 + i) ~mask:0xFF
+          ~undo:(line_data 0) ~redo:(line_data i) ~version:1
+  done;
+  Alcotest.(check bool) "store stalled" true (!total_stall > 0)
+
+let test_region_overflow_detected () =
+  (* A region with more distinct lines than the back-end proxy can hold
+     violates the compiler's threshold contract; the engine must fail
+     loudly rather than lose entries. *)
+  let cfg = { config with Config.front_proxy_entries = 2;
+              back_proxy_entries = 2 } in
+  let t = mk ~cfg () in
+  Alcotest.check_raises "deadlock detected"
+    (Failure "Persist: stalled with no pending events")
+    (fun () ->
+      for i = 0 to 7 do
+        ignore
+          (Persist.on_store t ~core:0 ~cycle:i ~line:(100 + i) ~mask:0xFF
+             ~undo:(line_data 0) ~redo:(line_data i) ~version:1)
+      done)
+
+let test_multi_core_isolation () =
+  let cfg = { config with Config.cores = 2 } in
+  let t = mk ~cfg () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:10 ~version:1;
+  ignore
+    (Persist.on_store t ~core:1 ~cycle:0 ~line:9 ~mask:0xFF
+       ~undo:(line_data 0) ~redo:(line_data 30) ~version:1);
+  ignore (Persist.on_boundary t ~core:0 ~cycle:1 ~boundary:1 ~sp:0);
+  (* core 1 never commits *)
+  let image = Persist.crash_recover t ~cycle:5 in
+  Alcotest.(check int) "core 0 redo" 10
+    (Memory.line_snapshot image.Persist.nvm 7).(0);
+  Alcotest.(check int) "core 1 undone" 0
+    (Memory.line_snapshot image.Persist.nvm 9).(0);
+  (match image.Persist.resume.(1) with
+   | Persist.Never_started -> ()
+   | Persist.Resume _ | Persist.Done ->
+     Alcotest.fail "core 1 should have no resume record")
+
+let test_halt_commits_in_background () =
+  let t = mk () in
+  store t ~cycle:0 ~line:7 ~from:0 ~to_:10 ~version:1;
+  let stall = Persist.on_halt t ~core:0 ~cycle:1 in
+  Alcotest.(check int) "no exit stall in capri mode" 0 stall;
+  Persist.advance t ~cycle:100_000;
+  Alcotest.(check int) "final region persisted" 10 (Persist.nvm_line t 7).(0);
+  let image = Persist.crash_recover t ~cycle:100_001 in
+  (match image.Persist.resume.(0) with
+   | Persist.Done -> ()
+   | Persist.Resume _ | Persist.Never_started ->
+     Alcotest.fail "halted core should be Done")
+
+let suite =
+  [
+    Alcotest.test_case "merge within region" `Quick test_merge_within_region;
+    Alcotest.test_case "no merge across regions" `Quick
+      test_no_merge_across_regions;
+    Alcotest.test_case "boundary elision" `Quick test_boundary_elision;
+    Alcotest.test_case "commit reaches NVM" `Quick test_commit_reaches_nvm;
+    Alcotest.test_case "uncommitted stays out" `Quick
+      test_uncommitted_stays_out;
+    Alcotest.test_case "crash: redo committed" `Quick test_crash_redo_committed;
+    Alcotest.test_case "crash: undo interrupted" `Quick
+      test_crash_undo_interrupted;
+    Alcotest.test_case "Figure 7 writeback race" `Quick
+      test_figure7_writeback_race;
+    Alcotest.test_case "version guard vs stale redo" `Quick
+      test_scan_invalidation_saves_bandwidth;
+    Alcotest.test_case "monitoring window" `Quick test_monitor_window;
+    Alcotest.test_case "naive mode stalls at boundaries" `Quick
+      test_naive_sync_stalls;
+    Alcotest.test_case "capri mode is asynchronous" `Quick test_capri_async;
+    Alcotest.test_case "front-end backpressure" `Quick
+      test_front_proxy_backpressure;
+    Alcotest.test_case "region overflow detected" `Quick
+      test_region_overflow_detected;
+    Alcotest.test_case "multi-core isolation" `Quick test_multi_core_isolation;
+    Alcotest.test_case "halt commits in background" `Quick
+      test_halt_commits_in_background;
+  ]

@@ -1,0 +1,223 @@
+(* Property-based tests over randomly generated programs (see Gen_prog).
+   The headline property is the paper's central claim: whatever the
+   program, the threshold, the optimization mix and the crash schedule,
+   crash + recover + resume is indistinguishable from a crash-free run. *)
+
+open Capri
+module Opt = Capri_compiler.Options
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 5_000)
+
+let options_of_seed seed =
+  (* deterministically vary threshold and optimization mix with the seed *)
+  let thresholds = [| 16; 32; 64; 256 |] in
+  let configs = Array.of_list Opt.fig9_configs in
+  let threshold = thresholds.(seed mod Array.length thresholds) in
+  let _, options = configs.((seed / 7) mod Array.length configs) in
+  Opt.with_threshold threshold options
+
+(* Crash testing requires a failure-atomic configuration: the bare
+   `region` config has no checkpoint stores (the paper's Figure 9 calls
+   it out as not failure-atomic), so crashes under it are unrecoverable
+   by design. *)
+let crash_options_of_seed seed =
+  let options = options_of_seed seed in
+  if options.Opt.ckpt then options else { options with Opt.ckpt = true }
+
+(* WSP equivalence under one crash at a pseudo-random point. *)
+let prop_crash_equivalence =
+  QCheck.Test.make ~count:60 ~name:"crash+recover == crash-free" seed_gen
+    (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let options = crash_options_of_seed seed in
+      let compiled = Pipeline.compile options program in
+      let reference = Verify.reference compiled in
+      let total = reference.Executor.instrs in
+      (* three crash points spread pseudo-randomly across the run *)
+      let points =
+        List.sort_uniq compare
+          [ 1 + (seed * 7919 mod max 1 (total - 1));
+            1 + (seed * 104729 mod max 1 (total - 1));
+            max 1 (total / 2) ]
+      in
+      List.for_all
+        (fun at ->
+          let result, _, _ =
+            Verify.run_with_crashes ~crash_at:[ at ] compiled
+          in
+          match Verify.check_equivalence ~reference ~candidate:result with
+          | Ok () -> true
+          | Error reason ->
+            QCheck.Test.fail_reportf "seed %d crash at %d: %s" seed at reason)
+        points)
+
+(* Double crashes: a crash during the re-execution after recovery. *)
+let prop_double_crash =
+  QCheck.Test.make ~count:25 ~name:"double crash recovers" seed_gen
+    (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let compiled = Pipeline.compile (crash_options_of_seed seed) program in
+      let reference = Verify.reference compiled in
+      let total = reference.Executor.instrs in
+      let a = 1 + (seed * 31 mod max 1 (total / 2)) in
+      let b = 1 + (seed * 17 mod max 1 (total / 2)) in
+      let result, _, _ =
+        Verify.run_with_crashes ~crash_at:[ a; b ] compiled
+      in
+      match Verify.check_equivalence ~reference ~candidate:result with
+      | Ok () -> true
+      | Error reason ->
+        QCheck.Test.fail_reportf "seed %d crashes at %d,%d: %s" seed a b
+          reason)
+
+(* Compilation preserves crash-free semantics for every optimization
+   configuration. *)
+let prop_compile_preserves =
+  QCheck.Test.make ~count:60 ~name:"compiled == source semantics" seed_gen
+    (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let base = run_volatile program in
+      List.for_all
+        (fun (label, options) ->
+          List.for_all
+            (fun threshold ->
+              let options = Opt.with_threshold threshold options in
+              let compiled = Pipeline.compile options program in
+              let result = run compiled in
+              if
+                Memory.equal ~from:Builder.data_base base.Executor.memory
+                  result.Executor.memory
+                && base.Executor.outputs = result.Executor.outputs
+              then true
+              else
+                QCheck.Test.fail_reportf "seed %d config %s threshold %d"
+                  seed label threshold)
+            [ 16; 256 ])
+        Opt.fig9_configs)
+
+(* The region store threshold is never exceeded dynamically (the
+   executor raises when its check fails; `run` enables it). *)
+let prop_threshold_invariant =
+  QCheck.Test.make ~count:80 ~name:"dynamic stores/region <= threshold"
+    seed_gen (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let options = options_of_seed seed in
+      let compiled = Pipeline.compile options program in
+      let result = run compiled in
+      result.Executor.region_stats.Executor.max_stores_in_region
+      <= options.Opt.threshold)
+
+(* Unrolling alone, on top of arbitrary programs. *)
+let prop_unroll_preserves =
+  QCheck.Test.make ~count:60 ~name:"speculative unrolling is semantic noop"
+    seed_gen (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let base = run_volatile program in
+      let copy = Pipeline.copy_program program in
+      ignore (Capri_compiler.Unroll.run Opt.default copy);
+      Validate.check_exn copy;
+      let after = run_volatile copy in
+      Memory.equal ~from:Builder.data_base base.Executor.memory
+        after.Executor.memory
+      && base.Executor.outputs = after.Executor.outputs)
+
+(* The oracle must never observe a stale NVM read in Capri mode. *)
+let prop_no_stale_reads =
+  QCheck.Test.make ~count:40 ~name:"no stale NVM reads" seed_gen (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let compiled = Pipeline.compile (options_of_seed seed) program in
+      (* tiny caches make evictions (and thus the races) frequent *)
+      let config =
+        { Config.sim_default with
+          Config.l1_lines = 8;
+          l2_lines = 16;
+          dram_cache_lines = 32;
+        }
+      in
+      let result = run ~config compiled in
+      result.Executor.stale_reads = 0)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_crash_equivalence;
+      prop_double_crash;
+      prop_compile_preserves;
+      prop_threshold_invariant;
+      prop_unroll_preserves;
+      prop_no_stale_reads;
+    ]
+
+(* Journaled I/O gives exactly-once output streams on arbitrary programs
+   under crashes (Section 3.3 extension). *)
+let prop_journal_exactly_once =
+  QCheck.Test.make ~count:30 ~name:"journal: exactly-once outputs" seed_gen
+    (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let compiled = Pipeline.compile (crash_options_of_seed seed) program in
+      let threads = [ Executor.main_thread program ] in
+      let run_j crash_at =
+        let rec go session = function
+          | [] -> (
+            match Executor.run session with
+            | Executor.Finished r -> r
+            | Executor.Crashed _ -> assert false)
+          | at :: rest -> (
+            match Executor.run ~crash_at_instr:at session with
+            | Executor.Finished r -> r
+            | Executor.Crashed { image; _ } ->
+              ignore (Recovery.apply_recovery_blocks compiled image);
+              go
+                (Executor.resume ~journal_io:true ~compiled ~image ~threads ())
+                rest)
+        in
+        go
+          (Executor.start ~journal_io:true
+             ~program:compiled.Compiled.program ~threads ())
+          crash_at
+      in
+      let reference = run_j [] in
+      let total = reference.Executor.instrs in
+      List.for_all
+        (fun at ->
+          let crashed = run_j [ at ] in
+          if reference.Executor.outputs = crashed.Executor.outputs then true
+          else
+            QCheck.Test.fail_reportf "seed %d crash at %d: streams differ"
+              seed at)
+        [ 1 + (seed mod max 1 (total - 1));
+          1 + (seed * 13 mod max 1 (total - 1)); max 1 (total / 2) ])
+
+(* Profile-guided compilation is a semantic no-op and keeps the threshold
+   invariant. *)
+let prop_pgo_preserves =
+  QCheck.Test.make ~count:25 ~name:"pgo preserves semantics" seed_gen
+    (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let base = run_volatile program in
+      let options = crash_options_of_seed seed in
+      let pgo = compile_pgo ~options program in
+      let result = run pgo in
+      Memory.equal ~from:Builder.data_base base.Executor.memory
+        result.Executor.memory
+      && base.Executor.outputs = result.Executor.outputs
+      && result.Executor.region_stats.Executor.max_stores_in_region
+         <= options.Opt.threshold)
+
+(* The parser round-trips every compiled artifact. *)
+let prop_parser_round_trip =
+  QCheck.Test.make ~count:40 ~name:"parser round-trips compiled programs"
+    seed_gen (fun seed ->
+      let program = Gen_prog.program_of_seed seed in
+      let compiled = Pipeline.compile (options_of_seed seed) program in
+      let text = Capri_ir.Parser.to_string compiled.Compiled.program in
+      match Capri_ir.Parser.parse text with
+      | Error e ->
+        QCheck.Test.fail_reportf "seed %d: parse error line %d: %s" seed
+          e.Capri_ir.Parser.line e.Capri_ir.Parser.message
+      | Ok p2 -> Capri_ir.Parser.to_string p2 = text)
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_journal_exactly_once; prop_pgo_preserves; prop_parser_round_trip ]

@@ -1,0 +1,132 @@
+(* Shape regressions: the qualitative claims the evaluation rests on must
+   keep holding — these are the "who wins and which way do trends bend"
+   facts EXPERIMENTS.md reports. Scales are kept small; the assertions
+   use generous margins so they test shape, not noise. *)
+
+open Capri
+module W = Capri_workloads
+
+let fence_off =
+  { Config.sim_default with Config.conflict_fence = false }
+
+let overhead_of ?(options = Capri_compiler.Options.default) (k : W.Kernel.t) =
+  let baseline =
+    run_volatile ~threads:k.W.Kernel.threads k.W.Kernel.program
+  in
+  let compiled = Pipeline.compile options k.W.Kernel.program in
+  let config =
+    Config.with_threshold options.Capri_compiler.Options.threshold fence_off
+  in
+  let result = run ~config ~threads:k.W.Kernel.threads compiled in
+  overhead ~baseline result
+
+let test_threshold_monotone () =
+  (* Figure 8's trend: overhead at threshold 32 >= overhead at 256 (with
+     slack for timing noise), on kernels with dense stores. *)
+  List.iter
+    (fun name ->
+      let k = W.Suite.by_name ~scale:6 name in
+      let at threshold =
+        overhead_of
+          ~options:
+            (Capri_compiler.Options.with_threshold threshold
+               Capri_compiler.Options.default)
+          k
+      in
+      let small = at 32 and large = at 256 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.3f@32 >= %.3f@256 - eps" name small large)
+        true
+        (small >= large -. 0.02))
+    [ "ocean"; "radix"; "519.lbm_r"; "531.deepsjeng_r" ]
+
+let test_unrolling_helps_short_loops () =
+  (* Figure 9: +unrolling beats +ckpt on the short-loop kernels. *)
+  List.iter
+    (fun name ->
+      let k = W.Suite.by_name ~scale:6 name in
+      let without = overhead_of ~options:Capri_compiler.Options.up_to_ckpt k in
+      let with_u = overhead_of ~options:Capri_compiler.Options.up_to_unroll k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.3f -> %.3f" name without with_u)
+        true (with_u <= without +. 0.005))
+    [ "508.namd_r"; "541.leela_r"; "raytrace"; "ssca2" ]
+
+let test_naive_worse_than_capri () =
+  (* The headline strawman: synchronous persistence costs more. *)
+  List.iter
+    (fun name ->
+      let k = W.Suite.by_name ~scale:6 name in
+      let baseline =
+        run_volatile ~threads:k.W.Kernel.threads k.W.Kernel.program
+      in
+      let compiled =
+        Pipeline.compile Capri_compiler.Options.default k.W.Kernel.program
+      in
+      let capri =
+        run ~config:fence_off ~threads:k.W.Kernel.threads compiled
+      in
+      let naive =
+        run ~config:fence_off ~mode:Persist.Naive_sync
+          ~threads:k.W.Kernel.threads compiled
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: naive %d >= capri %d" name naive.Executor.cycles
+           capri.Executor.cycles)
+        true
+        (naive.Executor.cycles >= capri.Executor.cycles);
+      ignore baseline)
+    [ "519.lbm_r"; "ocean"; "genome"; "radix" ]
+
+let test_ckpt_dominates_boundaries () =
+  (* Figure 9's first two columns: checkpoint stores cost more than the
+     boundary instructions alone, across the suite geomean. *)
+  let kernels = W.Suite.all ~scale:4 () in
+  let geo options =
+    Capri_util.Stat.geomean
+      (List.map (fun k -> overhead_of ~options k) kernels)
+  in
+  let region = geo Capri_compiler.Options.region_only in
+  let ckpt = geo Capri_compiler.Options.up_to_ckpt in
+  Alcotest.(check bool)
+    (Printf.sprintf "region %.3f < ckpt %.3f" region ckpt)
+    true (region < ckpt)
+
+let test_sensitivity_loop_length_trend () =
+  let at mean =
+    let k = W.Micro.loop_length ~mean ~outer:80 in
+    overhead_of k
+  in
+  let short = at 2 and long = at 24 in
+  Alcotest.(check bool)
+    (Printf.sprintf "short loops cost more (%.3f vs %.3f)" short long)
+    true
+    (short > long +. 0.02)
+
+let test_micro_kernels_recover () =
+  List.iter
+    (fun (k : W.Kernel.t) ->
+      let compiled =
+        Pipeline.compile Capri_compiler.Options.default k.W.Kernel.program
+      in
+      match crash_sweep ~stride:37 compiled with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "%s: %s" k.W.Kernel.name f.Verify.reason)
+    [ W.Micro.store_density ~percent:40 ~n:100;
+      W.Micro.loop_length ~mean:5 ~outer:20;
+      W.Micro.call_frequency ~period:4 ~n:60 ]
+
+let suite =
+  [
+    Alcotest.test_case "threshold trend is monotone" `Quick
+      test_threshold_monotone;
+    Alcotest.test_case "unrolling helps short loops" `Quick
+      test_unrolling_helps_short_loops;
+    Alcotest.test_case "naive costs more" `Quick test_naive_worse_than_capri;
+    Alcotest.test_case "checkpoints dominate boundaries" `Quick
+      test_ckpt_dominates_boundaries;
+    Alcotest.test_case "loop-length sensitivity" `Quick
+      test_sensitivity_loop_length_trend;
+    Alcotest.test_case "micro kernels recover" `Quick
+      test_micro_kernels_recover;
+  ]

@@ -1,0 +1,84 @@
+(* End-to-end smoke tests: build, compile, run, crash, recover. *)
+
+open Capri
+open Helpers
+
+let test_sum_volatile () =
+  let program, _ = sum_program ~n:10 () in
+  let result = run_volatile program in
+  expect_outputs result 0 [ 45 ]
+
+let test_sum_capri () =
+  let program, _ = sum_program ~n:10 () in
+  let compiled = compile program in
+  let result = run compiled in
+  expect_outputs result 0 [ 45 ];
+  Alcotest.(check bool) "has boundaries" true (result.Executor.boundaries > 0)
+
+let test_fib () =
+  let program = fib_program ~n:10 () in
+  let volatile = run_volatile program in
+  expect_outputs volatile 0 [ 55 ];
+  let compiled = compile program in
+  let result = run compiled in
+  expect_outputs result 0 [ 55 ]
+
+let test_mixed () =
+  let program, _, _ = mixed_program ~n:24 () in
+  let volatile = run_volatile program in
+  expect_outputs volatile 0 [ 24 ];
+  let compiled = compile program in
+  let result = run compiled in
+  expect_outputs result 0 [ 24 ]
+
+let test_compiled_matches_volatile_memory () =
+  let program, _ = sum_program ~n:50 () in
+  let volatile = run_volatile program in
+  let compiled = compile program in
+  let result = run compiled in
+  Alcotest.(check bool)
+    "memory equal" true
+    (Memory.equal ~from:Builder.data_base volatile.Executor.memory
+       result.Executor.memory)
+
+let test_crash_sweep_sum () =
+  let program, _ = sum_program ~n:12 () in
+  let compiled = compile program in
+  match crash_sweep ~stride:7 compiled with
+  | Ok report ->
+    Alcotest.(check bool) "recovered" true (report.Verify.recoveries > 0);
+    Alcotest.(check int) "no stale reads" 0 report.Verify.stale_reads
+  | Error f -> Alcotest.failf "crash at %s: %s"
+                 (String.concat "," (List.map string_of_int f.Verify.crash_at))
+                 f.Verify.reason
+
+let test_crash_sweep_fib () =
+  let program = fib_program ~n:8 () in
+  let compiled = compile program in
+  match crash_sweep ~stride:11 compiled with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "crash at %s: %s"
+                 (String.concat "," (List.map string_of_int f.Verify.crash_at))
+                 f.Verify.reason
+
+let test_crash_sweep_mixed () =
+  let program, _, _ = mixed_program ~n:16 () in
+  let compiled = compile program in
+  match crash_sweep ~stride:13 compiled with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "crash at %s: %s"
+                 (String.concat "," (List.map string_of_int f.Verify.crash_at))
+                 f.Verify.reason
+
+let suite =
+  [
+    Alcotest.test_case "sum volatile" `Quick test_sum_volatile;
+    Alcotest.test_case "sum capri" `Quick test_sum_capri;
+    Alcotest.test_case "fib recursion" `Quick test_fib;
+    Alcotest.test_case "fences and atomics" `Quick test_mixed;
+    Alcotest.test_case "compiled preserves memory" `Quick
+      test_compiled_matches_volatile_memory;
+    Alcotest.test_case "crash sweep: sum" `Quick test_crash_sweep_sum;
+    Alcotest.test_case "crash sweep: fib" `Quick test_crash_sweep_fib;
+    Alcotest.test_case "crash sweep: mixed" `Quick test_crash_sweep_mixed;
+  ]

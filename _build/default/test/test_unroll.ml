@@ -1,0 +1,163 @@
+(* Speculative loop unrolling: shape of the transformation, semantic
+   preservation, region-size effects. *)
+
+open Capri
+open Helpers
+module Opt = Capri_compiler.Options
+module Unroll = Capri_compiler.Unroll
+
+(* Unknown-trip loop summing array elements: the canonical target. *)
+let unknown_trip_program ?(n = 23) () =
+  let b = Builder.create () in
+  let arr = Builder.alloc_init b (Array.init 64 (fun i -> i * 2)) in
+  let bound = Builder.alloc_init b [| n |] in
+  let f = Builder.func b "main" in
+  let header = Builder.block f "header" in
+  let body = Builder.block f "body" in
+  let exit_ = Builder.block f "exit" in
+  Builder.li f (r 1) 0;
+  Builder.li f (r 8) bound;
+  Builder.load f (r 9) ~base:(r 8) ();  (* bound unknown at compile time *)
+  Builder.li f (r 7) arr;
+  Builder.li f (r 3) 0;
+  Builder.jump f header;
+  Builder.switch f header;
+  Builder.binop f Instr.Lt (r 2) (rg 1) (rg 9);
+  Builder.branch f (rg 2) body exit_;
+  Builder.switch f body;
+  Builder.add f (r 4) (rg 7) (rg 1);
+  Builder.load f (r 5) ~base:(r 4) ();
+  Builder.add f (r 3) (rg 3) (rg 5);
+  Builder.store f ~base:(r 4) (rg 3);
+  Builder.add f (r 1) (rg 1) (im 1);
+  Builder.jump f header;
+  Builder.switch f exit_;
+  Builder.out f (rg 3);
+  Builder.halt f;
+  Builder.finish b ~main:"main"
+
+let test_unroll_fires () =
+  let program = Pipeline.copy_program (unknown_trip_program ()) in
+  let report = Unroll.run Opt.default program in
+  Alcotest.(check int) "one loop seen" 1 report.Unroll.loops_seen;
+  Alcotest.(check int) "one loop unrolled" 1 report.Unroll.loops_unrolled;
+  Alcotest.(check bool) "factor >= 2" true (report.Unroll.total_factor >= 2);
+  Validate.check_exn program
+
+let test_unroll_block_growth () =
+  let original = unknown_trip_program () in
+  let program = Pipeline.copy_program original in
+  let report = Unroll.run Opt.default program in
+  let factor = report.Unroll.total_factor in
+  let mf = Program.find_func program "main" in
+  let orig_blocks = List.length (Func.blocks (Program.find_func original "main")) in
+  (* the 2 loop blocks are replicated (factor - 1) times *)
+  Alcotest.(check int) "cloned blocks"
+    (orig_blocks + (2 * (factor - 1)))
+    (List.length (Func.blocks mf))
+
+let test_unroll_preserves_semantics () =
+  List.iter
+    (fun n ->
+      let program = unknown_trip_program ~n () in
+      let base = run_volatile program in
+      let unrolled = Pipeline.copy_program program in
+      ignore (Unroll.run Opt.default unrolled);
+      let after = run_volatile unrolled in
+      Alcotest.(check (list int))
+        (Printf.sprintf "outputs for n=%d" n)
+        base.Executor.outputs.(0) after.Executor.outputs.(0);
+      Alcotest.(check bool)
+        (Printf.sprintf "memory for n=%d" n)
+        true
+        (Memory.equal base.Executor.memory after.Executor.memory))
+    (* include zero-trip and counts around the unroll factor *)
+    [ 0; 1; 2; 3; 4; 5; 7; 8; 9; 23 ]
+
+let test_unroll_skips_known_trip () =
+  let program, _ = sum_program ~n:50 () in
+  let copy = Pipeline.copy_program program in
+  let report = Unroll.run Opt.default copy in
+  Alcotest.(check int) "known-trip loop not unrolled" 0
+    report.Unroll.loops_unrolled
+
+let test_unroll_skips_loops_with_calls () =
+  let b = Builder.create () in
+  let callee = Builder.func b "leaf" in
+  Builder.add callee (r 0) (rg 0) (im 1);
+  Builder.ret callee;
+  let f = Builder.func b "main" in
+  let header = Builder.block f "header" in
+  let body = Builder.block f "body" in
+  let exit_ = Builder.block f "exit" in
+  Builder.li f (r 1) 0;
+  Builder.li f (r 9) 999;
+  Builder.mul f (r 9) (rg 9) (rg 9);  (* opaque bound *)
+  Builder.binop f Instr.Rem (r 9) (rg 9) (im 7);
+  Builder.jump f header;
+  Builder.switch f header;
+  Builder.binop f Instr.Lt (r 2) (rg 1) (rg 9);
+  Builder.branch f (rg 2) body exit_;
+  Builder.switch f body;
+  Builder.call_cont f "leaf";
+  Builder.add f (r 1) (rg 1) (im 1);
+  Builder.jump f header;
+  Builder.switch f exit_;
+  Builder.halt f;
+  let program = Builder.finish b ~main:"main" in
+  let copy = Pipeline.copy_program program in
+  let report = Unroll.run Opt.default copy in
+  Alcotest.(check int) "call-bearing loop skipped" 0
+    report.Unroll.loops_unrolled
+
+let test_unroll_respects_code_growth () =
+  let program = unknown_trip_program () in
+  let copy = Pipeline.copy_program program in
+  let tight = { Opt.default with Opt.unroll_code_growth = 1 } in
+  let report = Unroll.run tight copy in
+  Alcotest.(check int) "growth budget blocks unrolling" 0
+    report.Unroll.loops_unrolled
+
+let test_unrolled_region_size_grows () =
+  let program = unknown_trip_program ~n:64 () in
+  let no_unroll =
+    Pipeline.compile { Opt.default with Opt.unroll = false } program
+  in
+  let with_unroll = Pipeline.compile Opt.default program in
+  let stats c = (run c).Executor.region_stats in
+  let s1 = stats no_unroll and s2 = stats with_unroll in
+  let avg s =
+    float_of_int s.Executor.total_instrs
+    /. float_of_int (max 1 s.Executor.regions_executed)
+  in
+  Alcotest.(check bool) "regions grow" true (avg s2 > avg s1 *. 1.5);
+  Alcotest.(check bool) "fewer boundaries" true
+    (s2.Executor.regions_executed < s1.Executor.regions_executed)
+
+let test_unrolled_crash_recovery () =
+  let program = unknown_trip_program ~n:13 () in
+  let compiled = compile program in
+  match crash_sweep ~stride:5 compiled with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "crash at %s: %s"
+                 (String.concat "," (List.map string_of_int f.Verify.crash_at))
+                 f.Verify.reason
+
+let suite =
+  [
+    Alcotest.test_case "unrolling fires on unknown trips" `Quick
+      test_unroll_fires;
+    Alcotest.test_case "block growth matches factor" `Quick
+      test_unroll_block_growth;
+    Alcotest.test_case "semantics preserved (incl. 0 trips)" `Quick
+      test_unroll_preserves_semantics;
+    Alcotest.test_case "known-trip loops skipped" `Quick
+      test_unroll_skips_known_trip;
+    Alcotest.test_case "loops with calls skipped" `Quick
+      test_unroll_skips_loops_with_calls;
+    Alcotest.test_case "code-growth budget respected" `Quick
+      test_unroll_respects_code_growth;
+    Alcotest.test_case "regions grow" `Quick test_unrolled_region_size_grows;
+    Alcotest.test_case "crash recovery after unrolling" `Quick
+      test_unrolled_crash_recovery;
+  ]

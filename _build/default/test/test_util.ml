@@ -1,0 +1,110 @@
+(* Substrate utilities: deterministic RNG, statistics, tables, charts. *)
+
+let test_rng_deterministic () =
+  let a = Capri_util.Rng.create 42 in
+  let b = Capri_util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Capri_util.Rng.next a)
+      (Capri_util.Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let rng = Capri_util.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Capri_util.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 1_000 do
+    let v = Capri_util.Rng.int_in rng 5 9 in
+    if v < 5 || v > 9 then Alcotest.failf "int_in out of bounds: %d" v;
+    let f = Capri_util.Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_rng_split_independent () =
+  let a = Capri_util.Rng.create 99 in
+  let b = Capri_util.Rng.split a in
+  let xs = List.init 20 (fun _ -> Capri_util.Rng.next a) in
+  let ys = List.init 20 (fun _ -> Capri_util.Rng.next b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_distribution () =
+  (* crude uniformity: each bucket of 8 gets 8-17% of 10k draws *)
+  let rng = Capri_util.Rng.create 1 in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 10_000 do
+    let v = Capri_util.Rng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n < 800 || n > 1700 then Alcotest.failf "bucket %d skewed: %d" i n)
+    buckets
+
+let test_stat_basics () =
+  let open Capri_util.Stat in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (mean []);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (geomean [ 1.0; 2.0; 4.0 ]);
+  let lo, hi = min_max [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check (float 1e-9)) "min" 1.0 lo;
+  Alcotest.(check (float 1e-9)) "max" 3.0 hi;
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (stddev [ 5.0 ]);
+  Alcotest.(check (float 1e-6)) "stddev" 2.0 (stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]);
+  Alcotest.(check (float 1e-9)) "p50" 2.0
+    (percentile 50.0 [ 3.0; 1.0; 2.0; 4.0 ]);
+  let acc = Acc.create () in
+  Acc.add acc 2.0;
+  Acc.add acc 4.0;
+  Alcotest.(check int) "acc count" 2 (Acc.count acc);
+  Alcotest.(check (float 1e-9)) "acc mean" 3.0 (Acc.mean acc)
+
+let test_table_render () =
+  let t = Capri_util.Table.create ~header:[ "name"; "v" ] in
+  Capri_util.Table.add_row t [ "alpha"; "1.00" ];
+  Capri_util.Table.add_sep t;
+  Capri_util.Table.add_row t [ "b"; "12.50" ];
+  let s = Capri_util.Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0
+     &&
+     let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> String.length l > 0 && l.[0] = '|') lines);
+  (* all non-empty lines have equal width *)
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 then Some (String.length l) else None)
+      (String.split_on_char '\n' s)
+  in
+  (match widths with
+   | w :: rest ->
+     List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+   | [] -> Alcotest.fail "empty render");
+  Alcotest.(check string) "float fmt" "3.14"
+    (Capri_util.Table.fmt_f ~decimals:2 3.14159)
+
+let test_chart_render () =
+  let s =
+    Capri_util.Chart.bar ~width:10 ~title:"t"
+      [ ("a", 1.0); ("bb", 2.0) ]
+  in
+  Alcotest.(check bool) "bars scale" true
+    (String.length s > 0
+     && String.split_on_char '\n' s
+        |> List.exists (fun l -> String.length l > 0 && String.contains l '#'));
+  let g =
+    Capri_util.Chart.grouped ~title:"g" ~series:[ "x"; "y" ]
+      [ ("row", [ 1.0; 0.5 ]) ]
+  in
+  Alcotest.(check bool) "grouped renders" true (String.length g > 0)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng distribution" `Quick test_rng_distribution;
+    Alcotest.test_case "statistics" `Quick test_stat_basics;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "chart rendering" `Quick test_chart_render;
+  ]
