@@ -32,8 +32,9 @@ let figure8 ~scale () =
     \    discusses 32 and 64)";
   let kernels = Runner.kernels ~scale in
   let columns = fig8_thresholds in
+  Runner.prewarm_baselines kernels;
   let per_kernel =
-    List.map
+    Runner.par_map
       (fun k ->
         let row =
           List.map
@@ -83,8 +84,9 @@ let figure9 ~scale () =
   print_endline "   (threshold 256; 1.00 = unmodified volatile run)";
   let kernels = Runner.kernels ~scale in
   let configs = Options.fig9_configs in
+  Runner.prewarm_baselines kernels;
   let per_kernel =
-    List.map
+    Runner.par_map
       (fun k ->
         let row =
           List.map
@@ -124,8 +126,9 @@ let figure9 ~scale () =
 let region_figure ~scale ~what ~extract () =
   let kernels = Runner.kernels ~scale in
   let configs = Options.fig9_configs in
+  Runner.prewarm_baselines kernels;
   let per_kernel =
-    List.map
+    Runner.par_map
       (fun k ->
         let row =
           List.map
@@ -204,8 +207,9 @@ let nvm_writes ~scale () =
       (p.Persist.nvm_writes_wb + p.Persist.nvm_writes_redo
      + p.Persist.nvm_writes_slot)
   in
+  Runner.prewarm_baselines kernels;
   let per_kernel =
-    List.map
+    Runner.par_map
       (fun k ->
         let raw =
           List.map
@@ -243,8 +247,9 @@ let nvm_writes ~scale () =
 let headline ~scale () =
   print_endline "== Headline: WSP overhead at threshold 256 (Section 6.2)";
   let kernels = Runner.kernels ~scale in
+  Runner.prewarm_baselines kernels;
   let measurements =
-    List.map
+    Runner.par_map
       (fun k ->
         let m = Runner.measure_best ~threshold:256 k in
         (m, Runner.normalized m))
@@ -252,7 +257,7 @@ let headline ~scale () =
   in
   let spec, stamp, splash3, overall = Runner.suite_rows measurements in
   let naive =
-    List.map
+    Runner.par_map
       (fun k ->
         let m = Runner.measure_best ~mode:Persist.Naive_sync ~threshold:256 k in
         (m, Runner.normalized m))

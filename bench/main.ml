@@ -4,9 +4,21 @@
 
      dune exec bench/main.exe -- table1 fig8 fig9 fig10 fig11 headline \
                                  ablation micro
-*)
 
-let scale = Capri_workloads.Suite.bench_scale
+   Options:
+     --jobs N     measurement parallelism (default: $CAPRI_JOBS if set,
+                  else the machine's recommended domain count). Results
+                  are byte-identical at any job count.
+     --json FILE  also write the machine-readable results as a JSON array
+                  of {"experiment":..., "wall_s":..., "rows":[...]}.
+
+   Data goes to stdout; timing lines go to stderr so stdout stays
+   deterministic across job counts and machines. *)
+
+open Capri_bench
+module W = Capri_workloads
+
+let scale = W.Suite.bench_scale
 
 let table1 () =
   print_endline "== Table 1: simulator configuration";
@@ -16,35 +28,153 @@ let table1 () =
     \    latencies and queue structure identical:)";
   Format.printf "%a@.@." Capri.Config.pp_table Capri.Config.sim_default
 
-let experiments =
+(* A named series per benchmark (or summary statistic) — the JSON rows. *)
+type row = { rname : string; values : float list }
+
+let rows_of_per_kernel per_kernel =
+  List.map
+    (fun ((k : W.Kernel.t), vs) -> { rname = k.W.Kernel.name; values = vs })
+    per_kernel
+
+let experiments : (string * (unit -> row list)) list =
   [
-    ("table1", fun () -> table1 ());
-    ("fig8", fun () -> ignore (Figures.figure8 ~scale ()));
-    ("fig9", fun () -> ignore (Figures.figure9 ~scale ()));
-    ("fig10", fun () -> ignore (Figures.figure10 ~scale ()));
-    ("fig11", fun () -> ignore (Figures.figure11 ~scale ()));
-    ("headline", fun () -> ignore (Figures.headline ~scale ()));
-    ("nvmwrites", fun () -> ignore (Figures.nvm_writes ~scale ()));
-    ("ablation", fun () -> Ablation.all ~scale ());
-    ("sensitivity", fun () -> Sensitivity.all ());
-    ("micro", fun () -> Micro.print ());
+    ("table1", fun () -> table1 (); []);
+    ("fig8", fun () -> rows_of_per_kernel (Figures.figure8 ~scale ()));
+    ("fig9", fun () -> rows_of_per_kernel (Figures.figure9 ~scale ()));
+    ("fig10", fun () -> rows_of_per_kernel (Figures.figure10 ~scale ()));
+    ("fig11", fun () -> rows_of_per_kernel (Figures.figure11 ~scale ()));
+    ( "headline",
+      fun () ->
+        let spec, stamp, splash3, overall, naive_overall, naive_max =
+          Figures.headline ~scale ()
+        in
+        [
+          { rname = "cpu2017_gmean"; values = [ spec ] };
+          { rname = "stamp_gmean"; values = [ stamp ] };
+          { rname = "splash3_gmean"; values = [ splash3 ] };
+          { rname = "overall_gmean"; values = [ overall ] };
+          { rname = "naive_overall_gmean"; values = [ naive_overall ] };
+          { rname = "naive_max"; values = [ naive_max ] };
+        ] );
+    ("nvmwrites", fun () -> rows_of_per_kernel (Figures.nvm_writes ~scale ()));
+    ("ablation", fun () -> Ablation.all ~scale (); []);
+    ("sensitivity", fun () -> Sensitivity.all (); []);
+    ("micro", fun () -> Micro.print (); []);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* JSON output (hand-rolled: the schema is flat and fixed).            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null"
+  | _ -> Printf.sprintf "%.6g" f
+
+let write_json oc entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (name, wall_s, rows) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  {\"experiment\": \"%s\", \"wall_s\": %s, \"rows\": ["
+           (json_escape name) (json_float wall_s));
+      List.iteri
+        (fun j { rname; values } ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf "{\"name\": \"%s\", \"values\": [%s]}"
+               (json_escape rname)
+               (String.concat ", " (List.map json_float values))))
+        rows;
+      Buffer.add_string buf "]}")
+    entries;
+  Buffer.add_string buf "\n]\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Entry point.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--jobs N] [--json FILE] [experiment ...]\n\
+     available experiments: %s\n"
+    (String.concat ", " (List.map fst experiments))
+
 let () =
-  let args =
-    match Array.to_list Sys.argv with
-    | _ :: rest -> List.filter (fun a -> a <> "--") rest
-    | [] -> []
+  let jobs = ref 0 in
+  let json_file = ref None in
+  let selected = ref [] in
+  let bad msg = Printf.eprintf "%s\n" msg; usage (); exit 1 in
+  let int_arg flag v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> bad (Printf.sprintf "%s expects a positive integer" flag)
   in
-  let selected = if args = [] then List.map fst experiments else args in
-  let t0 = Sys.time () in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None ->
-        Printf.eprintf "unknown experiment %s (available: %s)\n" name
-          (String.concat ", " (List.map fst experiments));
-        exit 1)
-    selected;
-  Printf.printf "total harness time: %.1fs\n" (Sys.time () -. t0)
+  let rec parse = function
+    | [] -> ()
+    | "--" :: rest -> parse rest
+    | "--help" :: _ | "-h" :: _ -> usage (); exit 0
+    | "--jobs" :: v :: rest -> jobs := int_arg "--jobs" v; parse rest
+    | [ "--jobs" ] -> bad "--jobs expects an argument"
+    | "--json" :: f :: rest -> json_file := Some f; parse rest
+    | [ "--json" ] -> bad "--json expects an argument"
+    | a :: rest when String.length a >= 7 && String.sub a 0 7 = "--jobs=" ->
+      jobs := int_arg "--jobs" (String.sub a 7 (String.length a - 7));
+      parse rest
+    | a :: rest when String.length a >= 7 && String.sub a 0 7 = "--json=" ->
+      json_file := Some (String.sub a 7 (String.length a - 7));
+      parse rest
+    | a :: rest ->
+      if not (List.mem_assoc a experiments) then
+        bad (Printf.sprintf "unknown experiment %s" a);
+      selected := a :: !selected;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    match List.rev !selected with
+    | [] -> List.map fst experiments
+    | l -> l
+  in
+  let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
+  (* Open the JSON sink before hours of simulation, not after. *)
+  let json_oc =
+    Option.map
+      (fun file ->
+        try open_out file
+        with Sys_error msg -> Printf.eprintf "--json: %s\n" msg; exit 1)
+      !json_file
+  in
+  Runner.init ~jobs;
+  Fun.protect ~finally:Runner.shutdown @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let entries =
+    List.map
+      (fun name ->
+        let f = List.assoc name experiments in
+        let e0 = Unix.gettimeofday () in
+        let rows = f () in
+        (name, Unix.gettimeofday () -. e0, rows))
+      selected
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  Option.iter (fun oc -> write_json oc entries) json_oc;
+  Printf.eprintf "total harness time: %.1fs (%d jobs)\n" total jobs

@@ -24,15 +24,15 @@ let measure (k : W.Kernel.t) =
 
 let sweep ~title rows =
   print_endline title;
+  let data = Runner.par_map (fun k -> (k, measure k)) rows in
   let table =
     Table.create ~header:[ "kernel"; "overhead"; "instrs/region" ]
   in
   List.iter
-    (fun k ->
-      let ovh, ipr = measure k in
+    (fun ((k : W.Kernel.t), (ovh, ipr)) ->
       Table.add_row table
         [ k.W.Kernel.name; Table.fmt_f ovh; Table.fmt_f ~decimals:1 ipr ])
-    rows;
+    data;
   Table.print table;
   print_newline ()
 

@@ -1,0 +1,46 @@
+(* bench-smoke: the parallel harness must be a pure scheduling change.
+   Run a tiny fig8-style measurement matrix sequentially and again under
+   a 2-domain pool (nested fan-out included: measure_best spreads its
+   candidates too) and require float-identical rows. Runs as part of
+   `dune runtest`, so it is kept deliberately small. *)
+
+open Capri_bench
+module W = Capri_workloads
+
+let kernels () =
+  List.map
+    (fun n -> W.Suite.by_name ~scale:1 n)
+    [ "505.mcf_r"; "genome"; "radix" ]
+
+let thresholds = [ 64; 256 ]
+
+let rows ~jobs =
+  Runner.init ~jobs;
+  Fun.protect ~finally:Runner.shutdown @@ fun () ->
+  let ks = kernels () in
+  Runner.prewarm_baselines ks;
+  Runner.par_map
+    (fun k ->
+      List.map
+        (fun threshold ->
+          Runner.normalized (Runner.measure_best ~threshold k))
+        thresholds)
+    ks
+
+let () =
+  let seq = rows ~jobs:1 in
+  let par = rows ~jobs:2 in
+  if seq <> par then begin
+    prerr_endline "bench-smoke: parallel results differ from sequential:";
+    List.iter2
+      (fun a b ->
+        Printf.eprintf "  seq [%s]  par [%s]\n"
+          (String.concat "; " (List.map string_of_float a))
+          (String.concat "; " (List.map string_of_float b)))
+      seq par;
+    exit 1
+  end;
+  (* Sanity: the matrix is non-trivial and finite. *)
+  assert (List.length seq = 3);
+  List.iter (List.iter (fun v -> assert (Float.is_finite v && v > 0.0))) seq;
+  print_endline "bench-smoke: jobs=2 matches sequential"

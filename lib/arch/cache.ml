@@ -5,7 +5,6 @@ type t = {
   sets : int;
   ways : way array array;
   mutable tick : int;  (* LRU clock *)
-  index : (int, int) Hashtbl.t;  (* line -> set*ways + way, fast lookup *)
 }
 
 type eviction = { line : int; dirty : bool }
@@ -19,17 +18,24 @@ let create ~sets ~ways =
       Array.init sets (fun _ ->
           Array.init ways (fun _ -> { line = -1; dirty = false; lru = 0 }));
     tick = 0;
-    index = Hashtbl.create (sets * ways);
   }
 
 let set_of t line = line land (t.sets - 1)
 
+(* Associativity is small (<= 16 ways), so a linear probe of the set beats
+   hashing the line number on every simulated access. *)
 let find_way t line =
-  match Hashtbl.find_opt t.index line with
-  | Some packed -> Some t.ways.(packed / 1024).(packed mod 1024)
-  | None -> None
+  let set = t.ways.(set_of t line) in
+  let n = Array.length set in
+  let rec go i =
+    if i >= n then None
+    else
+      let w = Array.unsafe_get set i in
+      if w.line = line then Some w else go (i + 1)
+  in
+  go 0
 
-let mem t line = Hashtbl.mem t.index line
+let mem t line = find_way t line <> None
 
 let is_dirty t line =
   match find_way t line with Some w -> w.dirty | None -> false
@@ -44,8 +50,7 @@ let touch t line ~dirty =
 
 let insert t line ~dirty =
   assert (not (mem t line));
-  let s = set_of t line in
-  let set = t.ways.(s) in
+  let set = t.ways.(set_of t line) in
   t.tick <- t.tick + 1;
   (* Prefer an invalid way; otherwise evict the LRU way. *)
   let victim = ref set.(0) in
@@ -57,41 +62,41 @@ let insert t line ~dirty =
     set;
   let w = !victim in
   let evicted =
-    if w.line = -1 then None
-    else begin
-      Hashtbl.remove t.index w.line;
-      Some { line = w.line; dirty = w.dirty }
-    end
+    if w.line = -1 then None else Some { line = w.line; dirty = w.dirty }
   in
   w.line <- line;
   w.dirty <- dirty;
   w.lru <- t.tick;
-  let way_idx =
-    let rec find i = if set.(i) == w then i else find (i + 1) in
-    find 0
-  in
-  Hashtbl.replace t.index line ((s * 1024) + way_idx);
   evicted
 
 let invalidate t line =
   match find_way t line with
   | Some (w : way) ->
     let dirty = w.dirty in
-    Hashtbl.remove t.index line;
     w.line <- -1;
     w.dirty <- false;
     dirty
   | None -> false
 
 let dirty_lines t =
-  Hashtbl.fold
-    (fun line _ acc -> if is_dirty t line then line :: acc else acc)
-    t.index []
+  let acc = ref [] in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun (w : way) -> if w.line <> -1 && w.dirty then acc := w.line :: !acc)
+        set)
+    t.ways;
+  !acc
 
-let resident t = Hashtbl.length t.index
+let resident t =
+  let n = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter (fun (w : way) -> if w.line <> -1 then incr n) set)
+    t.ways;
+  !n
 
 let clear t =
-  Hashtbl.reset t.index;
   Array.iter
     (fun set ->
       Array.iter

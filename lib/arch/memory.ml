@@ -1,70 +1,177 @@
+(* Chunked paged-array store.
+
+   The old implementation kept one Hashtbl entry per touched cache line,
+   which put a hash + probe on every simulated load and store — the
+   simulator's hottest path. Lines are now grouped into fixed-size pages
+   (a flat data array plus a per-line version array), reached by pure
+   array indexing: page index = line asr page_bits, two growable page
+   tables (one for negative line indices, one for non-negative — stacks
+   grow downward from the data segment, so negative addresses are real).
+
+   Sparse semantics are preserved exactly: a line is "present" iff it has
+   been written, and every write path bumps the line version, so
+   present <=> version > 0. [iter_lines] and [diff] enumerate only
+   present lines, identical to the Hashtbl behaviour. *)
+
 let line_words = Config.line_words
 
-type line = { data : int array; mutable version : int }
+let line_bits =
+  (* line_words is a power of two; precompute its log for shift/mask
+     addressing on the hot path. *)
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  log2 line_words
 
-type t = { lines : (int, line) Hashtbl.t }
+let () = assert (1 lsl line_bits = line_words)
+let line_mask = line_words - 1
 
-let create () = { lines = Hashtbl.create 1024 }
+(* 256 lines (16 KiB of simulated data) per page. *)
+let page_bits = 8
+let page_lines = 1 lsl page_bits
+let page_off_mask = page_lines - 1
 
-let line_of_addr addr =
-  if addr >= 0 then addr / line_words else (addr - line_words + 1) / line_words
+type page = {
+  data : int array;  (* page_lines * line_words words, flat *)
+  version : int array;  (* per line; 0 = never written (absent) *)
+}
 
+type t = {
+  mutable pos : page option array;  (* page index >= 0 *)
+  mutable neg : page option array;  (* page index < 0, stored at -1 - idx *)
+}
+
+let create () = { pos = Array.make 8 None; neg = Array.make 1 None }
+
+let line_of_addr addr = addr asr line_bits
 let addr_of_line line = line * line_words
 
-let offset addr =
-  let o = addr mod line_words in
-  if o < 0 then o + line_words else o
+let fresh_page () =
+  { data = Array.make (page_lines * line_words) 0;
+    version = Array.make page_lines 0 }
 
-let find_line t l =
-  match Hashtbl.find_opt t.lines l with
-  | Some line -> line
-  | None ->
-    let line = { data = Array.make line_words 0; version = 0 } in
-    Hashtbl.replace t.lines l line;
-    line
+(* Page lookup that never allocates: None when the page is absent. *)
+let find_page t pidx =
+  if pidx >= 0 then
+    if pidx < Array.length t.pos then Array.unsafe_get t.pos pidx else None
+  else
+    let i = -1 - pidx in
+    if i < Array.length t.neg then Array.unsafe_get t.neg i else None
+
+let grow table i =
+  let n = Array.length table in
+  let bigger = Array.make (max (i + 1) (2 * n)) None in
+  Array.blit table 0 bigger 0 n;
+  bigger
+
+let get_page t pidx =
+  if pidx >= 0 then begin
+    if pidx >= Array.length t.pos then t.pos <- grow t.pos pidx;
+    match t.pos.(pidx) with
+    | Some p -> p
+    | None ->
+      let p = fresh_page () in
+      t.pos.(pidx) <- Some p;
+      p
+  end
+  else begin
+    let i = -1 - pidx in
+    if i >= Array.length t.neg then t.neg <- grow t.neg i;
+    match t.neg.(i) with
+    | Some p -> p
+    | None ->
+      let p = fresh_page () in
+      t.neg.(i) <- Some p;
+      p
+  end
 
 let read t addr =
-  match Hashtbl.find_opt t.lines (line_of_addr addr) with
-  | Some line -> line.data.(offset addr)
+  let line = addr asr line_bits in
+  match find_page t (line asr page_bits) with
   | None -> 0
+  | Some p ->
+    Array.unsafe_get p.data
+      (((line land page_off_mask) lsl line_bits) lor (addr land line_mask))
 
 let write t addr v =
-  let line = find_line t (line_of_addr addr) in
-  line.data.(offset addr) <- v;
-  line.version <- line.version + 1
+  let line = addr asr line_bits in
+  let p = get_page t (line asr page_bits) in
+  let lo = line land page_off_mask in
+  Array.unsafe_set p.data ((lo lsl line_bits) lor (addr land line_mask)) v;
+  Array.unsafe_set p.version lo (Array.unsafe_get p.version lo + 1)
 
 let line_snapshot t l =
-  match Hashtbl.find_opt t.lines l with
-  | Some line -> Array.copy line.data
+  match find_page t (l asr page_bits) with
   | None -> Array.make line_words 0
+  | Some p ->
+    Array.sub p.data ((l land page_off_mask) lsl line_bits) line_words
 
 let line_version t l =
-  match Hashtbl.find_opt t.lines l with Some line -> line.version | None -> 0
+  match find_page t (l asr page_bits) with
+  | None -> 0
+  | Some p -> p.version.(l land page_off_mask)
 
 let write_line t l data =
-  let line = find_line t l in
-  Array.blit data 0 line.data 0 line_words;
-  line.version <- line.version + 1
+  let p = get_page t (l asr page_bits) in
+  let lo = l land page_off_mask in
+  Array.blit data 0 p.data (lo lsl line_bits) line_words;
+  p.version.(lo) <- p.version.(lo) + 1
 
 let write_line_masked t l data mask =
-  let line = find_line t l in
+  let p = get_page t (l asr page_bits) in
+  let lo = l land page_off_mask in
+  let base = lo lsl line_bits in
   for o = 0 to line_words - 1 do
-    if mask land (1 lsl o) <> 0 then line.data.(o) <- data.(o)
+    if mask land (1 lsl o) <> 0 then p.data.(base + o) <- data.(o)
   done;
-  line.version <- line.version + 1
+  p.version.(lo) <- p.version.(lo) + 1
+
+let copy_page = function
+  | None -> None
+  | Some p -> Some { data = Array.copy p.data; version = Array.copy p.version }
 
 let copy t =
-  let lines = Hashtbl.create (Hashtbl.length t.lines) in
-  Hashtbl.iter
-    (fun l line ->
-      Hashtbl.replace lines l
-        { data = Array.copy line.data; version = line.version })
-    t.lines;
-  { lines }
+  { pos = Array.map copy_page t.pos; neg = Array.map copy_page t.neg }
 
-let iter_lines t f = Hashtbl.iter (fun l line -> f l line.data) t.lines
+(* Present lines of one page table, in ascending page order. *)
+let iter_table table ~pidx_of f =
+  Array.iteri
+    (fun i po ->
+      match po with
+      | None -> ()
+      | Some p ->
+        let page_base = pidx_of i lsl page_bits in
+        for lo = 0 to page_lines - 1 do
+          if p.version.(lo) > 0 then f (page_base lor lo) p lo
+        done)
+    table
+
+let iter_present t f =
+  (* Negative pages from most negative upward, then non-negative: line
+     order is ascending, though callers must not rely on it (the Hashtbl
+     implementation had no order either). *)
+  let n = Array.length t.neg in
+  for i = n - 1 downto 0 do
+    match t.neg.(i) with
+    | None -> ()
+    | Some p ->
+      let page_base = (-1 - i) lsl page_bits in
+      for lo = 0 to page_lines - 1 do
+        if p.version.(lo) > 0 then f (page_base lor lo) p lo
+      done
+  done;
+  iter_table t.pos ~pidx_of:(fun i -> i) f
+
+let iter_lines t f =
+  iter_present t (fun l p lo ->
+      f l (Array.sub p.data (lo lsl line_bits) line_words))
 
 let zero_line = Array.make line_words 0
+
+let line_data_or_zero t l =
+  match find_page t (l asr page_bits) with
+  | None -> (zero_line, 0)
+  | Some p ->
+    let lo = l land page_off_mask in
+    if p.version.(lo) > 0 then (p.data, lo lsl line_bits) else (zero_line, 0)
 
 let diff ?(from = min_int) a b =
   let mismatches = ref [] in
@@ -72,24 +179,17 @@ let diff ?(from = min_int) a b =
   let check l =
     if not (Hashtbl.mem seen l) then begin
       Hashtbl.replace seen l ();
-      let da =
-        match Hashtbl.find_opt a.lines l with
-        | Some line -> line.data
-        | None -> zero_line
-      and db =
-        match Hashtbl.find_opt b.lines l with
-        | Some line -> line.data
-        | None -> zero_line
-      in
+      let da, abase = line_data_or_zero a l in
+      let db, bbase = line_data_or_zero b l in
       for o = 0 to line_words - 1 do
         let addr = addr_of_line l + o in
-        if addr >= from && da.(o) <> db.(o) then
-          mismatches := (addr, da.(o), db.(o)) :: !mismatches
+        if addr >= from && da.(abase + o) <> db.(bbase + o) then
+          mismatches := (addr, da.(abase + o), db.(bbase + o)) :: !mismatches
       done
     end
   in
-  Hashtbl.iter (fun l _ -> check l) a.lines;
-  Hashtbl.iter (fun l _ -> check l) b.lines;
+  iter_present a (fun l _ _ -> check l);
+  iter_present b (fun l _ _ -> check l);
   List.sort compare !mismatches
 
 let equal ?from a b = diff ?from a b = []

@@ -292,19 +292,29 @@ let pending_counts t line =
     Hashtbl.replace t.pending line a;
     a
 
+(* The pending table's only reader is [store_conflict], which is a no-op
+   unless the fence is configured on — so with the fence off (the paper's
+   hardware model, and every timing experiment) the per-store bookkeeping
+   is skipped entirely. *)
 let pending_inc t ~core ~line ~mask =
-  let a = pending_counts t line in
-  a.(2 * core) <- a.(2 * core) + 1;
-  a.((2 * core) + 1) <- a.((2 * core) + 1) lor mask
+  if t.config.Config.conflict_fence then begin
+    let a = pending_counts t line in
+    a.(2 * core) <- a.(2 * core) + 1;
+    a.((2 * core) + 1) <- a.((2 * core) + 1) lor mask
+  end
 
 let pending_add_mask t ~core ~line ~mask =
-  let a = pending_counts t line in
-  a.((2 * core) + 1) <- a.((2 * core) + 1) lor mask
+  if t.config.Config.conflict_fence then begin
+    let a = pending_counts t line in
+    a.((2 * core) + 1) <- a.((2 * core) + 1) lor mask
+  end
 
 let pending_dec t ~core ~line =
-  let a = pending_counts t line in
-  a.(2 * core) <- max 0 (a.(2 * core) - 1);
-  if a.(2 * core) = 0 then a.((2 * core) + 1) <- 0
+  if t.config.Config.conflict_fence then begin
+    let a = pending_counts t line in
+    a.(2 * core) <- max 0 (a.(2 * core) - 1);
+    if a.(2 * core) = 0 then a.((2 * core) + 1) <- 0
+  end
 
 (* ---------------- back-end ---------------- *)
 
@@ -499,6 +509,9 @@ let stall_until t ~cycle cond =
       advance t ~cycle:!now
   done;
   !now
+
+let fence_active t =
+  t.config.Config.conflict_fence && t.mode <> Volatile
 
 let store_conflict t ~core ~cycle ~line ~mask =
   match t.mode with

@@ -82,6 +82,11 @@ val seed_core : t -> core:int -> slots:int array -> resume:resume -> unit
 (** Restart setup after recovery: install the recovered slot array and
     resume record for a core in a fresh engine. *)
 
+val fence_active : t -> bool
+(** Whether {!store_conflict} can ever return true under this engine's
+    configuration and mode — lets the executor skip the per-store fence
+    probe (line/mask computation included) entirely when not. *)
+
 val store_conflict :
   t -> core:int -> cycle:int -> line:int -> mask:int -> bool
 (** Cross-core conflict fence (our extension closing the paper's open

@@ -1,8 +1,28 @@
 open Capri_ir
 
+(* A block with its control transfers resolved to integer block indices at
+   build time, so the executor's dispatch loop never hashes a string. *)
+
+type rterm =
+  | Jump of int
+  | Branch of { cond : Instr.operand; if_true : int; if_false : int }
+  | Call of { callee_entry : int; ret_addr : int }
+  | Ret
+  | Halt
+
+type block = {
+  instrs : Instr.t array;
+  rterm : rterm;
+  term : Instr.terminator;  (* the unresolved original, for debugging *)
+  fname : string;
+  label : Label.t;
+  addr : int;
+}
+
 type t = {
-  by_key : (string * string, int) Hashtbl.t;
-  by_addr : (int, string * Label.t) Hashtbl.t;
+  blocks : block array;  (* index = addr - code_base *)
+  by_key : (string * string, int) Hashtbl.t;  (* (func, label) -> index *)
+  entries : (string, int) Hashtbl.t;  (* function name -> entry index *)
 }
 
 (* Code addresses start high so they are recognizable in dumps and cannot
@@ -10,23 +30,81 @@ type t = {
 let code_base = 0x4000_0000
 
 let build (program : Program.t) =
-  let t = { by_key = Hashtbl.create 256; by_addr = Hashtbl.create 256 } in
-  let next = ref code_base in
+  (* Pass 1: assign consecutive indices in layout order (same numbering as
+     the historical implementation, so stack images stay comparable). *)
+  let by_key = Hashtbl.create 256 in
+  let entries = Hashtbl.create 16 in
+  let count = ref 0 in
   List.iter
     (fun f ->
       List.iter
         (fun (b : Block.t) ->
-          let addr = !next in
-          incr next;
-          Hashtbl.replace t.by_key
+          Hashtbl.replace by_key
             (Func.name f, Label.to_string b.Block.label)
-            addr;
-          Hashtbl.replace t.by_addr addr (Func.name f, b.Block.label))
+            !count;
+          incr count)
+        (Func.blocks f);
+      Hashtbl.replace entries (Func.name f)
+        (Hashtbl.find by_key (Func.name f, Label.to_string (Func.entry f))))
+    program.Program.funcs;
+  (* Pass 2: resolve every terminator's targets. *)
+  let blocks = Array.make !count None in
+  let idx = ref 0 in
+  List.iter
+    (fun f ->
+      let fname = Func.name f in
+      let local l = Hashtbl.find by_key (fname, Label.to_string l) in
+      List.iter
+        (fun (b : Block.t) ->
+          let rterm =
+            match b.Block.term with
+            | Instr.Jump l -> Jump (local l)
+            | Instr.Branch { cond; if_true; if_false } ->
+              Branch
+                { cond; if_true = local if_true; if_false = local if_false }
+            | Instr.Call { callee; ret_to } ->
+              Call
+                {
+                  callee_entry = Hashtbl.find entries callee;
+                  ret_addr = code_base + local ret_to;
+                }
+            | Instr.Ret -> Ret
+            | Instr.Halt -> Halt
+          in
+          blocks.(!idx) <-
+            Some
+              {
+                instrs = Array.of_list b.Block.instrs;
+                rterm;
+                term = b.Block.term;
+                fname;
+                label = b.Block.label;
+                addr = code_base + !idx;
+              };
+          incr idx)
         (Func.blocks f))
     program.Program.funcs;
-  t
+  let blocks =
+    Array.map
+      (function Some b -> b | None -> assert false)
+      blocks
+  in
+  { blocks; by_key; entries }
 
-let addr_of t ~func label =
+let block t idx = t.blocks.(idx)
+
+let index_of t ~func label =
   Hashtbl.find t.by_key (func, Label.to_string label)
 
-let target_of t addr = Hashtbl.find t.by_addr addr
+let entry_index t func = Hashtbl.find t.entries func
+
+let index_of_addr t addr =
+  let idx = addr - code_base in
+  if idx < 0 || idx >= Array.length t.blocks then raise Not_found;
+  idx
+
+let addr_of t ~func label = code_base + index_of t ~func label
+
+let target_of t addr =
+  let b = t.blocks.(index_of_addr t addr) in
+  (b.fname, b.label)

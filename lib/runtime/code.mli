@@ -1,12 +1,48 @@
-(** Code addressing: every basic block gets an integer code address, used
-    for return addresses pushed on the in-memory stack and decoded again by
-    [Ret]. *)
+(** Code addressing and pre-resolved control flow.
+
+    Every basic block gets an integer index (and the code address
+    [code_base + index], used for return addresses pushed on the in-memory
+    stack and decoded again by [Ret]). At build time each terminator's
+    targets are resolved to block indices, so the executor's dispatch loop
+    performs no per-branch string conversion or hashing. *)
 
 open Capri_ir
+
+type rterm =
+  | Jump of int  (** target block index *)
+  | Branch of { cond : Instr.operand; if_true : int; if_false : int }
+  | Call of { callee_entry : int; ret_addr : int }
+      (** [ret_addr] is the code address (not index) pushed on the stack *)
+  | Ret
+  | Halt
+
+type block = {
+  instrs : Instr.t array;
+  rterm : rterm;
+  term : Instr.terminator;  (** the unresolved original, for debugging *)
+  fname : string;
+  label : Label.t;
+  addr : int;
+}
 
 type t
 
 val build : Program.t -> t
+(** Resolves every block of every function; raises [Not_found] if a
+    terminator references a missing label or function (programs are
+    expected to have passed {!Capri_ir.Validate}). *)
+
+val block : t -> int -> block
+val index_of : t -> func:string -> Label.t -> int
+(** Raises [Not_found]. *)
+
+val entry_index : t -> string -> int
+(** Block index of a function's entry block; raises [Not_found]. *)
+
+val index_of_addr : t -> int -> int
+(** Decode a stack-resident code address back to a block index. Raises
+    [Not_found] for addresses that are not block entries. *)
+
 val addr_of : t -> func:string -> Label.t -> int
 val target_of : t -> int -> string * Label.t
 (** Raises [Not_found] for addresses that are not block entries. *)

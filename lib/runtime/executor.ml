@@ -9,6 +9,9 @@ type thread_spec = { func : string; args : (Reg.t * int) list }
 
 let main_thread (p : Program.t) = { func = p.Program.main; args = [] }
 
+(* The stack-pointer register index, hoisted out of the dispatch loop. *)
+let sp_idx = Reg.to_int Reg.sp
+
 type region_stats = {
   regions_executed : int;
   total_instrs : int;
@@ -54,9 +57,7 @@ type outcome = Finished of result | Crashed of crash
 type thread = {
   core : int;
   regs : int array;
-  mutable tfunc : Func.t;
-  mutable block : Instr.t array;
-  mutable term : Instr.terminator;
+  mutable cur : Code.block;
   mutable index : int;
   mutable cycle : int;
   mutable halted : bool;
@@ -74,9 +75,13 @@ type session = {
   trace : Trace.t option;
   program : Program.t;
   code : Code.t;
+      (* per-session resolved code: sessions over distinct programs (even
+         ones sharing function and label names) are fully isolated, and
+         concurrent sessions in different domains share nothing mutable *)
   memory : Memory.t;
   hier : Hierarchy.t;
   persist : Persist.t;
+  fence_on : bool;  (* Persist.fence_active, hoisted out of the store path *)
   threads : thread array;
   check_threshold : int option;
   mutable instr_count : int;
@@ -89,37 +94,15 @@ type session = {
   profile : (int, boundary_profile) Hashtbl.t;
 }
 
-let block_cache : (string * string, Instr.t array * Instr.terminator) Hashtbl.t =
-  Hashtbl.create 1024
-
-let fetch_block program fname label =
-  let key = (fname, Label.to_string label) in
-  match Hashtbl.find_opt block_cache key with
-  | Some (instrs, term) -> (instrs, term)
-  | None ->
-    let f = Program.find_func program fname in
-    let b = Func.find f label in
-    let v = (Array.of_list b.Block.instrs, b.Block.term) in
-    Hashtbl.replace block_cache key v;
-    v
-
-(* The cache is keyed on function/label names only, so distinct program
-   objects (e.g. several compilations of one source) must not share it. *)
-let reset_block_cache () = Hashtbl.reset block_cache
-
-let make_thread program code core (spec : thread_spec) =
-  ignore code;
-  let f = Program.find_func program spec.func in
-  let instrs, term = fetch_block program spec.func (Func.entry f) in
+let make_thread code core (spec : thread_spec) =
+  let entry = Code.entry_index code spec.func in
   let regs = Array.make Reg.count 0 in
-  regs.(Reg.to_int Reg.sp) <- Layout.stack_top ~core;
+  regs.(sp_idx) <- Layout.stack_top ~core;
   List.iter (fun (r, v) -> regs.(Reg.to_int r) <- v) spec.args;
   {
     core;
     regs;
-    tfunc = f;
-    block = instrs;
-    term;
+    cur = Code.block code entry;
     index = 0;
     cycle = 0;
     halted = false;
@@ -152,7 +135,6 @@ let entry_boundary_id program fname =
 
 let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
     ?(journal_io = false) ?trace ?check_threshold ~program ~threads () =
-  reset_block_cache ();
   let config = { config with Config.cores = max 1 (List.length threads) } in
   let memory = Memory.create () in
   load_data program memory;
@@ -169,16 +151,15 @@ let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
       Persist.on_writeback persist ~cycle:0 ~line:l
         ~data:(Array.copy data) ~version:0);
   let threads =
-    Array.of_list
-      (List.mapi (fun i spec -> make_thread program code i spec) threads)
+    Array.of_list (List.mapi (fun i spec -> make_thread code i spec) threads)
   in
   (* The loader also durably records each thread's initial context, so a
      crash inside the very first region restores the right arguments. *)
   Array.iteri
     (fun i th ->
       Persist.init_slots persist ~core:i ~slots:th.regs
-        ~resume_boundary:(entry_boundary_id program (Func.name th.tfunc))
-        ~sp:th.regs.(Reg.to_int Reg.sp))
+        ~resume_boundary:(entry_boundary_id program th.cur.Code.fname)
+        ~sp:th.regs.(sp_idx))
     threads;
   {
     config;
@@ -189,6 +170,7 @@ let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
     memory;
     hier;
     persist;
+    fence_on = Persist.fence_active persist;
     threads;
     check_threshold;
     instr_count = 0;
@@ -205,7 +187,6 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
     ?(journal_io = false) ?trace ?check_threshold
     ~(compiled : Capri_compiler.Compiled.t) ~(image : Persist.image)
     ~threads () =
-  reset_block_cache ();
   let program = compiled.Capri_compiler.Compiled.program in
   let config = { config with Config.cores = max 1 (List.length threads) } in
   let memory = Memory.copy image.Persist.nvm in
@@ -226,7 +207,7 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
     Array.of_list
       (List.mapi
          (fun i (spec : thread_spec) ->
-           let th = make_thread program code i spec in
+           let th = make_thread code i spec in
            (match image.Persist.resume.(i) with
             | Persist.Done -> th.halted <- true
             | Persist.Never_started -> ()
@@ -235,11 +216,8 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
               let head = region.Capri_compiler.Region_map.head in
               let fname = region.Capri_compiler.Region_map.func in
               Array.blit image.Persist.slots.(i) 0 th.regs 0 Reg.count;
-              th.regs.(Reg.to_int Reg.sp) <- sp;
-              th.tfunc <- Program.find_func program fname;
-              let instrs, term = fetch_block program fname head in
-              th.block <- instrs;
-              th.term <- term;
+              th.regs.(sp_idx) <- sp;
+              th.cur <- Code.block code (Code.index_of code ~func:fname head);
               th.index <- 0);
            th)
          (Array.to_list specs))
@@ -252,7 +230,7 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
        | Persist.Never_started ->
          Persist.init_slots persist ~core:i ~slots:th.regs
            ~resume_boundary:(entry_boundary_id program specs.(i).func)
-           ~sp:th.regs.(Reg.to_int Reg.sp)
+           ~sp:th.regs.(sp_idx)
        | Persist.Done ->
          Persist.seed_core persist ~core:i ~slots:image.Persist.slots.(i)
            ~resume:Persist.Done
@@ -271,6 +249,7 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
     memory;
     hier;
     persist;
+    fence_on = Persist.fence_active persist;
     threads;
     check_threshold;
     instr_count = 0;
@@ -299,14 +278,13 @@ exception Retry_conflict
 
 let conflict_retry_cycles = 24
 
-let word_bit addr =
-  let o = addr mod 8 in
-  1 lsl (if o < 0 then o + 8 else o)
+let word_bit addr = 1 lsl (addr land (Config.line_words - 1))
 
 let fence_store s (th : thread) addr =
   if
-    Persist.store_conflict s.persist ~core:th.core ~cycle:th.cycle
-      ~line:(Memory.line_of_addr addr) ~mask:(word_bit addr)
+    s.fence_on
+    && Persist.store_conflict s.persist ~core:th.core ~cycle:th.cycle
+         ~line:(Memory.line_of_addr addr) ~mask:(word_bit addr)
   then raise Retry_conflict
 
 let close_dyn_region s (th : thread) ~next_id =
@@ -389,12 +367,8 @@ let do_load s (th : thread) addr =
   in
   (value, cost)
 
-let goto s (th : thread) fname label =
-  if not (String.equal fname (Func.name th.tfunc)) then
-    th.tfunc <- Program.find_func s.program fname;
-  let instrs, term = fetch_block s.program fname label in
-  th.block <- instrs;
-  th.term <- term;
+let goto s (th : thread) idx =
+  th.cur <- Code.block s.code idx;
   th.index <- 0
 
 let exec_instr s (th : thread) (i : Instr.t) =
@@ -444,7 +418,7 @@ let exec_instr s (th : thread) (i : Instr.t) =
     close_dyn_region s th ~next_id:id;
     let stall =
       Persist.on_boundary s.persist ~core:th.core ~cycle:th.cycle ~boundary:id
-        ~sp:th.regs.(Reg.to_int Reg.sp)
+        ~sp:th.regs.(sp_idx)
     in
     1 + stall
   | Instr.Ckpt { reg; slot } ->
@@ -458,31 +432,28 @@ let exec_instr s (th : thread) (i : Instr.t) =
     failwith "Executor: Ckpt_load outside a recovery block"
 
 let exec_term s (th : thread) =
-  let fname = Func.name th.tfunc in
-  match th.term with
-  | Instr.Jump l ->
-    goto s th fname l;
+  match th.cur.Code.rterm with
+  | Code.Jump idx ->
+    goto s th idx;
     1
-  | Instr.Branch { cond; if_true; if_false } ->
+  | Code.Branch { cond; if_true; if_false } ->
     let taken = operand_value th cond <> 0 in
-    goto s th fname (if taken then if_true else if_false);
+    goto s th (if taken then if_true else if_false);
     1
-  | Instr.Call { callee; ret_to } ->
-    fence_store s th (th.regs.(Reg.to_int Reg.sp) - 1);
-    let sp = th.regs.(Reg.to_int Reg.sp) - 1 in
-    th.regs.(Reg.to_int Reg.sp) <- sp;
-    let ret_addr = Code.addr_of s.code ~func:fname ret_to in
+  | Code.Call { callee_entry; ret_addr } ->
+    fence_store s th (th.regs.(sp_idx) - 1);
+    let sp = th.regs.(sp_idx) - 1 in
+    th.regs.(sp_idx) <- sp;
     let cost = do_store s th sp ret_addr in
-    goto s th callee (Func.entry (Program.find_func s.program callee));
+    goto s th callee_entry;
     1 + cost
-  | Instr.Ret ->
-    let sp = th.regs.(Reg.to_int Reg.sp) in
+  | Code.Ret ->
+    let sp = th.regs.(sp_idx) in
     let ret_addr, cost = do_load s th sp in
-    th.regs.(Reg.to_int Reg.sp) <- sp + 1;
-    let tfname, label = Code.target_of s.code ret_addr in
-    goto s th tfname label;
+    th.regs.(sp_idx) <- sp + 1;
+    goto s th (Code.index_of_addr s.code ret_addr);
     1 + cost
-  | Instr.Halt ->
+  | Code.Halt ->
     (match s.trace with
      | Some tr ->
        Trace.record tr (Trace.Halted { core = th.core; cycle = th.cycle })
@@ -497,8 +468,9 @@ let step s (th : thread) =
   s.instr_count <- s.instr_count + 1;
   th.cur_region_instrs <- th.cur_region_instrs + 1;
   let cost =
-    if th.index < Array.length th.block then begin
-      let i = th.block.(th.index) in
+    let block = th.cur.Code.instrs in
+    if th.index < Array.length block then begin
+      let i = Array.unsafe_get block th.index in
       th.index <- th.index + 1;
       try exec_instr s th i
       with Retry_conflict ->
@@ -595,17 +567,6 @@ let run ?crash_at_instr ?(max_steps = 100_000_000) s =
 let positions s =
   Array.map
     (fun th ->
-      (* The label is not stored; recover it by matching the block arrays
-         of the current function. *)
-      let label =
-        List.find_map
-          (fun (b : Block.t) ->
-            let instrs, term = fetch_block s.program (Func.name th.tfunc) b.Block.label in
-            if instrs == th.block && term == th.term then
-              Some (Label.to_string b.Block.label)
-            else None)
-          (Func.blocks th.tfunc)
-        |> Option.value ~default:"?"
-      in
-      (Func.name th.tfunc, label, th.index, th.cycle))
+      (th.cur.Code.fname, Label.to_string th.cur.Code.label, th.index,
+       th.cycle))
     s.threads

@@ -17,6 +17,7 @@ let () =
       ("parser", Test_parser.suite);
       ("util", Test_util.suite);
       ("runtime", Test_runtime_bits.suite);
+      ("parallel", Test_parallel.suite);
       ("shapes", Test_shapes.suite);
       ("qcheck", Test_qcheck.suite);
     ]

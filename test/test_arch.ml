@@ -169,11 +169,100 @@ let test_eviction_cascade () =
         (Memory.read memory addr) data.(0))
     !writebacks
 
+(* Stacks grow below the data segment, so negative word addresses are
+   real; line arithmetic must floor toward minus infinity. *)
+let test_memory_negative_addrs () =
+  let m = Memory.create () in
+  let lw = Capri_arch.Config.line_words in
+  for a = -(2 * lw) - 3 to lw + 2 do
+    Memory.write m a (1000 + a)
+  done;
+  for a = -(2 * lw) - 3 to lw + 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "read back addr %d" a)
+      (1000 + a) (Memory.read m a)
+  done;
+  Alcotest.(check int) "line of -1" (-1) (Memory.line_of_addr (-1));
+  Alcotest.(check int) "line of -lw" (-1) (Memory.line_of_addr (-lw));
+  Alcotest.(check int) "line of -lw-1" (-2) (Memory.line_of_addr (-lw - 1));
+  Alcotest.(check int) "addr of line -1" (-lw) (Memory.addr_of_line (-1));
+  (* a snapshot of a negative line sees the words written across the
+     line boundary *)
+  let snap = Memory.line_snapshot m (-1) in
+  Alcotest.(check int) "snap first word" (1000 - lw) snap.(0);
+  Alcotest.(check int) "snap last word" (1000 - 1) snap.(lw - 1);
+  Alcotest.(check bool)
+    "negative line present" true
+    (Memory.line_version m (-1) > 0);
+  (* a copy carries the negative pages too *)
+  let c = Memory.copy m in
+  Alcotest.(check bool) "copy equal" true (Memory.equal m c);
+  Memory.write c (-1) 0;
+  Alcotest.(check int) "copy isolated" (1000 - 1) (Memory.read m (-1))
+
+let test_write_line_masked_partial () =
+  let m = Memory.create () in
+  let lw = Capri_arch.Config.line_words in
+  let base = 20 * lw in
+  let line = Memory.line_of_addr base in
+  for o = 0 to lw - 1 do
+    Memory.write m (base + o) (o + 1)
+  done;
+  let v0 = Memory.line_version m line in
+  let data = Array.init lw (fun o -> 10 * (o + 1)) in
+  (* overwrite words 0, 2 and the last one only *)
+  let mask = 0b101 lor (1 lsl (lw - 1)) in
+  Memory.write_line_masked m line data mask;
+  for o = 0 to lw - 1 do
+    let expect = if mask land (1 lsl o) <> 0 then 10 * (o + 1) else o + 1 in
+    Alcotest.(check int) (Printf.sprintf "word %d" o) expect
+      (Memory.read m (base + o))
+  done;
+  Alcotest.(check bool) "version bumped" true (Memory.line_version m line > v0);
+  (* a masked write to an absent line materializes it, unset words zero *)
+  let nline = Memory.line_of_addr (-8 * lw) in
+  Memory.write_line_masked m nline data 0b10;
+  Alcotest.(check int) "masked word set" 20
+    (Memory.read m (Memory.addr_of_line nline + 1));
+  Alcotest.(check int) "unmasked word zero" 0
+    (Memory.read m (Memory.addr_of_line nline));
+  Alcotest.(check bool) "line materialized" true (Memory.line_version m nline > 0)
+
+let test_diff_from () =
+  let lw = Capri_arch.Config.line_words in
+  let a = Memory.create () and b = Memory.create () in
+  Memory.write a 5 1;
+  Memory.write b 5 2;
+  (* mismatch below zero *)
+  Memory.write a (-3) 7;
+  (* equal line *)
+  Memory.write a (25 * lw) 9;
+  Memory.write b (25 * lw) 9;
+  (* line absent in a entirely *)
+  Memory.write b (40 * lw) 4;
+  Alcotest.(check (list (triple int int int)))
+    "full diff"
+    [ (-3, 7, 0); (5, 1, 2); (40 * lw, 0, 4) ]
+    (Memory.diff a b);
+  Alcotest.(check (list (triple int int int)))
+    "diff from 0" [ (5, 1, 2); (40 * lw, 0, 4) ]
+    (Memory.diff ~from:0 a b);
+  Alcotest.(check (list (triple int int int)))
+    "diff from above" [ (40 * lw, 0, 4) ]
+    (Memory.diff ~from:(lw) a b);
+  Alcotest.(check bool) "equal under from" true
+    (Memory.equal ~from:(40 * lw + 1) a b)
+
 let suite =
   [
     Alcotest.test_case "memory basics" `Quick test_memory_basics;
     Alcotest.test_case "memory versions" `Quick test_memory_versions;
     Alcotest.test_case "memory equal/diff" `Quick test_memory_equal_diff;
+    Alcotest.test_case "memory negative addresses" `Quick
+      test_memory_negative_addrs;
+    Alcotest.test_case "memory masked line writes" `Quick
+      test_write_line_masked_partial;
+    Alcotest.test_case "memory diff ~from" `Quick test_diff_from;
     Alcotest.test_case "cache LRU" `Quick test_cache_lru;
     Alcotest.test_case "cache dirty/invalidate" `Quick
       test_cache_dirty_invalidate;

@@ -1,0 +1,138 @@
+(* The domain pool, and code isolation between concurrently live sessions.
+
+   Historically the executor cached fetched blocks in a global table keyed
+   by (function, label) name — so two loaded programs that happened to
+   share names could serve each other's instructions. Code resolution now
+   lives in a per-session Code.t; these tests pin down both the pool's
+   scheduling contract and the absence of cross-program leakage. *)
+
+open Capri
+module Pool = Capri_util.Pool
+
+let r = Reg.of_int
+let rg i = Builder.reg (r i)
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let xs = List.init 200 Fun.id in
+          let got = Pool.map_list p (fun i -> (i * i) + 1) xs in
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d preserves order" jobs)
+            (List.map (fun i -> (i * i) + 1) xs)
+            got))
+    [ 1; 2; 4 ]
+
+let test_nested_await () =
+  (* Tasks submitting and awaiting subtasks must not deadlock even when
+     the pool is smaller than the outer fan-out (await is help-first). *)
+  Pool.with_pool ~jobs:2 (fun p ->
+      let got =
+        Pool.map_list p
+          (fun k ->
+            let parts = Pool.map_list p (fun i -> i) (List.init k Fun.id) in
+            List.fold_left ( + ) 0 parts)
+          [ 5; 10; 20; 40 ]
+      in
+      Alcotest.(check (list int)) "nested sums" [ 10; 45; 190; 780 ] got)
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      (match Pool.await p (Pool.submit p (fun () -> failwith "boom")) with
+      | () -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+      (* the pool survives a failed task *)
+      Alcotest.(check int) "still works" 7
+        (Pool.await p (Pool.submit p (fun () -> 7))))
+
+let test_sequential_eager () =
+  (* jobs = 1 spawns no domains: tasks run inside submit, in order. *)
+  Pool.with_pool ~jobs:1 (fun p ->
+      let order = ref [] in
+      let futures =
+        List.map
+          (fun i -> Pool.submit p (fun () -> order := i :: !order; i))
+          [ 0; 1; 2; 3 ]
+      in
+      Alcotest.(check (list int)) "ran during submit" [ 3; 2; 1; 0 ] !order;
+      Alcotest.(check (list int)) "results" [ 0; 1; 2; 3 ]
+        (List.map (Pool.await p) futures))
+
+(* ------------------------------------------------------------------ *)
+(* Code isolation across sessions.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two structurally identical programs — same function names, same block
+   labels, same shape — differing only in behavior. Any name-keyed code
+   sharing between sessions makes one output the other's value. *)
+let const_program k =
+  let b = Builder.create () in
+  let f = Builder.func b "helper" in
+  Builder.li f (r 1) k;
+  Builder.add f (r 0) (rg 0) (rg 1);
+  Builder.ret f;
+  let m = Builder.func b "main" in
+  let again = Builder.block m "again" in
+  Builder.li m (r 0) 5;
+  Builder.call_cont m "helper";
+  Builder.jump m again;
+  Builder.switch m again;
+  Builder.out m (rg 0);
+  Builder.halt m;
+  Builder.finish b ~main:"main"
+
+let outputs_of session =
+  match Executor.run session with
+  | Executor.Finished res -> res.Executor.outputs.(0)
+  | Executor.Crashed _ -> Alcotest.fail "unexpected crash"
+
+let start p = Executor.start ~program:p ~threads:[ Executor.main_thread p ] ()
+
+let test_isolation_interleaved () =
+  let pa = const_program 100 and pb = const_program 200 in
+  (* both sessions live before either runs, then run in both orders *)
+  let sa = start pa and sb = start pb in
+  Alcotest.(check (list int)) "program A" [ 105 ] (outputs_of sa);
+  Alcotest.(check (list int)) "program B" [ 205 ] (outputs_of sb);
+  let sb2 = start pb and sa2 = start pa in
+  Alcotest.(check (list int)) "program B again" [ 205 ] (outputs_of sb2);
+  Alcotest.(check (list int)) "program A again" [ 105 ] (outputs_of sa2);
+  (* compiled forms share names too (the pipeline preserves them) *)
+  let ca = compile pa and cb = compile pb in
+  let sca = start ca.Capri_compiler.Compiled.program in
+  let scb = start cb.Capri_compiler.Compiled.program in
+  Alcotest.(check (list int)) "compiled A" [ 105 ] (outputs_of sca);
+  Alcotest.(check (list int)) "compiled B" [ 205 ] (outputs_of scb)
+
+let test_isolation_parallel () =
+  let pa = const_program 100 and pb = const_program 200 in
+  Pool.with_pool ~jobs:4 (fun p ->
+      let plan = [ (pa, 105); (pb, 205); (pa, 105); (pb, 205);
+                   (pb, 205); (pa, 105); (pb, 205); (pa, 105) ] in
+      let got =
+        Pool.map_list p (fun (prog, _) -> outputs_of (start prog)) plan
+      in
+      List.iteri
+        (fun i (out, (_, expect)) ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "parallel run %d" i)
+            [ expect ] out)
+        (List.combine got plan))
+
+let suite =
+  [
+    Alcotest.test_case "pool map order" `Quick test_map_order;
+    Alcotest.test_case "pool nested await" `Quick test_nested_await;
+    Alcotest.test_case "pool exception propagation" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "pool jobs=1 is eager" `Quick test_sequential_eager;
+    Alcotest.test_case "code isolation, interleaved sessions" `Quick
+      test_isolation_interleaved;
+    Alcotest.test_case "code isolation, parallel sessions" `Quick
+      test_isolation_parallel;
+  ]

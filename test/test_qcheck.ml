@@ -204,6 +204,78 @@ let prop_pgo_preserves =
       && result.Executor.region_stats.Executor.max_stores_in_region
          <= options.Opt.threshold)
 
+(* The paged-array memory must be observationally identical to the
+   obvious model: a word-keyed Hashtbl with absent = 0. Random op
+   sequences mix plain writes, whole-line writes, masked line writes and
+   copies, over a window straddling address 0 (negative addresses are
+   real: stacks grow below the data segment). *)
+let prop_memory_model =
+  QCheck.Test.make ~count:150 ~name:"paged memory == word-map model" seed_gen
+    (fun seed ->
+      let lw = Capri_arch.Config.line_words in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 128 in
+      let m = Memory.create () in
+      let state = ref (seed + 1) in
+      let next () =
+        state := (!state * 48271 + 11) land 0x3fff_ffff;
+        !state
+      in
+      let addr () = (next () mod (64 * lw)) - (32 * lw) in
+      let model_read a = Option.value ~default:0 (Hashtbl.find_opt model a) in
+      for _ = 1 to 400 do
+        match next () mod 5 with
+        | 0 | 1 ->
+          let a = addr () and v = next () in
+          Memory.write m a v;
+          Hashtbl.replace model a v
+        | 2 ->
+          let l = Memory.line_of_addr (addr ()) in
+          let data = Array.init lw (fun _ -> next ()) in
+          Memory.write_line m l data;
+          Array.iteri
+            (fun o v -> Hashtbl.replace model (Memory.addr_of_line l + o) v)
+            data
+        | 3 ->
+          let l = Memory.line_of_addr (addr ()) in
+          let data = Array.init lw (fun _ -> next ()) in
+          let mask = next () land ((1 lsl lw) - 1) in
+          Memory.write_line_masked m l data mask;
+          Array.iteri
+            (fun o v ->
+              if mask land (1 lsl o) <> 0 then
+                Hashtbl.replace model (Memory.addr_of_line l + o) v)
+            data
+        | _ ->
+          let a = addr () in
+          if Memory.read m a <> model_read a then
+            QCheck.Test.fail_reportf "seed %d: addr %d: paged %d model %d"
+              seed a (Memory.read m a) (model_read a)
+      done;
+      (* final sweep: every model word matches, every present line's
+         snapshot matches, and copy is equal but independent *)
+      Hashtbl.iter
+        (fun a v ->
+          if Memory.read m a <> v then
+            QCheck.Test.fail_reportf "seed %d: final addr %d: paged %d model %d"
+              seed a (Memory.read m a) v)
+        model;
+      Memory.iter_lines m (fun l data ->
+          Array.iteri
+            (fun o v ->
+              if model_read (Memory.addr_of_line l + o) <> v then
+                QCheck.Test.fail_reportf
+                  "seed %d: iter_lines line %d word %d: paged %d model %d" seed
+                  l o v
+                  (model_read (Memory.addr_of_line l + o)))
+            data);
+      let c = Memory.copy m in
+      Memory.equal m c
+      && Memory.diff m c = []
+      &&
+      (let a = addr () in
+       Memory.write c a (Memory.read c a + 1);
+       Memory.read m a = model_read a))
+
 (* The parser round-trips every compiled artifact. *)
 let prop_parser_round_trip =
   QCheck.Test.make ~count:40 ~name:"parser round-trips compiled programs"
@@ -220,4 +292,7 @@ let prop_parser_round_trip =
 let suite =
   suite
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_journal_exactly_once; prop_pgo_preserves; prop_parser_round_trip ]
+      [
+        prop_journal_exactly_once; prop_pgo_preserves; prop_memory_model;
+        prop_parser_round_trip;
+      ]
