@@ -1,0 +1,120 @@
+(* Crash-consistency fuzzer CLI.
+
+     dune exec fuzz/main.exe -- --seed 42 --budget 200
+
+   Options:
+     --seed N       base seed; trial k uses seed N+k (default 0)
+     --budget N     total oracle executions before stopping (default 400)
+     --jobs N       trial parallelism; never affects the report
+                    (default: $CAPRI_JOBS if set, else the machine's
+                    recommended domain count)
+     --mode M       persist modes to exercise; repeatable, or a comma
+                    list. capri | naive-sync | undo-sync | redo-nowb |
+                    volatile | all (default: all). Volatile selects the
+                    compiled-vs-source differential oracle; the other
+                    four select the crash oracle.
+     --max-schedules N   crash schedules per trial (default 24)
+     --diff-combos N     compiler option combos per trial (default 4)
+     --max-cores N       trial core counts cycle in 1..N (default 3)
+     --no-shrink    report failures without minimising them
+
+   The report goes to stdout; the exit status is 1 iff any oracle
+   failed. Every failure line includes the exact --seed to reproduce it
+   in isolation. *)
+
+module Campaign = Capri_fuzz.Campaign
+
+let usage =
+  "usage: fuzz/main.exe [--seed N] [--budget N] [--jobs N] [--mode M]\n\
+  \                     [--max-schedules N] [--diff-combos N]\n\
+  \                     [--max-cores N] [--no-shrink]\n"
+
+let bad msg =
+  prerr_string (msg ^ "\n" ^ usage);
+  exit 2
+
+let int_arg flag v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> bad (Printf.sprintf "%s expects an integer, got %S" flag v)
+
+let modes_arg v =
+  String.split_on_char ',' v
+  |> List.concat_map (fun name ->
+         match String.lowercase_ascii (String.trim name) with
+         | "" -> []
+         | "all" -> Campaign.all_modes
+         | m -> (
+           match Campaign.mode_of_string m with
+           | Some mode -> [ mode ]
+           | None -> bad (Printf.sprintf "unknown mode %S" name)))
+
+let () =
+  let seed = ref Campaign.default_cfg.Campaign.seed in
+  let budget = ref Campaign.default_cfg.Campaign.budget in
+  let jobs = ref 0 in
+  let modes = ref [] in
+  let max_schedules = ref Campaign.default_cfg.Campaign.max_schedules in
+  let diff_combos = ref Campaign.default_cfg.Campaign.diff_combos in
+  let max_cores = ref Campaign.default_cfg.Campaign.max_cores in
+  let shrink = ref true in
+  let split_eq a =
+    (* accept --flag=value *)
+    match String.index_opt a '=' with
+    | Some i when String.length a > 2 && a.[0] = '-' ->
+      Some (String.sub a 0 i, String.sub a (i + 1) (String.length a - i - 1))
+    | _ -> None
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+      print_string usage;
+      exit 0
+    | "--seed" :: v :: rest ->
+      seed := int_arg "--seed" v;
+      parse rest
+    | "--budget" :: v :: rest ->
+      budget := int_arg "--budget" v;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      jobs := int_arg "--jobs" v;
+      parse rest
+    | "--mode" :: v :: rest ->
+      modes := !modes @ modes_arg v;
+      parse rest
+    | "--max-schedules" :: v :: rest ->
+      max_schedules := int_arg "--max-schedules" v;
+      parse rest
+    | "--diff-combos" :: v :: rest ->
+      diff_combos := int_arg "--diff-combos" v;
+      parse rest
+    | "--max-cores" :: v :: rest ->
+      max_cores := int_arg "--max-cores" v;
+      parse rest
+    | "--no-shrink" :: rest ->
+      shrink := false;
+      parse rest
+    | a :: rest -> (
+      match split_eq a with
+      | Some (flag, value) -> parse (flag :: value :: rest)
+      | None -> bad (Printf.sprintf "unknown argument %S" a))
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
+  let modes = if !modes = [] then Campaign.all_modes else !modes in
+  let cfg =
+    {
+      Campaign.default_cfg with
+      Campaign.seed = !seed;
+      budget = max 1 !budget;
+      jobs;
+      modes;
+      max_schedules = max 1 !max_schedules;
+      diff_combos = max 0 !diff_combos;
+      max_cores = max 1 !max_cores;
+      shrink = !shrink;
+    }
+  in
+  let report = Campaign.run cfg in
+  print_string (Campaign.render report);
+  exit (if report.Campaign.failures = [] then 0 else 1)

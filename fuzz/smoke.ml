@@ -1,0 +1,43 @@
+(* fuzz-smoke: a fixed-seed, tightly budgeted campaign wired into
+   `dune runtest` (mirroring bench/smoke.exe). Two properties:
+
+   - the campaign finds no failures at the pinned seed — the whole-
+     system-persistence property holds across every enumerated crash
+     schedule and every compiled/uncompiled differential pair it covers;
+
+   - the report is byte-identical at jobs=1 and jobs=2 — the Pool
+     fan-out is a pure scheduling change.
+
+   Budget is deliberately small to keep runtest fast. *)
+
+module Campaign = Capri_fuzz.Campaign
+
+let cfg jobs =
+  {
+    Campaign.default_cfg with
+    Campaign.seed = 7;
+    budget = 60;
+    jobs;
+    max_schedules = 10;
+    diff_combos = 2;
+  }
+
+let () =
+  let r1 = Campaign.run (cfg 1) in
+  let r2 = Campaign.run (cfg 2) in
+  let seq = Campaign.render r1 in
+  let par = Campaign.render r2 in
+  if seq <> par then begin
+    prerr_endline "fuzz-smoke: parallel report differs from sequential:";
+    prerr_endline "--- jobs=1 ---";
+    prerr_string seq;
+    prerr_endline "--- jobs=2 ---";
+    prerr_string par;
+    exit 1
+  end;
+  print_string seq;
+  if r1.Campaign.failures <> [] then begin
+    prerr_endline "fuzz-smoke: campaign reported failures";
+    exit 1
+  end;
+  print_endline "fuzz-smoke OK"

@@ -278,6 +278,14 @@ let nvm_write ?(mask = 0xFF) t ~line ~data ~version =
 
 let nvm_line t line = Memory.line_snapshot t.nvm line
 
+(* Loader/restart path: install a line of the initial (or recovered)
+   durable image directly, regardless of mode. Routing this through
+   {!on_writeback} would silently drop it in [Redo_nowb] mode — whose
+   writeback handler discards dirty lines by design — leaving the data
+   segment non-durable before the first committed region (lost by a
+   crash at instruction 0; found by the fuzzer). *)
+let install_line t ~line ~data ~version = ignore (nvm_write t ~line ~data ~version)
+
 (* ---------------- cross-core conflict fence ---------------- *)
 
 (* Per line and core: how many uncommitted entries touch it, and the OR
@@ -725,6 +733,13 @@ let writebacks_reach_nvm t =
 
 (* ---------------- crash and recovery ---------------- *)
 
+(* Oracle-sensitivity fault injection: when armed, recovery silently
+   skips rolling back interrupted regions, exactly the bug class the
+   crash-consistency fuzzer's oracle exists to catch. Atomic so fuzz
+   campaigns running under a domain pool read a coherent value. Test-only:
+   nothing in the library ever sets it. *)
+let fault_drop_undo = Atomic.make false
+
 let crash_recover t ~cycle =
   advance t ~cycle;
   (* Battery drain: everything still in the front-end or on the path
@@ -798,17 +813,18 @@ let crash_recover t ~cycle =
           | None ->
             (* Interrupted region: roll back with undo data, newest entry
                first. Staged slots of this region are discarded. *)
-            List.iter
-              (fun e ->
-                dbg e.line "undo line=%d seq=%d mask=%x v=%d undo2=%d\n"
-                  e.line e.seq e.mask e.version e.undo.(2);
-                Memory.write_line_masked t.nvm e.line e.undo e.mask;
-                let stamps = stamps_of t e.line in
-                for o = 0 to Config.line_words - 1 do
-                  if e.mask land (1 lsl o) <> 0 then
-                    stamps.(o) <- max stamps.(o) (e.version + 1)
-                done)
-              r.bentries)
+            if not (Atomic.get fault_drop_undo) then
+              List.iter
+                (fun e ->
+                  dbg e.line "undo line=%d seq=%d mask=%x v=%d undo2=%d\n"
+                    e.line e.seq e.mask e.version e.undo.(2);
+                  Memory.write_line_masked t.nvm e.line e.undo e.mask;
+                  let stamps = stamps_of t e.line in
+                  for o = 0 to Config.line_words - 1 do
+                    if e.mask land (1 lsl o) <> 0 then
+                      stamps.(o) <- max stamps.(o) (e.version + 1)
+                  done)
+                r.bentries)
         regions;
       cs.back <- [];
       cs.back_used <- 0)

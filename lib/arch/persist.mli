@@ -129,6 +129,12 @@ val on_writeback :
 (** A dirty line left the volatile domain (DRAM-cache eviction or final
     flush). *)
 
+val install_line : t -> line:int -> data:int array -> version:int -> unit
+(** Loader/restart path: place a line of the initial (or recovered)
+    durable image into NVM directly, in every mode. Unlike
+    {!on_writeback} this is never dropped in [Redo_nowb] mode, where
+    ordinary dirty writebacks are discarded by design. *)
+
 val on_halt : t -> core:int -> cycle:int -> int
 (** Final implicit boundary + full drain; returns stall cycles. *)
 
@@ -149,3 +155,10 @@ val crash_recover : t -> cycle:int -> image
     contents drain, and the Section 5.4 protocol rebuilds the durable
     image — committed regions redone in order, the interrupted region
     undone, slots and resume records as of the last committed boundary. *)
+
+val fault_drop_undo : bool Atomic.t
+(** Test-only fault injection: while [true], {!crash_recover} skips the
+    undo pass over interrupted regions, deliberately breaking failure
+    atomicity. Exists so the crash-consistency fuzzer's oracle can be
+    shown to catch a real recovery bug (it must not pass vacuously).
+    Never set by the library itself; tests arm it and must reset it. *)

@@ -1,0 +1,428 @@
+(* The fuzzing campaign driver.
+
+   A campaign is a sequence of trials. Trial state is a pure function of
+   its trial seed (base seed + trial index): program shape, core count,
+   compiler options and crash schedules all derive from it, so any
+   failure reproduces from `--seed <trial_seed> --budget 1` alone.
+
+   Each trial: generate a program, compile it under a seed-chosen
+   crash-capable configuration, enumerate crash schedules from one traced
+   reference run, then drive the crash oracle (every schedule x every
+   crash-recoverable mode requested) and the differential oracle
+   (compiled vs uncompiled source IR, both Volatile, across a seed-
+   rotated slice of the 16-combo option matrix). The first failure stops
+   the trial and is shrunk to a minimal schedule + program.
+
+   Budget = total oracle executions (crash checks + differential
+   checks). Trials fan out over Capri_util.Pool in waves of [jobs];
+   results are consumed strictly in trial order and the budget cut uses
+   only in-order cumulative counts, so the report is identical at any
+   job count — waves only change how much speculative work past the cut
+   is wasted. *)
+
+module Arch = Capri_arch
+module Opt = Capri_compiler.Options
+module Pipeline = Capri_compiler.Pipeline
+module Gen = Capri_workloads.Gen
+module Pool = Capri_util.Pool
+
+(* ---------------- modes ---------------- *)
+
+let mode_name = function
+  | Arch.Persist.Capri -> "capri"
+  | Arch.Persist.Naive_sync -> "naive-sync"
+  | Arch.Persist.Undo_sync -> "undo-sync"
+  | Arch.Persist.Redo_nowb -> "redo-nowb"
+  | Arch.Persist.Volatile -> "volatile"
+
+let mode_of_string = function
+  | "capri" -> Some Arch.Persist.Capri
+  | "naive-sync" | "naive_sync" -> Some Arch.Persist.Naive_sync
+  | "undo-sync" | "undo_sync" -> Some Arch.Persist.Undo_sync
+  | "redo-nowb" | "redo_nowb" -> Some Arch.Persist.Redo_nowb
+  | "volatile" -> Some Arch.Persist.Volatile
+  | _ -> None
+
+let all_modes =
+  [
+    Arch.Persist.Capri;
+    Arch.Persist.Naive_sync;
+    Arch.Persist.Undo_sync;
+    Arch.Persist.Redo_nowb;
+    Arch.Persist.Volatile;
+  ]
+
+let crash_recoverable m = m <> Arch.Persist.Volatile
+
+(* ---------------- configuration ---------------- *)
+
+type cfg = {
+  seed : int;
+  budget : int;
+  jobs : int;
+  modes : Arch.Persist.mode list;
+  config : Arch.Config.t;
+  max_cores : int;
+  array_words : int;  (* per-thread slice size handed to the generator *)
+  max_schedules : int;
+  diff_combos : int;
+  shrink : bool;
+}
+
+let default_cfg =
+  {
+    seed = 0;
+    budget = 400;
+    jobs = 1;
+    modes = all_modes;
+    config = Arch.Config.sim_default;
+    max_cores = 3;
+    array_words = 32;
+    max_schedules = 24;
+    diff_combos = 4;
+    shrink = true;
+  }
+
+(* ---------------- failures and reports ---------------- *)
+
+type failure = {
+  trial_seed : int;
+  cores : int;
+  oracle : string;  (* "crash(<mode>)" or "differential" *)
+  detail : string;  (* failing options / schedule provenance *)
+  reason : string;
+  schedule : int list;  (* original failing schedule; [] for differential *)
+  shrunk_schedule : int list;
+  shrunk_keep : int list list;  (* Gen.restrict keep lists, [] = unshrunk *)
+  minimized : string;  (* pretty-printed minimized program *)
+  repro : string;
+}
+
+type trial = {
+  t_seed : int;
+  t_cores : int;
+  t_schedules : int;
+  t_crash_checks : int;
+  t_diff_checks : int;
+  t_failures : failure list;
+}
+
+type report = {
+  cfg : cfg;
+  trials : int;
+  schedules : int;
+  crash_checks : int;
+  diff_checks : int;
+  executions : int;
+  failures : failure list;
+}
+
+(* ---------------- one trial ---------------- *)
+
+let cores_of_seed cfg seed = 1 + (seed mod max 1 cfg.max_cores)
+
+(* Seed-rotated slice of the option matrix for the differential oracle:
+   the full 16-combo sweep lives in the qcheck property; the campaign
+   samples a few combos per trial so every combo is reached across a
+   handful of trials. *)
+let diff_options_of_seed cfg seed =
+  let matrix = Array.of_list Oracle.option_matrix in
+  let n = Array.length matrix in
+  let ts = Array.of_list Oracle.thresholds in
+  List.init (min cfg.diff_combos n) (fun i ->
+      let o = matrix.((seed + (i * 5)) mod n) in
+      Opt.with_threshold ts.((seed + i) mod Array.length ts) o)
+
+let pp_prog_string prog = Format.asprintf "%a" Gen.pp_prog prog
+
+let shrink_crash_failure cfg ~mode ~options ~threads ~reference ~compiled prog
+    schedule =
+  let test_schedule compiled' threads' reference' s =
+    match
+      Oracle.check_crash ~config:cfg.config ~mode ~threads:threads'
+        ~reference:reference' compiled' s
+    with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  let shrunk =
+    Shrink.shrink_schedule
+      ~test:(test_schedule compiled threads reference)
+      schedule
+  in
+  (* Program reduction re-lowers and recompiles each candidate; a crash
+     point past the end of a shorter program simply never fires, so the
+     shrunk schedule stays valid as a test input. *)
+  let test_prog p =
+    match Gen.lower p with
+    | exception _ -> false
+    | program', threads' -> (
+      match Pipeline.compile options program' with
+      | exception _ -> false
+      | compiled' -> (
+        match Schedule.observe ~config:cfg.config ~threads:threads' compiled' with
+        | exception _ -> false
+        | reference', _ -> test_schedule compiled' threads' reference' shrunk))
+  in
+  let minimized, keep = Shrink.shrink_prog ~test:test_prog prog in
+  (* The smaller program may admit an even smaller schedule. *)
+  let final_schedule =
+    match Gen.lower minimized with
+    | exception _ -> shrunk
+    | program', threads' -> (
+      match Pipeline.compile options program' with
+      | exception _ -> shrunk
+      | compiled' -> (
+        match Schedule.observe ~config:cfg.config ~threads:threads' compiled' with
+        | exception _ -> shrunk
+        | reference', _ ->
+          Shrink.shrink_schedule
+            ~test:(test_schedule compiled' threads' reference')
+            shrunk))
+  in
+  (final_schedule, keep, minimized)
+
+let shrink_diff_failure cfg ~options ~threads:_ prog =
+  let test_prog p =
+    match Gen.lower p with
+    | exception _ -> false
+    | program', threads' -> (
+      match Oracle.run_source ~config:cfg.config ~threads:threads' program' with
+      | exception _ -> false
+      | source' -> (
+        match
+          Oracle.check_differential ~config:cfg.config ~threads:threads'
+            ~source:source' options program'
+        with
+        | Error _ -> true
+        | Ok () -> false))
+  in
+  Shrink.shrink_prog ~test:test_prog prog
+
+let run_trial cfg k =
+  let seed = cfg.seed + k in
+  let cores = cores_of_seed cfg seed in
+  let prog = Gen.generate ~cores ~array_words:cfg.array_words seed in
+  let fail ?(schedule = []) ?(shrunk_schedule = []) ?(shrunk_keep = [])
+      ?(minimized = "") ~oracle ~detail ~repro reason =
+    {
+      trial_seed = seed;
+      cores;
+      oracle;
+      detail;
+      reason;
+      schedule;
+      shrunk_schedule;
+      shrunk_keep;
+      minimized;
+      repro;
+    }
+  in
+  let repro_flag mode =
+    Printf.sprintf "fuzz/main.exe --seed %d --budget 1 --mode %s" seed
+      (mode_name mode)
+  in
+  match Gen.lower prog with
+  | exception e ->
+    {
+      t_seed = seed;
+      t_cores = cores;
+      t_schedules = 0;
+      t_crash_checks = 0;
+      t_diff_checks = 0;
+      t_failures =
+        [
+          fail ~oracle:"generator" ~detail:"lower"
+            ~repro:(Printf.sprintf "Gen.lower (Gen.generate ~cores:%d %d)" cores seed)
+            (Printexc.to_string e);
+        ];
+    }
+  | program, threads -> (
+    let options = Oracle.crash_options_of_seed seed in
+    match Pipeline.compile options program with
+    | exception e ->
+      {
+        t_seed = seed;
+        t_cores = cores;
+        t_schedules = 0;
+        t_crash_checks = 0;
+        t_diff_checks = 0;
+        t_failures =
+          [
+            fail ~oracle:"compiler"
+              ~detail:(Oracle.options_string options)
+              ~repro:(repro_flag Arch.Persist.Capri)
+              (Printexc.to_string e);
+          ];
+      }
+    | compiled ->
+      let reference, info =
+        Schedule.observe ~config:cfg.config ~threads compiled
+      in
+      let schedules =
+        Schedule.enumerate ~max_schedules:cfg.max_schedules info
+      in
+      let crash_modes = List.filter crash_recoverable cfg.modes in
+      let crash_checks = ref 0 in
+      let failure = ref None in
+      (* crash oracle: every schedule under every requested mode *)
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun schedule ->
+              if !failure = None then begin
+                incr crash_checks;
+                match
+                  Oracle.check_crash ~config:cfg.config ~mode ~threads
+                    ~reference compiled schedule
+                with
+                | Ok () -> ()
+                | Error reason ->
+                  let shrunk_schedule, shrunk_keep, minimized =
+                    if cfg.shrink then
+                      let s, k, m =
+                        shrink_crash_failure cfg ~mode ~options ~threads
+                          ~reference ~compiled prog schedule
+                      in
+                      (s, k, pp_prog_string m)
+                    else (schedule, [], "")
+                  in
+                  failure :=
+                    Some
+                      (fail ~schedule ~shrunk_schedule ~shrunk_keep ~minimized
+                         ~oracle:(Printf.sprintf "crash(%s)" (mode_name mode))
+                         ~detail:(Oracle.options_string options)
+                         ~repro:(repro_flag mode) reason)
+              end)
+            schedules)
+        crash_modes;
+      (* differential oracle: gated on Volatile membership *)
+      let diff_checks = ref 0 in
+      if !failure = None && List.mem Arch.Persist.Volatile cfg.modes then begin
+        let source = Oracle.run_source ~config:cfg.config ~threads program in
+        List.iter
+          (fun opts ->
+            if !failure = None then begin
+              incr diff_checks;
+              match
+                Oracle.check_differential ~config:cfg.config ~threads ~source
+                  opts program
+              with
+              | Ok () -> ()
+              | Error reason ->
+                let minimized, keep =
+                  if cfg.shrink then
+                    let m, k =
+                      shrink_diff_failure cfg ~options:opts ~threads prog
+                    in
+                    (pp_prog_string m, k)
+                  else ("", [])
+                in
+                failure :=
+                  Some
+                    (fail ~shrunk_keep:keep ~minimized ~oracle:"differential"
+                       ~detail:(Oracle.options_string opts)
+                       ~repro:(repro_flag Arch.Persist.Volatile) reason)
+            end)
+          (diff_options_of_seed cfg seed)
+      end;
+      {
+        t_seed = seed;
+        t_cores = cores;
+        t_schedules = List.length schedules;
+        t_crash_checks = !crash_checks;
+        t_diff_checks = !diff_checks;
+        t_failures = Option.to_list !failure;
+      })
+
+(* ---------------- the campaign loop ---------------- *)
+
+let run cfg =
+  let cfg = { cfg with jobs = max 1 cfg.jobs; budget = max 1 cfg.budget } in
+  Pool.with_pool ~jobs:cfg.jobs (fun pool ->
+      let trials = ref 0 in
+      let schedules = ref 0 in
+      let crash_checks = ref 0 in
+      let diff_checks = ref 0 in
+      let failures = ref [] in
+      let executions () = !crash_checks + !diff_checks in
+      let next = ref 0 in
+      let continue = ref true in
+      while !continue do
+        (* One wave of [jobs] speculative trials. Results are folded in
+           strictly ascending trial order and the budget cut depends only
+           on those in-order totals, so the wave size never changes the
+           report — only how much past-the-cut work is thrown away. *)
+        let wave = List.init cfg.jobs (fun i -> !next + i) in
+        next := !next + cfg.jobs;
+        let futures =
+          List.map (fun k -> Pool.submit pool (fun () -> run_trial cfg k)) wave
+        in
+        List.iter
+          (fun future ->
+            let t = Pool.await pool future in
+            if !continue then begin
+              incr trials;
+              schedules := !schedules + t.t_schedules;
+              crash_checks := !crash_checks + t.t_crash_checks;
+              diff_checks := !diff_checks + t.t_diff_checks;
+              failures := !failures @ t.t_failures;
+              if executions () >= cfg.budget then continue := false
+            end)
+          futures
+      done;
+      {
+        cfg;
+        trials = !trials;
+        schedules = !schedules;
+        crash_checks = !crash_checks;
+        diff_checks = !diff_checks;
+        executions = executions ();
+        failures = !failures;
+      })
+
+(* ---------------- rendering ---------------- *)
+
+let render_failure buf i f =
+  Buffer.add_string buf
+    (Printf.sprintf "failure #%d: %s oracle, trial seed %d (%d cores)\n" i
+       f.oracle f.trial_seed f.cores);
+  Buffer.add_string buf (Printf.sprintf "  options:  %s\n" f.detail);
+  Buffer.add_string buf (Printf.sprintf "  reason:   %s\n" f.reason);
+  if f.schedule <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  schedule: [%s] -> shrunk [%s]\n"
+         (String.concat "; " (List.map string_of_int f.schedule))
+         (String.concat "; " (List.map string_of_int f.shrunk_schedule)));
+  if f.shrunk_keep <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  kept stmts: %s\n"
+         (String.concat " | "
+            (List.map
+               (fun ks -> String.concat "," (List.map string_of_int ks))
+               f.shrunk_keep)));
+  if f.minimized <> "" then begin
+    Buffer.add_string buf "  minimized program:\n";
+    String.split_on_char '\n' f.minimized
+    |> List.iter (fun line ->
+           if line <> "" then
+             Buffer.add_string buf (Printf.sprintf "    %s\n" line))
+  end;
+  Buffer.add_string buf (Printf.sprintf "  repro:    %s\n" f.repro)
+
+let render r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "fuzz campaign: seed=%d budget=%d modes=%s\n\
+        trials=%d schedules=%d crash-checks=%d diff-checks=%d executions=%d\n"
+       r.cfg.seed r.cfg.budget
+       (String.concat "," (List.map mode_name r.cfg.modes))
+       r.trials r.schedules r.crash_checks r.diff_checks r.executions);
+  if r.failures = [] then Buffer.add_string buf "failures: none\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "failures: %d\n" (List.length r.failures));
+    List.iteri (fun i f -> render_failure buf (i + 1) f) r.failures
+  end;
+  Buffer.contents buf

@@ -1,0 +1,92 @@
+(* Counterexample reduction.
+
+   Two independent reducers, both greedy and deterministic:
+
+   - [shrink_schedule]: ddmin-lite over the crash-point list — try to
+     drop each point, then try to halve each surviving value toward the
+     nearest smaller reproducing value. Every candidate is re-checked
+     with the caller's [test]; the result still fails.
+
+   - [shrink_prog]: remove top-level statements of each thread of the
+     generated program (via {!Capri_workloads.Gen.restrict}) while the
+     failure reproduces. Works on the statement AST, so the minimised
+     program can be re-lowered and pretty-printed. *)
+
+module Gen = Capri_workloads.Gen
+
+(* ---------------- schedule shrinking ---------------- *)
+
+let drop_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+let rec drop_pass ~test schedule =
+  (* Try removing each crash point, restarting after every success so
+     earlier points get another chance once later ones are gone. *)
+  let len = List.length schedule in
+  let rec try_from i =
+    if i >= len then schedule
+    else begin
+      let candidate = drop_nth i schedule in
+      if candidate <> [] && test candidate then drop_pass ~test candidate
+      else try_from (i + 1)
+    end
+  in
+  try_from 0
+
+let lower_pass ~test schedule =
+  (* Binary-search each crash point down toward 0 while the failure
+     still reproduces: smaller indices make the reproducer's trace
+     shorter and easier to read. *)
+  let arr = Array.of_list schedule in
+  Array.iteri
+    (fun i v ->
+      let lo = ref 0 and hi = ref v in
+      (* invariant: arr.(i) = !hi fails; values < !lo untested or pass *)
+      while !hi - !lo > 0 do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        arr.(i) <- mid;
+        if test (Array.to_list arr) then hi := mid else lo := mid + 1
+      done;
+      arr.(i) <- !hi)
+    arr;
+  Array.to_list arr
+
+let shrink_schedule ~test schedule =
+  if not (test schedule) then schedule
+  else begin
+    let s = drop_pass ~test schedule in
+    let s = lower_pass ~test s in
+    (* lowering can unlock further drops (e.g. two points collapsing) *)
+    drop_pass ~test s
+  end
+
+(* ---------------- program shrinking ---------------- *)
+
+let shrink_prog ~test (prog : Gen.prog) =
+  let keeps =
+    List.map (fun stmts -> List.init (List.length stmts) Fun.id)
+      prog.Gen.thread_stmts
+  in
+  let restrict keeps = Gen.restrict prog ~keep:keeps in
+  let set_nth n v xs = List.mapi (fun i x -> if i = n then v else x) xs in
+  (* For each thread, greedily drop top-level statements front to back,
+     restarting the thread's scan after each successful removal. *)
+  let rec reduce_thread t keeps =
+    let this = List.nth keeps t in
+    let rec try_from i =
+      if i >= List.length this then keeps
+      else begin
+        let candidate_this = drop_nth i this in
+        let candidate = set_nth t candidate_this keeps in
+        if test (restrict candidate) then reduce_thread t candidate
+        else try_from (i + 1)
+      end
+    in
+    try_from 0
+  in
+  let keeps =
+    List.fold_left
+      (fun keeps t -> reduce_thread t keeps)
+      keeps
+      (List.init (List.length keeps) Fun.id)
+  in
+  (restrict keeps, keeps)

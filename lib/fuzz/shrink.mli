@@ -1,0 +1,17 @@
+(** Counterexample reduction for failing fuzz trials. *)
+
+val shrink_schedule : test:(int list -> bool) -> int list -> int list
+(** Greedy ddmin-lite: [test s] must return [true] iff schedule [s]
+    still reproduces the failure. Drops crash points, then binary-lowers
+    each surviving point, then retries drops. The input is returned
+    unchanged if it does not itself satisfy [test]. Deterministic; the
+    result always satisfies [test] (or is the unchanged input). *)
+
+val shrink_prog :
+  test:(Capri_workloads.Gen.prog -> bool) ->
+  Capri_workloads.Gen.prog ->
+  Capri_workloads.Gen.prog * int list list
+(** Greedily deletes top-level statements per thread while [test] keeps
+    returning [true] on the restricted program. Returns the minimised
+    program and the kept-index lists (one per thread) that reproduce it
+    via {!Capri_workloads.Gen.restrict}. *)

@@ -146,10 +146,10 @@ let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
   in
   let code = Code.build program in
   (* Seed NVM with the initial image: the data segment is durable before
-     execution starts (the loader wrote it). *)
+     execution starts (the loader wrote it). Must bypass the writeback
+     path — Redo_nowb drops dirty writebacks by design. *)
   Memory.iter_lines memory (fun l data ->
-      Persist.on_writeback persist ~cycle:0 ~line:l
-        ~data:(Array.copy data) ~version:0);
+      Persist.install_line persist ~line:l ~data:(Array.copy data) ~version:0);
   let threads =
     Array.of_list (List.mapi (fun i spec -> make_thread code i spec) threads)
   in
@@ -196,10 +196,10 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
       ~on_nvm_writeback:(fun ~cycle ~line ~data ~version ->
         Persist.on_writeback persist ~cycle ~line ~data ~version)
   in
-  (* NVM of the new engine = the recovered image. *)
+  (* NVM of the new engine = the recovered image (again bypassing the
+     writeback path, which Redo_nowb discards). *)
   Memory.iter_lines memory (fun l data ->
-      Persist.on_writeback persist ~cycle:0 ~line:l ~data:(Array.copy data)
-        ~version:0);
+      Persist.install_line persist ~line:l ~data:(Array.copy data) ~version:0);
   let code = Code.build program in
   let regions = compiled.Capri_compiler.Compiled.regions in
   let specs = Array.of_list threads in
@@ -209,7 +209,12 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
          (fun i (spec : thread_spec) ->
            let th = make_thread code i spec in
            (match image.Persist.resume.(i) with
-            | Persist.Done -> th.halted <- true
+            | Persist.Done ->
+              (* The halt path staged the whole register file with the
+                 final region, so the slot array holds this finished
+                 thread's exact final context. *)
+              Array.blit image.Persist.slots.(i) 0 th.regs 0 Reg.count;
+              th.halted <- true
             | Persist.Never_started -> ()
             | Persist.Resume { boundary; sp } ->
               let region = Capri_compiler.Region_map.find regions boundary in
@@ -413,7 +418,7 @@ let exec_instr s (th : thread) (i : Instr.t) =
        Trace.record tr
          (Trace.Boundary
             { core = th.core; boundary = id; cycle = th.cycle;
-              stores = th.cur_region_stores })
+              stores = th.cur_region_stores; instr = s.instr_count })
      | None -> ());
     close_dyn_region s th ~next_id:id;
     let stall =
@@ -460,6 +465,13 @@ let exec_term s (th : thread) =
      | None -> ());
     close_dyn_region s th ~next_id:(-1);
     th.in_region <- false;
+    (* Stage the full architected register file with the final region:
+       its commit makes the finished thread's context durable, so a crash
+       after this core halts (while others still run) can restore the
+       exact final registers instead of reporting a zeroed file. *)
+    Array.iteri
+      (fun slot value -> Persist.on_ckpt s.persist ~core:th.core ~slot ~value)
+      th.regs;
     let stall = Persist.on_halt s.persist ~core:th.core ~cycle:th.cycle in
     th.halted <- true;
     1 + stall

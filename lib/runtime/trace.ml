@@ -1,5 +1,11 @@
 type event =
-  | Boundary of { core : int; boundary : int; cycle : int; stores : int }
+  | Boundary of {
+      core : int;
+      boundary : int;
+      cycle : int;
+      stores : int;
+      instr : int;
+    }
   | Halted of { core : int; cycle : int }
   | Crashed of { cycle : int }
 
@@ -21,6 +27,14 @@ let region_count t ~core =
       | Boundary _ | Halted _ | Crashed _ -> acc)
     0 t.rev_events
 
+let boundary_instrs t =
+  List.filter_map
+    (function
+      | Boundary { instr; _ } -> Some instr
+      | Halted _ | Crashed _ -> None)
+    (events t)
+  |> List.sort_uniq Int.compare
+
 let render ?(max_rows = 64) t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "cycle      core  event\n";
@@ -38,10 +52,11 @@ let render ?(max_rows = 64) t =
       else begin
         incr rows;
         match e with
-        | Boundary { core; boundary; cycle; stores } ->
+        | Boundary { core; boundary; cycle; stores; instr } ->
           Buffer.add_string buf
-            (Printf.sprintf "%-10d %-5d boundary #%d (region closed with %d stores)\n"
-               cycle core boundary stores)
+            (Printf.sprintf
+               "%-10d %-5d boundary #%d (region closed with %d stores, instr %d)\n"
+               cycle core boundary stores instr)
         | Halted { core; cycle } ->
           Buffer.add_string buf (Printf.sprintf "%-10d %-5d halt\n" cycle core)
         | Crashed { cycle } ->

@@ -5,10 +5,18 @@
     and the CLI's `trace` output). *)
 
 type event =
-  | Boundary of { core : int; boundary : int; cycle : int; stores : int }
+  | Boundary of {
+      core : int;
+      boundary : int;
+      cycle : int;
+      stores : int;
+      instr : int;
+    }
       (** A region committed at this boundary; [stores] is the dynamic
           store count (checkpoints included) of the region that just
-          ended. *)
+          ended, [instr] the global dynamic instruction index of the
+          boundary itself (a crash point just before/after it lands in
+          the neighbourhood crash-schedule enumeration uses). *)
   | Halted of { core : int; cycle : int }
   | Crashed of { cycle : int }
 
@@ -20,6 +28,10 @@ val events : t -> event list
 (** In recording order. *)
 
 val region_count : t -> core:int -> int
+
+val boundary_instrs : t -> int list
+(** Sorted, deduplicated global instruction indices of every boundary
+    crossing recorded (all cores). *)
 
 val render : ?max_rows:int -> t -> string
 (** A per-core timeline table: one row per boundary crossing with cycle,

@@ -16,12 +16,13 @@ let default_threads (compiled : Compiled.t) =
 let threshold_of (compiled : Compiled.t) =
   compiled.Compiled.options.Capri_compiler.Options.threshold
 
-let reference ?(config = Arch.Config.sim_default) ?threads compiled =
+let reference ?(config = Arch.Config.sim_default) ?(mode = Arch.Persist.Capri)
+    ?trace ?threads compiled =
   let threads =
     match threads with Some t -> t | None -> default_threads compiled
   in
   let session =
-    Executor.start ~config ~mode:Arch.Persist.Capri
+    Executor.start ~config ~mode ?trace
       ~check_threshold:(threshold_of compiled)
       ~program:compiled.Compiled.program ~threads ()
   in
@@ -29,8 +30,8 @@ let reference ?(config = Arch.Config.sim_default) ?threads compiled =
   | Executor.Finished r -> r
   | Executor.Crashed _ -> assert false
 
-let run_with_crashes ?(config = Arch.Config.sim_default) ?threads ~crash_at
-    compiled =
+let run_with_crashes ?(config = Arch.Config.sim_default)
+    ?(mode = Arch.Persist.Capri) ?threads ~crash_at compiled =
   let threads =
     match threads with Some t -> t | None -> default_threads compiled
   in
@@ -73,14 +74,14 @@ let run_with_crashes ?(config = Arch.Config.sim_default) ?threads ~crash_at
         prepend outputs_before;
         blocks := !blocks + Recovery.apply_recovery_blocks compiled image;
         let session =
-          Executor.resume ~config ~mode:Arch.Persist.Capri
+          Executor.resume ~config ~mode
             ~check_threshold:(threshold_of compiled) ~compiled ~image ~threads
             ()
         in
         go session rest)
   in
   let session =
-    Executor.start ~config ~mode:Arch.Persist.Capri
+    Executor.start ~config ~mode
       ~check_threshold:(threshold_of compiled)
       ~program:compiled.Compiled.program ~threads ()
   in

@@ -23,17 +23,24 @@ type failure = {
 }
 
 val reference :
-  ?config:Arch.Config.t -> ?threads:Executor.thread_spec list ->
+  ?config:Arch.Config.t -> ?mode:Arch.Persist.mode -> ?trace:Trace.t ->
+  ?threads:Executor.thread_spec list ->
   Capri_compiler.Compiled.t -> Executor.result
-(** Crash-free run of the compiled program. *)
+(** Crash-free run of the compiled program (default mode: [Capri]). Pass
+    a [trace] to record the boundary timeline — the fuzzer's schedule
+    enumeration reads boundary instruction indices from it. *)
 
 val run_with_crashes :
-  ?config:Arch.Config.t -> ?threads:Executor.thread_spec list ->
+  ?config:Arch.Config.t -> ?mode:Arch.Persist.mode ->
+  ?threads:Executor.thread_spec list ->
   crash_at:int list -> Capri_compiler.Compiled.t ->
   Executor.result * int * int
 (** Runs, injecting a crash + recovery at each listed global instruction
     count (interpreted within each successive resumed run). Returns the
-    final result, recoveries performed, and recovery blocks executed. *)
+    final result, recoveries performed, and recovery blocks executed.
+    [mode] selects the persistence design point under test (default
+    [Capri]; [Volatile] is not crash-recoverable and makes no sense
+    here). *)
 
 val check_equivalence :
   reference:Executor.result -> candidate:Executor.result ->

@@ -19,5 +19,6 @@ let () =
       ("runtime", Test_runtime_bits.suite);
       ("parallel", Test_parallel.suite);
       ("shapes", Test_shapes.suite);
+      ("fuzz", Test_fuzz.suite);
       ("qcheck", Test_qcheck.suite);
     ]

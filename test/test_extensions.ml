@@ -174,7 +174,7 @@ let test_pgo_grows_long_unknown_loops () =
 let test_pgo_preserves_semantics () =
   List.iter
     (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let base = run_volatile program in
       let pgo = compile_pgo program in
       let result = run pgo in

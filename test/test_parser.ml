@@ -114,7 +114,7 @@ let test_round_trip_compiled () =
 
 let test_round_trip_random () =
   for seed = 0 to 30 do
-    let program = Gen_prog.program_of_seed seed in
+    let program = Capri_workloads.Gen.program_of_seed seed in
     let p2 = round_trip program in
     if not (programs_equal program p2) then
       Alcotest.failf "seed %d: round trip changed the program" seed

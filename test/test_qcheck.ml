@@ -1,4 +1,4 @@
-(* Property-based tests over randomly generated programs (see Gen_prog).
+(* Property-based tests over randomly generated programs (see Capri_workloads.Gen).
    The headline property is the paper's central claim: whatever the
    program, the threshold, the optimization mix and the crash schedule,
    crash + recover + resume is indistinguishable from a crash-free run. *)
@@ -28,7 +28,7 @@ let crash_options_of_seed seed =
 let prop_crash_equivalence =
   QCheck.Test.make ~count:60 ~name:"crash+recover == crash-free" seed_gen
     (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let options = crash_options_of_seed seed in
       let compiled = Pipeline.compile options program in
       let reference = Verify.reference compiled in
@@ -55,7 +55,7 @@ let prop_crash_equivalence =
 let prop_double_crash =
   QCheck.Test.make ~count:25 ~name:"double crash recovers" seed_gen
     (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let compiled = Pipeline.compile (crash_options_of_seed seed) program in
       let reference = Verify.reference compiled in
       let total = reference.Executor.instrs in
@@ -75,7 +75,7 @@ let prop_double_crash =
 let prop_compile_preserves =
   QCheck.Test.make ~count:60 ~name:"compiled == source semantics" seed_gen
     (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let base = run_volatile program in
       List.for_all
         (fun (label, options) ->
@@ -100,7 +100,7 @@ let prop_compile_preserves =
 let prop_threshold_invariant =
   QCheck.Test.make ~count:80 ~name:"dynamic stores/region <= threshold"
     seed_gen (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let options = options_of_seed seed in
       let compiled = Pipeline.compile options program in
       let result = run compiled in
@@ -111,7 +111,7 @@ let prop_threshold_invariant =
 let prop_unroll_preserves =
   QCheck.Test.make ~count:60 ~name:"speculative unrolling is semantic noop"
     seed_gen (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let base = run_volatile program in
       let copy = Pipeline.copy_program program in
       ignore (Capri_compiler.Unroll.run Opt.default copy);
@@ -124,7 +124,7 @@ let prop_unroll_preserves =
 (* The oracle must never observe a stale NVM read in Capri mode. *)
 let prop_no_stale_reads =
   QCheck.Test.make ~count:40 ~name:"no stale NVM reads" seed_gen (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let compiled = Pipeline.compile (options_of_seed seed) program in
       (* tiny caches make evictions (and thus the races) frequent *)
       let config =
@@ -153,7 +153,7 @@ let suite =
 let prop_journal_exactly_once =
   QCheck.Test.make ~count:30 ~name:"journal: exactly-once outputs" seed_gen
     (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let compiled = Pipeline.compile (crash_options_of_seed seed) program in
       let threads = [ Executor.main_thread program ] in
       let run_j crash_at =
@@ -193,7 +193,7 @@ let prop_journal_exactly_once =
 let prop_pgo_preserves =
   QCheck.Test.make ~count:25 ~name:"pgo preserves semantics" seed_gen
     (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let base = run_volatile program in
       let options = crash_options_of_seed seed in
       let pgo = compile_pgo ~options program in
@@ -280,7 +280,7 @@ let prop_memory_model =
 let prop_parser_round_trip =
   QCheck.Test.make ~count:40 ~name:"parser round-trips compiled programs"
     seed_gen (fun seed ->
-      let program = Gen_prog.program_of_seed seed in
+      let program = Capri_workloads.Gen.program_of_seed seed in
       let compiled = Pipeline.compile (options_of_seed seed) program in
       let text = Capri_ir.Parser.to_string compiled.Compiled.program in
       match Capri_ir.Parser.parse text with

@@ -177,10 +177,135 @@ let test_recovery_block_exhaustive () =
         [ Executor.main_thread program ])
     [ 16; 256 ]
 
+let test_crash_at_instruction_zero () =
+  (* Power failure before a single instruction executes: recovery must
+     restart from the entry boundary with the loader's data image
+     intact. Exercised in every crash-recoverable mode — Redo_nowb once
+     lost the initial image here because the loader seeded NVM through
+     the writeback path that mode deliberately drops. *)
+  let program, cell = sum_program ~n:7 () in
+  let compiled = compile program in
+  List.iter
+    (fun mode ->
+      let reference = Verify.reference ~mode compiled in
+      let result, recoveries, _ =
+        Verify.run_with_crashes ~mode ~crash_at:[ 0 ] compiled
+      in
+      Alcotest.(check int) "one recovery" 1 recoveries;
+      (match Verify.check_equivalence ~reference ~candidate:result with
+       | Ok () -> ()
+       | Error e ->
+         Alcotest.failf "mode %s: %s" (Capri_fuzz.Campaign.mode_name mode) e);
+      Alcotest.(check int) "final cell" 21
+        (Memory.read result.Executor.memory cell))
+    [ Persist.Capri; Persist.Naive_sync; Persist.Undo_sync; Persist.Redo_nowb ]
+
+let test_two_crashes_same_region () =
+  (* The second crash lands one instruction into the replay of the
+     region the first crash interrupted: the same region is rolled back
+     and re-entered twice. Swept across the whole program so every
+     region gets re-interrupted. *)
+  let program, _ = sum_program ~n:10 () in
+  let compiled = compile program in
+  let reference = Verify.reference compiled in
+  let n = reference.Executor.instrs in
+  let at = ref 1 in
+  while !at < n do
+    List.iter
+      (fun second ->
+        let result, recoveries, _ =
+          Verify.run_with_crashes ~crash_at:[ !at; second ] compiled
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "two recoveries @%d+%d" !at second)
+          2 recoveries;
+        match Verify.check_equivalence ~reference ~candidate:result with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "crash [%d;%d]: %s" !at second e)
+      [ 1; 3 ];
+    at := !at + 5
+  done
+
+let test_crash_inside_recovery_replay () =
+  (* Crash, run the software recovery blocks, resume — and crash again
+     almost immediately, before the replayed region can reach its next
+     boundary. The second recovery must rebuild from the same resume
+     record without double-applying anything. Driven manually (not via
+     run_with_crashes) so the recovery-block pass demonstrably runs
+     between the two failures. *)
+  let program, cell = sum_program ~n:30 () in
+  let compiled = compile program in
+  let reference = Verify.reference compiled in
+  let threads = [ Executor.main_thread compiled.Compiled.program ] in
+  let session = Executor.start ~program:compiled.Compiled.program ~threads () in
+  match Executor.run ~crash_at_instr:(reference.Executor.instrs / 2) session with
+  | Executor.Finished _ -> Alcotest.fail "expected the first crash"
+  | Executor.Crashed { image; outputs_before; _ } -> (
+    ignore (Recovery.apply_recovery_blocks compiled image);
+    let session' = Executor.resume ~compiled ~image ~threads () in
+    match Executor.run ~crash_at_instr:1 session' with
+    | Executor.Finished _ -> Alcotest.fail "expected the second crash"
+    | Executor.Crashed { image = image2; outputs_before = outs2; _ } -> (
+      ignore (Recovery.apply_recovery_blocks compiled image2);
+      let session'' = Executor.resume ~compiled ~image:image2 ~threads () in
+      match Executor.run session'' with
+      | Executor.Crashed _ -> Alcotest.fail "unexpected third crash"
+      | Executor.Finished r ->
+        Alcotest.(check int) "final cell" 435 (Memory.read r.Executor.memory cell);
+        let candidate =
+          {
+            r with
+            Executor.outputs =
+              Array.init
+                (Array.length r.Executor.outputs)
+                (fun i ->
+                  outputs_before.(i) @ outs2.(i) @ r.Executor.outputs.(i));
+          }
+        in
+        (match Verify.check_equivalence ~reference ~candidate with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e)))
+
+let test_crash_after_core_halts () =
+  (* Multi-core: crash while one core has already finished and others
+     are still running. The finished core's architected context is
+     durable (the halt path stages the full register file with its
+     final region), so the resumed session reports its true final
+     registers instead of a zeroed file. *)
+  let prog = Capri_workloads.Gen.generate ~cores:3 8 in
+  let program, threads = Capri_workloads.Gen.lower prog in
+  let compiled = compile program in
+  let reference = Verify.reference ~threads compiled in
+  let n = reference.Executor.instrs in
+  List.iter
+    (fun mode ->
+      (* late crash points: some land after the short workers halt *)
+      List.iter
+        (fun at ->
+          let result, _, _ =
+            Verify.run_with_crashes ~mode ~threads ~crash_at:[ at ] compiled
+          in
+          match Verify.check_equivalence ~reference ~candidate:result with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "mode %s, crash at %d: %s"
+              (Capri_fuzz.Campaign.mode_name mode)
+              at e)
+        [ (3 * n) / 4; n - 10; n - 2 ])
+    [ Persist.Capri; Persist.Naive_sync; Persist.Undo_sync; Persist.Redo_nowb ]
+
 let suite =
   [
     Alcotest.test_case "crash at instruction 1" `Quick
       test_crash_at_first_instruction;
+    Alcotest.test_case "crash at instruction 0" `Quick
+      test_crash_at_instruction_zero;
+    Alcotest.test_case "two crashes in the same region" `Quick
+      test_two_crashes_same_region;
+    Alcotest.test_case "crash inside recovery replay" `Quick
+      test_crash_inside_recovery_replay;
+    Alcotest.test_case "crash after a core halts" `Quick
+      test_crash_after_core_halts;
     Alcotest.test_case "crash beyond halt" `Quick test_crash_after_halt_is_noop;
     Alcotest.test_case "exhaustive sweeps (small programs)" `Quick
       test_exhaustive_small_programs;
