@@ -11,6 +11,11 @@
                   are byte-identical at any job count.
      --json FILE  also write the machine-readable results as a JSON array
                   of {"experiment":..., "wall_s":..., "rows":[...]}.
+     --metrics    run every measurement with an enabled metrics registry
+                  and embed the merged (mode-labelled) snapshot in the
+                  JSON report as a final {"experiment": "metrics",
+                  "registry": {...}} entry (printed to stdout when no
+                  --json sink is given). Deterministic at any job count.
 
    Data goes to stdout; timing lines go to stderr so stdout stays
    deterministic across job counts and machines. *)
@@ -85,7 +90,7 @@ let json_float f =
   | FP_nan | FP_infinite -> "null"
   | _ -> Printf.sprintf "%.6g" f
 
-let write_json oc entries =
+let write_json oc ?registry entries =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[\n";
   List.iteri
@@ -104,6 +109,13 @@ let write_json oc entries =
         rows;
       Buffer.add_string buf "]}")
     entries;
+  Option.iter
+    (fun doc ->
+      if entries <> [] then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  {\"experiment\": \"metrics\", \"registry\": %s}"
+           (String.trim doc)))
+    registry;
   Buffer.add_string buf "\n]\n";
   output_string oc (Buffer.contents buf);
   close_out oc
@@ -121,6 +133,7 @@ let usage () =
 let () =
   let jobs = ref 0 in
   let json_file = ref None in
+  let want_metrics = ref false in
   let selected = ref [] in
   let bad msg = Printf.eprintf "%s\n" msg; usage (); exit 1 in
   let int_arg flag v =
@@ -136,6 +149,7 @@ let () =
     | [ "--jobs" ] -> bad "--jobs expects an argument"
     | "--json" :: f :: rest -> json_file := Some f; parse rest
     | [ "--json" ] -> bad "--json expects an argument"
+    | "--metrics" :: rest -> want_metrics := true; parse rest
     | a :: rest when String.length a >= 7 && String.sub a 0 7 = "--jobs=" ->
       jobs := int_arg "--jobs" (String.sub a 7 (String.length a - 7));
       parse rest
@@ -164,6 +178,7 @@ let () =
       !json_file
   in
   Runner.init ~jobs;
+  if !want_metrics then Runner.enable_metrics ();
   Fun.protect ~finally:Runner.shutdown @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let entries =
@@ -176,5 +191,13 @@ let () =
       selected
   in
   let total = Unix.gettimeofday () -. t0 in
-  Option.iter (fun oc -> write_json oc entries) json_oc;
+  let registry = Runner.metrics_snapshot () in
+  (match json_oc with
+   | Some oc -> write_json oc ?registry entries
+   | None ->
+     Option.iter
+       (fun doc ->
+         print_endline "== merged metrics registry";
+         print_string doc)
+       registry);
   Printf.eprintf "total harness time: %.1fs (%d jobs)\n" total jobs

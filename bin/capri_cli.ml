@@ -44,17 +44,30 @@ let list_cmd =
     Term.(const run $ const ())
 
 let compile_cmd =
-  let run name scale threshold =
+  let explain_arg =
+    let doc =
+      "Explain every region boundary (why it exists) and the checkpoint \
+       provenance of each optimisation pass, for the full configuration."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run name scale threshold explain =
     let k = find_kernel name scale in
-    List.iter
-      (fun (label, options) ->
-        let options = Options.with_threshold threshold options in
-        let compiled = Pipeline.compile options k.W.Kernel.program in
-        Format.printf "--- %s@.%a@." label Compiled.pp_summary compiled)
-      Options.fig9_configs
+    if explain then
+      let options = Options.with_threshold threshold Options.default in
+      let compiled = Pipeline.compile options k.W.Kernel.program in
+      Format.printf "%a@.%a@." Compiled.pp_summary compiled Compiled.pp_explain
+        compiled
+    else
+      List.iter
+        (fun (label, options) ->
+          let options = Options.with_threshold threshold options in
+          let compiled = Pipeline.compile options k.W.Kernel.program in
+          Format.printf "--- %s@.%a@." label Compiled.pp_summary compiled)
+        Options.fig9_configs
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel and report statistics")
-    Term.(const run $ kernel_arg $ scale_arg $ threshold_arg)
+    Term.(const run $ kernel_arg $ scale_arg $ threshold_arg $ explain_arg)
 
 let pgo_arg =
   let doc = "Use profile-guided compilation (Section 6.3 future work)." in
@@ -170,6 +183,104 @@ let exec_cmd =
     (Cmd.info "exec" ~doc:"Compile and run a textual IR program from a file")
     Term.(const run $ file_arg $ threshold_arg $ crash_flag)
 
+let profile_cmd =
+  let target_arg =
+    let doc =
+      "Workload kernel name (see `capri list') or path to a textual IR \
+       program (e.g. examples/counter.capri)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  let perfetto_arg =
+    let doc =
+      "Write the focus run's span trace as Chrome trace-event JSON \
+       (open in https://ui.perfetto.dev or chrome://tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "perfetto" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Write the merged metrics registry snapshot as JSON." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc = "Rows in the hottest-regions table." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Run the per-mode simulations over N domains (output is \
+       byte-identical at any job count)."
+    in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let mode_arg =
+    let doc = "Focus mode for the trace and region profile ($(docv))." in
+    let modes =
+      List.map (fun m -> (Persist.mode_name m, m)) Profile.all_modes
+    in
+    Arg.(
+      value
+      & opt (enum modes) Persist.Capri
+      & info [ "mode" ] ~docv:"capri|naive-sync|undo-sync|redo-nowb|volatile"
+          ~doc)
+  in
+  let write_file file contents =
+    let oc = open_out file in
+    output_string oc contents;
+    close_out oc
+  in
+  let run target scale threshold top jobs focus perfetto metrics_file =
+    let program, threads =
+      if Sys.file_exists target then
+        match Parser.parse_file target with
+        | Error e ->
+          Format.eprintf "%s: %a@." target Parser.pp_error e;
+          exit 1
+        | Ok program -> (program, [ Executor.main_thread program ])
+      else
+        let k = find_kernel target scale in
+        (k.W.Kernel.program, k.W.Kernel.threads)
+    in
+    let options = Options.with_threshold threshold Options.default in
+    let p = Profile.run ~jobs ~focus ~options ~program ~threads () in
+    (match Profile.validate_trace p with
+     | Ok () -> ()
+     | Error msg ->
+       Printf.eprintf "trace validation failed: %s\n" msg;
+       exit 1);
+    List.iter
+      (fun (mode, (r : Executor.result)) ->
+        Printf.printf "%-12s %10d cycles  %8d nvm line writes\n"
+          (Persist.mode_name mode) r.Executor.cycles
+          r.Executor.persist_stats.Capri_arch.Persist.nvm_line_writes)
+      p.Profile.results;
+    print_newline ();
+    print_string (Profile.render_reasons p);
+    print_newline ();
+    Printf.printf "hottest regions (%s mode):\n"
+      (Persist.mode_name p.Profile.focus);
+    print_string (Profile.render_top p ~n:top);
+    Option.iter
+      (fun f ->
+        write_file f (Profile.perfetto_json p);
+        Printf.eprintf "wrote %s (perfetto trace, %d events)\n" f
+          (Capri_obs.Tracer.count p.Profile.obs.Capri_obs.Obs.tracer))
+      perfetto;
+    Option.iter
+      (fun f ->
+        write_file f (Profile.metrics_json p);
+        Printf.eprintf "wrote %s (metrics snapshot)\n" f)
+      metrics_file
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a kernel under every persistence mode: merged metrics, \
+          Perfetto span trace and hottest-regions table")
+    Term.(
+      const run $ target_arg $ scale_arg $ threshold_arg $ top_arg $ jobs_arg
+      $ mode_arg $ perfetto_arg $ metrics_arg)
+
 let trace_cmd =
   let run name scale threshold =
     let k = find_kernel name scale in
@@ -199,5 +310,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; compile_cmd; run_cmd; crash_cmd; exec_cmd; trace_cmd;
-            show_config_cmd ]))
+          [ list_cmd; compile_cmd; run_cmd; crash_cmd; exec_cmd; profile_cmd;
+            trace_cmd; show_config_cmd ]))

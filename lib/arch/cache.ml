@@ -5,9 +5,14 @@ type t = {
   sets : int;
   ways : way array array;
   mutable tick : int;  (* LRU clock *)
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable dirty_evictions : int;
 }
 
 type eviction = { line : int; dirty : bool }
+
+type stats = { insertions : int; evictions : int; dirty_evictions : int }
 
 let create ~sets ~ways =
   if sets <= 0 || sets land (sets - 1) <> 0 then
@@ -18,6 +23,9 @@ let create ~sets ~ways =
       Array.init sets (fun _ ->
           Array.init ways (fun _ -> { line = -1; dirty = false; lru = 0 }));
     tick = 0;
+    insertions = 0;
+    evictions = 0;
+    dirty_evictions = 0;
   }
 
 let set_of t line = line land (t.sets - 1)
@@ -64,6 +72,12 @@ let insert t line ~dirty =
   let evicted =
     if w.line = -1 then None else Some { line = w.line; dirty = w.dirty }
   in
+  t.insertions <- t.insertions + 1;
+  (match evicted with
+  | Some e ->
+    t.evictions <- t.evictions + 1;
+    if e.dirty then t.dirty_evictions <- t.dirty_evictions + 1
+  | None -> ());
   w.line <- line;
   w.dirty <- dirty;
   w.lru <- t.tick;
@@ -95,6 +109,13 @@ let resident t =
       Array.iter (fun (w : way) -> if w.line <> -1 then incr n) set)
     t.ways;
   !n
+
+let stats (t : t) =
+  {
+    insertions = t.insertions;
+    evictions = t.evictions;
+    dirty_evictions = t.dirty_evictions;
+  }
 
 let clear t =
   Array.iter

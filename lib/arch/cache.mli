@@ -31,4 +31,11 @@ val dirty_lines : t -> int list
 val resident : t -> int
 (** Number of resident lines. *)
 
+type stats = { insertions : int; evictions : int; dirty_evictions : int }
+
+val stats : t -> stats
+(** Allocation/eviction counts since creation ([clear] does not reset
+    them). The hierarchy publishes these per level into the metrics
+    registry. *)
+
 val clear : t -> unit

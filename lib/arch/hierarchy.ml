@@ -1,5 +1,10 @@
+module Metrics = Capri_obs.Metrics
+module Obs = Capri_obs.Obs
+
 type level = L1 | L2 | Dram | Nvm
 
+(* Public snapshot; live cells are registry counters named cache_..,
+   same scheme as Persist's. *)
 type stats = {
   mutable l1_hits : int;
   mutable l2_hits : int;
@@ -7,6 +12,15 @@ type stats = {
   mutable nvm_accesses : int;
   mutable writebacks : int;
   mutable invalidations : int;
+}
+
+type counters = {
+  c_l1_hits : Metrics.Counter.t;
+  c_l2_hits : Metrics.Counter.t;
+  c_dram_hits : Metrics.Counter.t;
+  c_nvm_accesses : Metrics.Counter.t;
+  c_writebacks : Metrics.Counter.t;
+  c_invalidations : Metrics.Counter.t;
 }
 
 type t = {
@@ -18,18 +32,22 @@ type t = {
   owner : (int, int) Hashtbl.t;  (* line -> core owning a dirty L1 copy *)
   on_nvm_writeback :
     cycle:int -> line:int -> data:int array -> version:int -> unit;
-  stats : stats;
+  c : counters;
+  metrics : Metrics.t;
+  labels : Metrics.labels;
 }
 
 let pow2_ge n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let create config memory ~on_nvm_writeback =
+let create ?(obs = Obs.null) ?(labels = []) config memory ~on_nvm_writeback =
   let mk lines ways =
     let sets = max 1 (pow2_ge (lines / ways)) in
     Cache.create ~sets ~ways
   in
+  let metrics = obs.Obs.metrics in
+  let c name = Metrics.counter ~labels metrics ("cache_" ^ name) in
   {
     config;
     memory;
@@ -40,15 +58,17 @@ let create config memory ~on_nvm_writeback =
     dram = Cache.create ~sets:(pow2_ge config.Config.dram_cache_lines) ~ways:1;
     owner = Hashtbl.create 1024;
     on_nvm_writeback;
-    stats =
+    c =
       {
-        l1_hits = 0;
-        l2_hits = 0;
-        dram_hits = 0;
-        nvm_accesses = 0;
-        writebacks = 0;
-        invalidations = 0;
+        c_l1_hits = c "l1_hits";
+        c_l2_hits = c "l2_hits";
+        c_dram_hits = c "dram_hits";
+        c_nvm_accesses = c "nvm_accesses";
+        c_writebacks = c "writebacks";
+        c_invalidations = c "invalidations";
       };
+    metrics;
+    labels;
   }
 
 let latency (config : Config.t) = function
@@ -60,7 +80,7 @@ let latency (config : Config.t) = function
 (* Dirty eviction sinks one level down; clean evictions vanish. *)
 let rec sink t ~cycle ~line ~dirty ~from =
   if dirty then begin
-    t.stats.writebacks <- t.stats.writebacks + 1;
+    Metrics.Counter.inc t.c.c_writebacks;
     match from with
     | L1 ->
       Hashtbl.remove t.owner line;
@@ -93,14 +113,14 @@ let fetch_from_below t ~cycle ~line =
    | Some other ->
      ignore (Cache.invalidate t.l1.(other) line);
      Hashtbl.remove t.owner line;
-     t.stats.invalidations <- t.stats.invalidations + 1;
+     Metrics.Counter.inc t.c.c_invalidations;
      stolen_dirty := true
    | None ->
      Array.iteri
        (fun _ l1 ->
          if Cache.mem l1 line then begin
            ignore (Cache.invalidate l1 line);
-           t.stats.invalidations <- t.stats.invalidations + 1
+           Metrics.Counter.inc t.c.c_invalidations
          end)
        t.l1);
   if !stolen_dirty then (L2, true)  (* cache-to-cache transfer, L2-ish cost *)
@@ -128,13 +148,13 @@ let access t ~core ~cycle ~addr ~write =
        | Some other when other <> core ->
          ignore (Cache.invalidate t.l1.(other) line);
          Hashtbl.remove t.owner line;
-         t.stats.invalidations <- t.stats.invalidations + 1;
+         Metrics.Counter.inc t.c.c_invalidations;
          (* also drop other shared copies *)
          Array.iteri
            (fun i l1o ->
              if i <> core && Cache.mem l1o line then begin
                ignore (Cache.invalidate l1o line);
-               t.stats.invalidations <- t.stats.invalidations + 1
+               Metrics.Counter.inc t.c.c_invalidations
              end)
            t.l1
        | Some _ -> ()
@@ -143,22 +163,22 @@ let access t ~core ~cycle ~addr ~write =
            (fun i l1o ->
              if i <> core && Cache.mem l1o line then begin
                ignore (Cache.invalidate l1o line);
-               t.stats.invalidations <- t.stats.invalidations + 1
+               Metrics.Counter.inc t.c.c_invalidations
              end)
            t.l1);
       Hashtbl.replace t.owner line core;
       Cache.touch l1 line ~dirty:true
     end
     else Cache.touch l1 line ~dirty:false;
-    t.stats.l1_hits <- t.stats.l1_hits + 1;
+    Metrics.Counter.inc t.c.c_l1_hits;
     L1
   end
   else begin
     let found_at, was_dirty = fetch_from_below t ~cycle ~line in
     (match found_at with
-     | L2 -> t.stats.l2_hits <- t.stats.l2_hits + 1
-     | Dram -> t.stats.dram_hits <- t.stats.dram_hits + 1
-     | Nvm -> t.stats.nvm_accesses <- t.stats.nvm_accesses + 1
+     | L2 -> Metrics.Counter.inc t.c.c_l2_hits
+     | Dram -> Metrics.Counter.inc t.c.c_dram_hits
+     | Nvm -> Metrics.Counter.inc t.c.c_nvm_accesses
      | L1 -> assert false);
     let dirty = write || was_dirty in
     if write then Hashtbl.replace t.owner line core
@@ -203,4 +223,34 @@ let drop_all t =
   Cache.clear t.dram;
   Hashtbl.reset t.owner
 
-let stats t = t.stats
+let stats t =
+  let v = Metrics.Counter.value in
+  {
+    l1_hits = v t.c.c_l1_hits;
+    l2_hits = v t.c.c_l2_hits;
+    dram_hits = v t.c.c_dram_hits;
+    nvm_accesses = v t.c.c_nvm_accesses;
+    writebacks = v t.c.c_writebacks;
+    invalidations = v t.c.c_invalidations;
+  }
+
+(* Publish per-cache allocation/eviction counts as registry series; [set]
+   makes this idempotent, so callers may publish at any checkpoint. The
+   per-core L1s fold into one series — their sum is the architectural
+   figure and keeps the document independent of core count. *)
+let publish t =
+  let put name (s : Cache.stats list) =
+    let tot f = List.fold_left (fun a x -> a + f x) 0 s in
+    let set field v =
+      Metrics.Counter.set
+        (Metrics.counter ~labels:(("level", name) :: t.labels) t.metrics field)
+        v
+    in
+    set "cache_insertions" (tot (fun (x : Cache.stats) -> x.Cache.insertions));
+    set "cache_evictions" (tot (fun (x : Cache.stats) -> x.Cache.evictions));
+    set "cache_dirty_evictions"
+      (tot (fun (x : Cache.stats) -> x.Cache.dirty_evictions))
+  in
+  put "l1" (Array.to_list (Array.map Cache.stats t.l1));
+  put "l2" [ Cache.stats t.l2 ];
+  put "dram" [ Cache.stats t.dram ]

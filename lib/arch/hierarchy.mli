@@ -16,9 +16,16 @@ type t
 type level = L1 | L2 | Dram | Nvm
 
 val create :
+  ?obs:Capri_obs.Obs.t ->
+  ?labels:Capri_obs.Metrics.labels ->
   Config.t -> Memory.t ->
   on_nvm_writeback:(cycle:int -> line:int -> data:int array -> version:int -> unit) ->
   t
+(** With an enabled [obs] bundle the hit/writeback/invalidation counters
+    are registered in the metrics registry (as [cache_*] series, carrying
+    [labels] — the executor passes the persistence mode, so per-mode
+    registries merge without collisions); with the default null bundle
+    they still count but are invisible to snapshots. *)
 
 val load : t -> core:int -> cycle:int -> addr:int -> level
 (** Where the line was found; allocates it upward. *)
@@ -48,3 +55,11 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Snapshot of the live registry counters; mutating the returned record
+    has no effect on the hierarchy. *)
+
+val publish : t -> unit
+(** Copy the per-cache allocation/eviction counts ({!Cache.stats}, the
+    per-core L1s summed) into the registry as [cache_insertions] /
+    [cache_evictions] / [cache_dirty_evictions] series labelled by
+    level. Idempotent ([set], not [add]); call before snapshotting. *)

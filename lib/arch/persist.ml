@@ -1,5 +1,17 @@
+module Metrics = Capri_obs.Metrics
+module Obs = Capri_obs.Obs
+
 type mode = Capri | Naive_sync | Undo_sync | Redo_nowb | Volatile
 
+let mode_name = function
+  | Capri -> "capri"
+  | Naive_sync -> "naive-sync"
+  | Undo_sync -> "undo-sync"
+  | Redo_nowb -> "redo-nowb"
+  | Volatile -> "volatile"
+
+(* The public snapshot view; the live counters are registry cells (see
+   [counters] below) so a profiled run exports them without a copy. *)
 type stats = {
   mutable entries_created : int;
   mutable entries_merged : int;
@@ -18,6 +30,53 @@ type stats = {
   mutable nvm_writes_redo : int;  (* line writes from phase-2 redo copies *)
   mutable nvm_writes_slot : int;  (* line writes to the checkpoint arrays *)
 }
+
+(* The live counters, one registry cell per stats field. Incrementing a
+   cell costs the same field write the old mutable record cost; with the
+   null registry the cells simply aren't interned anywhere. Every NVM
+   line write is categorized at the single choke point ({!nvm_write}'s
+   [kind]), which is what keeps the accounting invariant
+   [nvm_line_writes = wb + redo + slot] structural rather than hoped-for. *)
+type counters = {
+  c_entries_created : Metrics.Counter.t;
+  c_entries_merged : Metrics.Counter.t;
+  c_commits : Metrics.Counter.t;
+  c_boundaries_elided : Metrics.Counter.t;
+  c_ckpt_flushes : Metrics.Counter.t;
+  c_redo_writes : Metrics.Counter.t;
+  c_redo_skipped_invalid : Metrics.Counter.t;
+  c_redo_skipped_stale : Metrics.Counter.t;
+  c_scan_invalidations : Metrics.Counter.t;
+  c_window_invalidations : Metrics.Counter.t;
+  c_store_stall_cycles : Metrics.Counter.t;
+  c_boundary_stall_cycles : Metrics.Counter.t;
+  c_nvm_line_writes : Metrics.Counter.t;
+  c_nvm_writes_wb : Metrics.Counter.t;
+  c_nvm_writes_redo : Metrics.Counter.t;
+  c_nvm_writes_slot : Metrics.Counter.t;
+}
+
+let mk_counters metrics ~mode =
+  let labels = [ ("mode", mode_name mode) ] in
+  let c name = Metrics.counter ~labels metrics ("persist_" ^ name) in
+  {
+    c_entries_created = c "entries_created";
+    c_entries_merged = c "entries_merged";
+    c_commits = c "commits";
+    c_boundaries_elided = c "boundaries_elided";
+    c_ckpt_flushes = c "ckpt_flushes";
+    c_redo_writes = c "redo_writes";
+    c_redo_skipped_invalid = c "redo_skipped_invalid";
+    c_redo_skipped_stale = c "redo_skipped_stale";
+    c_scan_invalidations = c "scan_invalidations";
+    c_window_invalidations = c "window_invalidations";
+    c_store_stall_cycles = c "store_stall_cycles";
+    c_boundary_stall_cycles = c "boundary_stall_cycles";
+    c_nvm_line_writes = c "nvm_line_writes";
+    c_nvm_writes_wb = c "nvm_writes_wb";
+    c_nvm_writes_redo = c "nvm_writes_redo";
+    c_nvm_writes_slot = c "nvm_writes_slot";
+  }
 
 type resume =
   | Resume of { boundary : int; sp : int }
@@ -166,10 +225,11 @@ type t = {
   pending : (int, int array) Hashtbl.t;
       (* line -> per-core count of not-yet-committed entries; drives the
          cross-core conflict fence (see store_conflict) *)
-  stats : stats;
+  c : counters;
+  obs : Obs.t;
 }
 
-let create config ~mode =
+let create ?(obs = Obs.null) config ~mode =
   {
     config;
     mode;
@@ -199,25 +259,8 @@ let create config ~mode =
     nvm_wq_free = 0;
     recent_wb = [];
     pending = Hashtbl.create 256;
-    stats =
-      {
-        entries_created = 0;
-        entries_merged = 0;
-        commits = 0;
-        boundaries_elided = 0;
-        ckpt_flushes = 0;
-        redo_writes = 0;
-        redo_skipped_invalid = 0;
-        redo_skipped_stale = 0;
-        scan_invalidations = 0;
-        window_invalidations = 0;
-        store_stall_cycles = 0;
-        boundary_stall_cycles = 0;
-        nvm_line_writes = 0;
-        nvm_writes_wb = 0;
-        nvm_writes_redo = 0;
-        nvm_writes_slot = 0;
-      };
+    c = mk_counters obs.Obs.metrics ~mode;
+    obs;
   }
 
 let debug_line =
@@ -230,7 +273,29 @@ let dbg line fmt =
   else Printf.ifprintf stderr fmt
 
 let mode t = t.mode
-let stats t = t.stats
+
+(* Thin snapshot over the registry cells: the record the callers (tests,
+   bench tables) always read, rebuilt on demand. *)
+let stats t =
+  let v = Metrics.Counter.value in
+  {
+    entries_created = v t.c.c_entries_created;
+    entries_merged = v t.c.c_entries_merged;
+    commits = v t.c.c_commits;
+    boundaries_elided = v t.c.c_boundaries_elided;
+    ckpt_flushes = v t.c.c_ckpt_flushes;
+    redo_writes = v t.c.c_redo_writes;
+    redo_skipped_invalid = v t.c.c_redo_skipped_invalid;
+    redo_skipped_stale = v t.c.c_redo_skipped_stale;
+    scan_invalidations = v t.c.c_scan_invalidations;
+    window_invalidations = v t.c.c_window_invalidations;
+    store_stall_cycles = v t.c.c_store_stall_cycles;
+    boundary_stall_cycles = v t.c.c_boundary_stall_cycles;
+    nvm_line_writes = v t.c.c_nvm_line_writes;
+    nvm_writes_wb = v t.c.c_nvm_writes_wb;
+    nvm_writes_redo = v t.c.c_nvm_writes_redo;
+    nvm_writes_slot = v t.c.c_nvm_writes_slot;
+  }
 
 let init_slots t ~core ~slots ~resume_boundary ~sp =
   let cs = t.cores.(core) in
@@ -254,10 +319,17 @@ let stamps_of t line =
     a
 
 (* Word-granular aged write: each masked word lands only if its data is
-   at least as new as what that word already holds. *)
-let nvm_write ?(mask = 0xFF) t ~line ~data ~version =
+   at least as new as what that word already holds. [kind] attributes the
+   line write to one of the three traffic categories at the single choke
+   point, so nvm_line_writes = wb + redo + slot holds by construction. *)
+let nvm_write ?(mask = 0xFF) t ~kind ~line ~data ~version =
   let stamps = stamps_of t line in
-  t.stats.nvm_line_writes <- t.stats.nvm_line_writes + 1;
+  Metrics.Counter.inc t.c.c_nvm_line_writes;
+  Metrics.Counter.inc
+    (match kind with
+    | `Wb -> t.c.c_nvm_writes_wb
+    | `Redo -> t.c.c_nvm_writes_redo
+    | `Slot -> t.c.c_nvm_writes_slot);
   let write_mask = ref 0 in
   for o = 0 to Config.line_words - 1 do
     if mask land (1 lsl o) <> 0 && version >= stamps.(o) then begin
@@ -272,7 +344,7 @@ let nvm_write ?(mask = 0xFF) t ~line ~data ~version =
     true
   end
   else begin
-    t.stats.redo_skipped_stale <- t.stats.redo_skipped_stale + 1;
+    Metrics.Counter.inc t.c.c_redo_skipped_stale;
     false
   end
 
@@ -284,7 +356,8 @@ let nvm_line t line = Memory.line_snapshot t.nvm line
    writeback handler discards dirty lines by design — leaving the data
    segment non-durable before the first committed region (lost by a
    crash at instruction 0; found by the fuzzer). *)
-let install_line t ~line ~data ~version = ignore (nvm_write t ~line ~data ~version)
+let install_line t ~line ~data ~version =
+  ignore (nvm_write t ~kind:`Wb ~line ~data ~version)
 
 (* ---------------- cross-core conflict fence ---------------- *)
 
@@ -347,22 +420,20 @@ let do_commit t cs region info now =
      Printf.eprintf "commit seq=%d resume=%d now=%d entries=%d\n" region.bseq
        info.resume_boundary now region.bcount
    | _ -> ());
-  t.stats.commits <- t.stats.commits + 1;
+  Metrics.Counter.inc t.c.c_commits;
+  let commit_lines = ref 0 in
   let entries = List.rev region.bentries in
   List.iter (fun e -> pending_dec t ~core:cs.id ~line:e.line) entries;
   List.iter
     (fun e ->
-      if not e.valid then
-        t.stats.redo_skipped_invalid <- t.stats.redo_skipped_invalid + 1
+      if not e.valid then Metrics.Counter.inc t.c.c_redo_skipped_invalid
       else begin
         t.nvm_wq_free <-
           max t.nvm_wq_free now + t.config.Config.nvm_write_service;
-        if nvm_write ~mask:e.mask t ~line:e.line ~data:e.redo
+        incr commit_lines;
+        if nvm_write ~mask:e.mask t ~kind:`Redo ~line:e.line ~data:e.redo
              ~version:e.version
-        then begin
-          t.stats.redo_writes <- t.stats.redo_writes + 1;
-          t.stats.nvm_writes_redo <- t.stats.nvm_writes_redo + 1
-        end
+        then Metrics.Counter.inc t.c.c_redo_writes
       end)
     entries;
   List.iter
@@ -370,12 +441,26 @@ let do_commit t cs region info now =
     (List.rev region.bslots);
   (* Slot stores are adjacent 8-byte words of the per-core checkpoint
      array: they coalesce into whole-line writes (at most 4 lines for 32
-     registers). *)
+     registers). They bypass the stamp machinery (the slot arrays live
+     outside data memory) but still count as NVM line traffic. *)
   let slot_lines = (List.length region.bslots + 7) / 8 in
-  t.stats.nvm_writes_slot <- t.stats.nvm_writes_slot + slot_lines;
+  Metrics.Counter.add t.c.c_nvm_writes_slot slot_lines;
+  Metrics.Counter.add t.c.c_nvm_line_writes slot_lines;
+  commit_lines := !commit_lines + slot_lines;
   for _ = 1 to slot_lines do
     t.nvm_wq_free <- max t.nvm_wq_free now + t.config.Config.nvm_write_service
   done;
+  Capri_obs.Profiler.on_commit t.obs.Obs.regions ~core:cs.id ~seq:region.bseq
+    ~cycle:now ~nvm_lines:!commit_lines;
+  if Capri_obs.Tracer.enabled t.obs.Obs.tracer then
+    Capri_obs.Tracer.instant t.obs.Obs.tracer ~track:Capri_obs.Tracer.Proxy
+      ~name:"commit" ~ts:now
+      ~args:
+        [
+          ("core", string_of_int cs.id);
+          ("seq", string_of_int region.bseq);
+          ("nvm_lines", string_of_int !commit_lines);
+        ];
   cs.journal <- List.rev_append info.outs cs.journal;
   if not info.elide_resume then
     cs.resume <-
@@ -400,7 +485,7 @@ let deliver t core item now =
     then begin
       if e.valid then begin
         e.valid <- false;
-        t.stats.window_invalidations <- t.stats.window_invalidations + 1
+        Metrics.Counter.inc t.c.c_window_invalidations
       end
     end;
     let r = back_region_for cs e.seq in
@@ -554,7 +639,7 @@ let on_store t ~core ~cycle ~line ~mask ~undo ~redo ~version =
        dbg line "merge line=%d seq=%d mask=%x v=%d redo2=%d\n" line e.seq
          e.mask version redo.(2);
        pending_add_mask t ~core ~line ~mask;
-       t.stats.entries_merged <- t.stats.entries_merged + 1;
+       Metrics.Counter.inc t.c.c_entries_merged;
        0
      | Some _ | None ->
        let resolved =
@@ -565,7 +650,7 @@ let on_store t ~core ~cycle ~line ~mask ~undo ~redo ~version =
                  cs.front_data < t.config.Config.front_proxy_entries)
            in
            let stall = max 0 (finish - target) in
-           t.stats.store_stall_cycles <- t.stats.store_stall_cycles + stall;
+           Metrics.Counter.add t.c.c_store_stall_cycles stall;
            stall
          end
          else 0
@@ -583,7 +668,7 @@ let on_store t ~core ~cycle ~line ~mask ~undo ~redo ~version =
        (* The transfer to the back-end cannot begin in the creation
           cycle, so a same-cycle second store to the line still merges. *)
        cs.next_drain <- max cs.next_drain (cycle + 1);
-       t.stats.entries_created <- t.stats.entries_created + 1;
+       Metrics.Counter.inc t.c.c_entries_created;
        resolved)
 
 let on_ckpt t ~core ~slot ~value =
@@ -622,7 +707,7 @@ let flush_region t cs ~boundary ~sp =
   if has_work then begin
     List.iter
       (fun (slot, value) ->
-        t.stats.ckpt_flushes <- t.stats.ckpt_flushes + 1;
+        Metrics.Counter.inc t.c.c_ckpt_flushes;
         Queue.push (Ckpt_flush { seq = cs.open_seq; slot; value }) cs.front)
       staged;
     Queue.push
@@ -632,7 +717,7 @@ let flush_region t cs ~boundary ~sp =
                     outs } })
       cs.front
   end
-  else t.stats.boundaries_elided <- t.stats.boundaries_elided + 1;
+  else Metrics.Counter.inc t.c.c_boundaries_elided;
   cs.out_staged <- [];
   cs.staged <- [];
   Hashtbl.reset cs.staged_index;
@@ -660,14 +745,12 @@ let on_boundary t ~core ~cycle ~boundary ~sp =
     flush_region t cs ~boundary ~sp;
     let finish = stall_until t ~cycle (fun () -> fully_drained cs) in
     let stall = max 0 (finish - cycle) in
-    t.stats.boundary_stall_cycles <- t.stats.boundary_stall_cycles + stall;
+    Metrics.Counter.add t.c.c_boundary_stall_cycles stall;
     stall
 
 let on_writeback t ~cycle ~line ~data ~version =
   match t.mode with
-  | Volatile ->
-    t.stats.nvm_writes_wb <- t.stats.nvm_writes_wb + 1;
-    ignore (nvm_write t ~line ~data ~version)
+  | Volatile -> ignore (nvm_write t ~kind:`Wb ~line ~data ~version)
   | Redo_nowb ->
     (* Dirty lines are dropped: only the redo log updates NVM. *)
     ()
@@ -675,8 +758,7 @@ let on_writeback t ~cycle ~line ~data ~version =
     advance t ~cycle;
     dbg line "writeback line=%d v=%d data2=%d cyc=%d\n" line version data.(2)
       cycle;
-    t.stats.nvm_writes_wb <- t.stats.nvm_writes_wb + 1;
-    ignore (nvm_write t ~line ~data ~version);
+    ignore (nvm_write t ~kind:`Wb ~line ~data ~version);
     t.nvm_wq_free <- max t.nvm_wq_free cycle + t.config.Config.nvm_write_service;
     (* Scan the back-end proxies: invalidate overtaken redo entries. *)
     Array.iter
@@ -687,7 +769,7 @@ let on_writeback t ~cycle ~line ~data ~version =
               (fun e ->
                 if e.line = line && e.valid && e.version <= version then begin
                   e.valid <- false;
-                  t.stats.scan_invalidations <- t.stats.scan_invalidations + 1
+                  Metrics.Counter.inc t.c.c_scan_invalidations
                 end)
               r.bentries)
           cs.back)
@@ -797,8 +879,8 @@ let crash_recover t ~cycle =
                   e.line e.seq e.valid e.version e.redo.(2);
                 if e.valid then
                   ignore
-                    (nvm_write ~mask:e.mask t ~line:e.line ~data:e.redo
-                       ~version:e.version))
+                    (nvm_write ~mask:e.mask t ~kind:`Redo ~line:e.line
+                       ~data:e.redo ~version:e.version))
               (List.rev r.bentries);
             List.iter
               (fun (slot, value) -> cs.slot_array.(slot) <- value)

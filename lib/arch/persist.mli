@@ -32,6 +32,18 @@
 
 type mode = Capri | Naive_sync | Undo_sync | Redo_nowb | Volatile
 
+val mode_name : mode -> string
+(** Canonical lower-case name ("capri", "naive-sync", ...), used as the
+    ["mode"] metric label. *)
+
+(** Snapshot of the engine's counters, rebuilt by {!stats} on each call.
+    The live cells are registry counters (named [persist_*], labelled
+    with the mode) so a profiled run exports them without copying;
+    mutating a returned snapshot has no effect on the engine. The NVM
+    accounting invariant
+    [nvm_line_writes = nvm_writes_wb + nvm_writes_redo + nvm_writes_slot]
+    holds structurally: every line write is categorized at the single
+    write choke point. *)
 type stats = {
   mutable entries_created : int;
   mutable entries_merged : int;
@@ -67,7 +79,13 @@ type image = {
 
 type t
 
-val create : Config.t -> mode:mode -> t
+val create : ?obs:Capri_obs.Obs.t -> Config.t -> mode:mode -> t
+(** [obs] defaults to {!Capri_obs.Obs.null}: counters still count (the
+    {!stats} view works regardless) but nothing is registered, traced or
+    profiled. With an enabled bundle the engine additionally emits a
+    proxy-track instant per region commit and feeds the region profiler
+    with commit cycle and NVM line counts. *)
+
 val mode : t -> mode
 val stats : t -> stats
 

@@ -35,6 +35,35 @@ let static_ckpt_count t =
         acc (Func.blocks f))
     0 t.program.Program.funcs
 
+(* Boundary and checkpoint provenance: why every region boundary exists
+   and what each optimisation pass did to the checkpoint population. *)
+let pp_explain fmt t =
+  let regions = Region_map.regions t.regions in
+  Format.fprintf fmt "@[<v>boundaries by reason:@,";
+  List.iter
+    (fun (reason, n) ->
+      if n > 0 then
+        Format.fprintf fmt "  %-12s %d@," (Region_map.reason_name reason) n)
+    (Region_map.reason_counts t.regions);
+  Format.fprintf fmt
+    "checkpoint provenance: %d inserted (ckpt pass), %d pruned by \
+     recovery-block synthesis, %d hoisted + %d deduped by LICM; %d remain@,"
+    t.ckpt_report.Ckpt.ckpts_inserted t.prune_report.Prune.ckpts_pruned
+    t.licm_report.Licm.ckpts_hoisted t.licm_report.Licm.ckpts_deduped
+    (static_ckpt_count t);
+  Format.fprintf fmt "  %-4s %-16s %-10s %6s %6s  %s@," "id" "func" "head"
+    "blocks" "bound" "reason";
+  List.iter
+    (fun (r : Region_map.region) ->
+      Format.fprintf fmt "  %-4d %-16s %-10s %6d %6d  %s@," r.Region_map.id
+        r.Region_map.func
+        (Label.to_string r.Region_map.head)
+        (Label.Set.cardinal r.Region_map.members)
+        r.Region_map.static_store_bound
+        (Region_map.reason_name r.Region_map.reason))
+    regions;
+  Format.fprintf fmt "@]"
+
 let pp_summary fmt t =
   Format.fprintf fmt
     "@[<v>regions: %d (max store bound %d)@,\

@@ -22,3 +22,8 @@ val static_ckpt_count : t -> int
 (** Checkpoint stores currently in the program text. *)
 
 val pp_summary : Format.formatter -> t -> unit
+
+val pp_explain : Format.formatter -> t -> unit
+(** Full provenance report: per-reason boundary counts, what each pass
+    did to the checkpoint population, and one row per region with the
+    reason its boundary exists ([capri compile --explain]). *)

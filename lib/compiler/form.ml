@@ -58,6 +58,9 @@ type unit_node = {
   blocks : Label.Set.t;
   weight : int;  (* worst-case stores (+ checkpoint estimate) per execution *)
   mandatory : bool;
+  why_mandatory : Region_map.reason option;
+      (* provenance when [mandatory]; non-mandatory units that still head
+         a region get Threshold or Merge at assignment time *)
 }
 
 let block_trigger (b : Block.t) =
@@ -200,7 +203,8 @@ let absorbed_loops options live f loops =
 
 type assignment = {
   region_of : int Label.Tbl.t;  (* block -> region id *)
-  heads : (int * Label.t * int) list ref;  (* id, head, store bound *)
+  heads : (int * Label.t * int * Region_map.reason) list ref;
+      (* id, head, store bound, boundary provenance *)
 }
 
 let build_units options live f loops =
@@ -228,11 +232,15 @@ let build_units options live f loops =
              absorbed))
       (Loops.headers loops)
   in
-  let mandatory_block l b =
-    Label.equal l (Func.entry f)
-    || Label.Set.mem l ret_targets
-    || block_trigger b
-    || Label.Set.mem l non_absorbed_headers
+  (* Priority order doubles as provenance: the first clause that fires
+     names the reported reason. *)
+  let why_mandatory_block l b =
+    if Label.equal l (Func.entry f) then Some Region_map.Entry
+    else if Label.Set.mem l ret_targets then Some Region_map.Call_return
+    else if block_trigger b then Some Region_map.Trigger
+    else if Label.Set.mem l non_absorbed_headers then
+      Some Region_map.Loop_header
+    else None
   in
   (* One unit per block not inside an absorbed loop; one unit per absorbed
      loop. *)
@@ -244,17 +252,24 @@ let build_units options live f loops =
       match in_absorbed l with
       | Some (loop, w) ->
         if Label.equal l loop.Loops.header then begin
+          let why =
+            if Label.equal loop.Loops.header (Func.entry f) then
+              Some Region_map.Entry
+            else if
+              Label.Set.exists
+                (fun m -> Label.Set.mem m ret_targets)
+                loop.Loops.body
+            then Some Region_map.Call_return
+            else None
+          in
           let u =
             {
               kind = Uloop { header = loop.Loops.header; body = loop.Loops.body };
               entry = loop.Loops.header;
               blocks = loop.Loops.body;
               weight = w;
-              mandatory =
-                Label.equal loop.Loops.header (Func.entry f)
-                || Label.Set.exists
-                     (fun m -> Label.Set.mem m ret_targets)
-                     loop.Loops.body;
+              mandatory = why <> None;
+              why_mandatory = why;
             }
           in
           units := u :: !units;
@@ -263,13 +278,15 @@ let build_units options live f loops =
             loop.Loops.body
         end
       | None ->
+        let why = why_mandatory_block l b in
         let u =
           {
             kind = Ublock l;
             entry = l;
             blocks = Label.Set.singleton l;
             weight = block_weight options live f b;
-            mandatory = mandatory_block l b;
+            mandatory = why <> None;
+            why_mandatory = why;
           }
         in
         units := u :: !units;
@@ -337,13 +354,16 @@ let assign_regions options live f ~next_id =
     { region_of = Label.Tbl.create 64; heads = ref [] }
   in
   let bound_of_region = Hashtbl.create 16 in
-  let start_region u =
+  let start_region u ~reason =
     let id = !next_id in
     incr next_id;
+    (* A mandatory unit reports its mandatory cause even when the greedy
+       walk would also have cut here for another reason. *)
+    let reason = Option.value u.why_mandatory ~default:reason in
     Label.Tbl.replace region_of_unit u.entry id;
     Label.Tbl.replace cost_end u.entry u.weight;
     Hashtbl.replace bound_of_region id u.weight;
-    assignment.heads := (id, u.entry, u.weight) :: !(assignment.heads)
+    assignment.heads := (id, u.entry, u.weight, reason) :: !(assignment.heads)
   in
   List.iter
     (fun entry ->
@@ -373,8 +393,8 @@ let assign_regions options live f ~next_id =
           Hashtbl.replace bound_of_region r
             (max (Hashtbl.find bound_of_region r) total)
         end
-        else start_region u
-      | _ :: _ | [] -> start_region u)
+        else start_region u ~reason:Region_map.Threshold
+      | _ :: _ | [] -> start_region u ~reason:Region_map.Merge)
     rpo;
   (* Project unit assignment down to blocks. *)
   List.iter
@@ -386,7 +406,8 @@ let assign_regions options live f ~next_id =
     units;
   let heads =
     List.rev_map
-      (fun (id, head, _) -> (id, head, Hashtbl.find bound_of_region id))
+      (fun (id, head, _, reason) ->
+        (id, head, Hashtbl.find bound_of_region id, reason))
       !(assignment.heads)
   in
   (assignment.region_of, heads)
@@ -421,7 +442,7 @@ let run options (program : Program.t) =
           Region_map.set_block map ~func:fname l id)
         region_of;
       List.iter
-        (fun (id, head, bound) ->
+        (fun (id, head, bound, reason) ->
           Region_map.add_region map
             {
               Region_map.id;
@@ -429,6 +450,7 @@ let run options (program : Program.t) =
               head;
               members = Hashtbl.find members id;
               static_store_bound = bound;
+              reason;
             };
           (* Physically mark the boundary. *)
           let hb = Func.find f head in

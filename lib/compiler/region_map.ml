@@ -1,11 +1,30 @@
 open Capri_ir
 
+type reason =
+  | Entry
+  | Call_return
+  | Trigger
+  | Loop_header
+  | Threshold
+  | Merge
+
+let reason_name = function
+  | Entry -> "entry"
+  | Call_return -> "call-return"
+  | Trigger -> "trigger"
+  | Loop_header -> "loop-header"
+  | Threshold -> "threshold"
+  | Merge -> "merge"
+
+let all_reasons = [ Entry; Call_return; Trigger; Loop_header; Threshold; Merge ]
+
 type region = {
   id : int;
   func : string;
   head : Label.t;
   members : Label.Set.t;
   static_store_bound : int;
+  reason : reason;
 }
 
 type t = {
@@ -38,3 +57,12 @@ let head_of t id = (find t id).head
 
 let max_store_bound t =
   Hashtbl.fold (fun _ r acc -> max acc r.static_store_bound) t.by_id 0
+
+let reason_counts t =
+  List.map
+    (fun reason ->
+      ( reason,
+        Hashtbl.fold
+          (fun _ r acc -> if r.reason = reason then acc + 1 else acc)
+          t.by_id 0 ))
+    all_reasons

@@ -7,6 +7,24 @@
 
 open Capri_ir
 
+(** Why region formation placed the boundary that heads a region — the
+    provenance [capri compile --explain] and the profiler's
+    boundary-reason breakdown report. *)
+type reason =
+  | Entry  (** function entry *)
+  | Call_return  (** return target of a call *)
+  | Trigger  (** a fence or atomic heads the block (Section 4.2) *)
+  | Loop_header  (** non-absorbed loop header *)
+  | Threshold  (** extending the predecessor region would overflow the
+                   store budget *)
+  | Merge  (** predecessors lie in different regions (or are not all
+               assigned yet in RPO) *)
+
+val reason_name : reason -> string
+(** Stable kebab-case name ("entry", "call-return", ...). *)
+
+val all_reasons : reason list
+
 type region = {
   id : int;
   func : string;
@@ -16,6 +34,7 @@ type region = {
       (** Compiler's bound on dynamic stores per execution of the region
           (checkpoint estimate included); must never be exceeded at run
           time — the back-end proxy buffer is sized from the threshold. *)
+  reason : reason;  (** why this region's boundary exists *)
 }
 
 type t
@@ -37,3 +56,7 @@ val head_of : t -> int -> Label.t
 val max_store_bound : t -> int
 (** Largest [static_store_bound] across regions: what the back-end proxy
     must accommodate. *)
+
+val reason_counts : t -> (reason * int) list
+(** Region count per boundary reason, in {!all_reasons} order (zero
+    entries included). *)

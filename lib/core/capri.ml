@@ -20,6 +20,7 @@ module Memory = Capri_arch.Memory
 module Persist = Capri_arch.Persist
 module Hierarchy = Capri_arch.Hierarchy
 module Executor = Capri_runtime.Executor
+module Profile = Capri_runtime.Profile
 module Trace = Capri_runtime.Trace
 module Recovery = Capri_runtime.Recovery
 module Verify = Capri_runtime.Verify
@@ -27,7 +28,7 @@ module Verify = Capri_runtime.Verify
 let compile ?(options = Options.default) program =
   Pipeline.compile options program
 
-let run ?(config = Config.sim_default) ?(mode = Persist.Capri) ?threads
+let run ?(config = Config.sim_default) ?(mode = Persist.Capri) ?obs ?threads
     (compiled : Compiled.t) =
   let threads =
     match threads with
@@ -35,7 +36,7 @@ let run ?(config = Config.sim_default) ?(mode = Persist.Capri) ?threads
     | None -> [ Executor.main_thread compiled.Compiled.program ]
   in
   let session =
-    Executor.start ~config ~mode
+    Executor.start ~config ~mode ?obs
       ~check_threshold:compiled.Compiled.options.Options.threshold
       ~program:compiled.Compiled.program ~threads ()
   in

@@ -43,6 +43,7 @@ module Memory = Capri_arch.Memory
 module Persist = Capri_arch.Persist
 module Hierarchy = Capri_arch.Hierarchy
 module Executor = Capri_runtime.Executor
+module Profile = Capri_runtime.Profile
 module Trace = Capri_runtime.Trace
 module Recovery = Capri_runtime.Recovery
 module Verify = Capri_runtime.Verify
@@ -54,10 +55,11 @@ val compile : ?options:Options.t -> Program.t -> Compiled.t
     unless overridden. *)
 
 val run :
-  ?config:Config.t -> ?mode:Persist.mode ->
+  ?config:Config.t -> ?mode:Persist.mode -> ?obs:Capri_obs.Obs.t ->
   ?threads:Executor.thread_spec list -> Compiled.t -> Executor.result
 (** Crash-free run of a compiled program under the Capri architecture,
-    asserting the region store-threshold invariant throughout. *)
+    asserting the region store-threshold invariant throughout. [obs]
+    (default null) threads an observability bundle through the run. *)
 
 val run_volatile :
   ?config:Config.t -> ?threads:Executor.thread_spec list -> Program.t ->

@@ -1,0 +1,17 @@
+(* The bundle handed down through the stack: one registry, one tracer,
+   one region profiler. Subsystems take [?obs] defaulting to [null], so
+   uninstrumented runs pay a single pointer compare at the few places
+   that branch on [enabled]. *)
+
+type t = {
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  regions : Profiler.t;
+}
+
+let create () =
+  { metrics = Metrics.create (); tracer = Tracer.create (); regions = Profiler.create () }
+
+let null = { metrics = Metrics.null; tracer = Tracer.null; regions = Profiler.null }
+
+let enabled t = Metrics.enabled t.metrics

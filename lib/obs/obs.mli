@@ -1,0 +1,17 @@
+(** The observability bundle threaded through the stack: a metrics
+    registry, a span tracer and a region profiler. Pass {!null} (the
+    default everywhere) for zero-cost no-op instrumentation. *)
+
+type t = {
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  regions : Profiler.t;
+}
+
+val create : unit -> t
+(** A fully-enabled bundle. *)
+
+val null : t
+(** The disabled bundle: every component is its no-op sink. *)
+
+val enabled : t -> bool

@@ -1,0 +1,191 @@
+(* Span tracing over simulated time: begin/end spans with nested scopes
+   and instant events, carried per track (one track per core plus one for
+   the proxy path), exportable as Chrome trace-event JSON that loads in
+   Perfetto / chrome://tracing.
+
+   Timestamps are simulator cycles, never wall-clock, so a trace of a
+   deterministic run is itself deterministic — the property the obs
+   smoke test checks byte-for-byte across --jobs settings. Events are
+   kept in recording order (the executor's scheduling order, which is
+   deterministic); the exporter does not re-sort. Perfetto sorts on
+   load, and the {!validate} well-formedness check is per-track. *)
+
+type track = Core of int | Proxy
+
+type phase = B | E | I
+
+type event = {
+  track : track;
+  phase : phase;
+  name : string;
+  ts : int;
+  args : (string * string) list;
+}
+
+type t = {
+  enabled : bool;
+  mutable rev_events : event list;
+  mutable count : int;
+}
+
+let create () = { enabled = true; rev_events = []; count = 0 }
+let null = { enabled = false; rev_events = []; count = 0 }
+let enabled t = t.enabled
+
+let record t e =
+  if t.enabled then begin
+    t.rev_events <- e :: t.rev_events;
+    t.count <- t.count + 1
+  end
+
+let begin_span ?(args = []) t ~track ~name ~ts =
+  record t { track; phase = B; name; ts; args }
+
+let end_span ?(args = []) t ~track ~ts =
+  record t { track; phase = E; name = ""; ts; args }
+
+let instant ?(args = []) t ~track ~name ~ts =
+  record t { track; phase = I; name; ts; args }
+
+let events t = List.rev t.rev_events
+let count t = t.count
+
+(* ---------------- validation ---------------- *)
+
+(* Well-formedness of the track structure: every E closes an open B on
+   its track, every B is eventually closed, and B/E timestamps per track
+   are monotone (each core's clock only moves forward; instants are
+   exempt — proxy-path arrivals are timestamped with controller time,
+   which interleaves across the cores' clocks). *)
+let validate t =
+  let tracks = Hashtbl.create 8 in
+  let state track =
+    match Hashtbl.find_opt tracks track with
+    | Some s -> s
+    | None ->
+      let s = (ref [], ref min_int) in
+      Hashtbl.replace tracks track s;
+      s
+  in
+  let track_name = function
+    | Core c -> Printf.sprintf "core %d" c
+    | Proxy -> "proxy"
+  in
+  let err = ref None in
+  List.iter
+    (fun e ->
+      if !err = None then begin
+        let stack, last = state e.track in
+        match e.phase with
+        | B ->
+          if e.ts < !last then
+            err :=
+              Some
+                (Printf.sprintf "non-monotone B ts %d (< %d) on %s" e.ts !last
+                   (track_name e.track));
+          last := e.ts;
+          stack := e.name :: !stack
+        | E -> (
+          if e.ts < !last then
+            err :=
+              Some
+                (Printf.sprintf "non-monotone E ts %d (< %d) on %s" e.ts !last
+                   (track_name e.track));
+          last := e.ts;
+          match !stack with
+          | _ :: rest -> stack := rest
+          | [] ->
+            err :=
+              Some
+                (Printf.sprintf "E without matching B on %s"
+                   (track_name e.track)))
+        | I -> ()
+      end)
+    (events t);
+  match !err with
+  | Some e -> Error e
+  | None ->
+    Hashtbl.fold
+      (fun track (stack, _) acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          if !stack = [] then Ok ()
+          else
+            Error
+              (Printf.sprintf "%d unclosed span(s) on %s" (List.length !stack)
+                 (track_name track)))
+      tracks (Ok ())
+
+(* ---------------- Chrome trace-event export ---------------- *)
+
+(* tid layout: cores at their own index, the proxy path on a high tid so
+   it sorts last; thread_name metadata labels both. *)
+let proxy_tid = 1000
+
+let tid = function Core c -> c | Proxy -> proxy_tid
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (Metrics.json_escape k)
+             (Metrics.json_escape v))
+         args)
+  ^ "}"
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf line
+  in
+  (* Metadata rows: name every track that carries at least one event. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem seen e.track) then Hashtbl.replace seen e.track ())
+    (events t);
+  let tracks =
+    Hashtbl.fold (fun tr () acc -> tr :: acc) seen []
+    |> List.sort (fun a b -> Int.compare (tid a) (tid b))
+  in
+  List.iter
+    (fun tr ->
+      let name =
+        match tr with Core c -> Printf.sprintf "core %d" c | Proxy -> "proxy path"
+      in
+      emit
+        (Printf.sprintf
+           "  {\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\
+            \"args\":{\"name\":\"%s\"}}"
+           (tid tr) (Metrics.json_escape name)))
+    tracks;
+  List.iter
+    (fun e ->
+      let common =
+        Printf.sprintf "\"pid\":1,\"tid\":%d,\"ts\":%d" (tid e.track) e.ts
+      in
+      match e.phase with
+      | B ->
+        emit
+          (Printf.sprintf
+             "  {\"ph\":\"B\",%s,\"name\":\"%s\",\"cat\":\"capri\",\"args\":%s}"
+             common
+             (Metrics.json_escape e.name)
+             (args_json e.args))
+      | E -> emit (Printf.sprintf "  {\"ph\":\"E\",%s}" common)
+      | I ->
+        emit
+          (Printf.sprintf
+             "  {\"ph\":\"i\",%s,\"name\":\"%s\",\"cat\":\"capri\",\"s\":\"t\",\
+              \"args\":%s}"
+             common
+             (Metrics.json_escape e.name)
+             (args_json e.args)))
+    (events t);
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents buf

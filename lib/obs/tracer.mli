@@ -1,0 +1,53 @@
+(** Span tracing over simulated time, exportable as Chrome trace-event
+    JSON (loadable in Perfetto or chrome://tracing).
+
+    Events live on tracks — one per core plus one for the proxy path —
+    and are timestamped in simulator cycles, so traces of deterministic
+    runs are deterministic. The {!null} tracer drops everything behind a
+    single branch. *)
+
+type track = Core of int | Proxy
+
+type phase = B | E | I
+
+type event = {
+  track : track;
+  phase : phase;
+  name : string;
+  ts : int;
+  args : (string * string) list;
+}
+
+type t
+
+val create : unit -> t
+val null : t
+val enabled : t -> bool
+
+val begin_span :
+  ?args:(string * string) list -> t -> track:track -> name:string -> ts:int ->
+  unit
+(** Open a span on [track] at cycle [ts]. Spans nest per track. *)
+
+val end_span : ?args:(string * string) list -> t -> track:track -> ts:int -> unit
+(** Close the innermost open span on [track]. *)
+
+val instant :
+  ?args:(string * string) list -> t -> track:track -> name:string -> ts:int ->
+  unit
+(** A zero-duration marker (fence retired, crash injected, ...). *)
+
+val events : t -> event list
+(** All recorded events in recording order. *)
+
+val count : t -> int
+
+val validate : t -> (unit, string) result
+(** Well-formedness: every [E] closes an open [B] on its track, no span
+    is left open, and B/E timestamps are monotone per track. Instants
+    are exempt from the monotonicity check. *)
+
+val to_chrome_json : t -> string
+(** Chrome trace-event JSON: thread_name metadata for each populated
+    track, then the events in recording order. Deterministic for a
+    deterministic event history. *)

@@ -4,6 +4,9 @@ module Memory = Arch.Memory
 module Hierarchy = Arch.Hierarchy
 module Persist = Arch.Persist
 module Config = Arch.Config
+module Obs = Capri_obs.Obs
+module Tracer = Capri_obs.Tracer
+module Profiler = Capri_obs.Profiler
 
 type thread_spec = { func : string; args : (Reg.t * int) list }
 
@@ -65,8 +68,14 @@ type thread = {
   (* dynamic region accounting *)
   mutable cur_region_instrs : int;
   mutable cur_region_stores : int;
+  mutable cur_region_ckpts : int;
+  mutable cur_region_stall : int;  (* store-stall cycles inside the region *)
   mutable cur_region_id : int;
   mutable in_region : bool;
+  mutable region_seq : int;
+      (* mirror of Persist's per-core open_seq: incremented on every
+         boundary/halt flush, elided or not, so profiler records keyed
+         (core, seq) join with Persist's commit reports *)
 }
 
 type session = {
@@ -92,6 +101,7 @@ type session = {
   mutable stale_reads : int;
   rstats : region_stats ref;
   profile : (int, boundary_profile) Hashtbl.t;
+  obs : Obs.t;
 }
 
 let make_thread code core (spec : thread_spec) =
@@ -109,8 +119,11 @@ let make_thread code core (spec : thread_spec) =
     outputs = [];
     cur_region_instrs = 0;
     cur_region_stores = 0;
+    cur_region_ckpts = 0;
+    cur_region_stall = 0;
     cur_region_id = -1;
     in_region = false;
+    region_seq = 0;
   }
 
 let fresh_region_stats () =
@@ -134,13 +147,15 @@ let entry_boundary_id program fname =
   | _ :: _ | [] -> None
 
 let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
-    ?(journal_io = false) ?trace ?check_threshold ~program ~threads () =
+    ?(journal_io = false) ?trace ?(obs = Obs.null) ?check_threshold ~program
+    ~threads () =
   let config = { config with Config.cores = max 1 (List.length threads) } in
   let memory = Memory.create () in
   load_data program memory;
-  let persist = Persist.create config ~mode in
+  let persist = Persist.create ~obs config ~mode in
   let hier =
-    Hierarchy.create config memory
+    Hierarchy.create ~obs ~labels:[ ("mode", Persist.mode_name mode) ] config
+      memory
       ~on_nvm_writeback:(fun ~cycle ~line ~data ~version ->
         Persist.on_writeback persist ~cycle ~line ~data ~version)
   in
@@ -181,18 +196,20 @@ let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
     stale_reads = 0;
     rstats = fresh_region_stats ();
     profile = Hashtbl.create 64;
+    obs;
   }
 
 let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
-    ?(journal_io = false) ?trace ?check_threshold
+    ?(journal_io = false) ?trace ?(obs = Obs.null) ?check_threshold
     ~(compiled : Capri_compiler.Compiled.t) ~(image : Persist.image)
     ~threads () =
   let program = compiled.Capri_compiler.Compiled.program in
   let config = { config with Config.cores = max 1 (List.length threads) } in
   let memory = Memory.copy image.Persist.nvm in
-  let persist = Persist.create config ~mode in
+  let persist = Persist.create ~obs config ~mode in
   let hier =
-    Hierarchy.create config memory
+    Hierarchy.create ~obs ~labels:[ ("mode", Persist.mode_name mode) ] config
+      memory
       ~on_nvm_writeback:(fun ~cycle ~line ~data ~version ->
         Persist.on_writeback persist ~cycle ~line ~data ~version)
   in
@@ -265,6 +282,7 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
     stale_reads = 0;
     rstats = fresh_region_stats ();
     profile = Hashtbl.create 64;
+    obs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -326,8 +344,12 @@ let close_dyn_region s (th : thread) ~next_id =
   end;
   th.cur_region_instrs <- 0;
   th.cur_region_stores <- 0;
+  th.cur_region_ckpts <- 0;
+  th.cur_region_stall <- 0;
   th.cur_region_id <- next_id;
   th.in_region <- true
+
+let region_name id = if id < 0 then "entry" else "b" ^ string_of_int id
 
 (* One architectural store: functional update, undo/redo capture, cache
    timing, phase-1 proxy entry. Returns the cycle cost. *)
@@ -350,6 +372,7 @@ let do_store s (th : thread) addr value =
   in
   s.store_count <- s.store_count + 1;
   th.cur_region_stores <- th.cur_region_stores + 1;
+  th.cur_region_stall <- th.cur_region_stall + stall;
   1 + miss_cost + stall
 
 let do_load s (th : thread) addr =
@@ -398,12 +421,19 @@ let exec_instr s (th : thread) (i : Instr.t) =
   | Instr.Atomic_rmw { op; dst; base; offset; src } ->
     let addr = th.regs.(Reg.to_int base) + offset in
     fence_store s th addr;
+    if Tracer.enabled s.obs.Obs.tracer then
+      Tracer.instant s.obs.Obs.tracer ~track:(Tracer.Core th.core)
+        ~name:"atomic" ~ts:th.cycle;
     let old_value, load_cost = do_load s th addr in
     let new_value = Instr.eval_binop op old_value (operand_value th src) in
     let store_cost = do_store s th addr new_value in
     th.regs.(Reg.to_int dst) <- old_value;
     load_cost + store_cost
-  | Instr.Fence -> 1
+  | Instr.Fence ->
+    if Tracer.enabled s.obs.Obs.tracer then
+      Tracer.instant s.obs.Obs.tracer ~track:(Tracer.Core th.core)
+        ~name:"fence" ~ts:th.cycle;
+    1
   | Instr.Out src ->
     let value = operand_value th src in
     if s.journal_io && Persist.mode s.persist <> Persist.Volatile then
@@ -420,16 +450,41 @@ let exec_instr s (th : thread) (i : Instr.t) =
             { core = th.core; boundary = id; cycle = th.cycle;
               stores = th.cur_region_stores; instr = s.instr_count })
      | None -> ());
+    (* Capture the closing region's costs before the reset; the profiler
+       record goes out after Persist flushes so the boundary stall (sync
+       modes) is attributed to the region it closes. *)
+    let closing = th.in_region in
+    let closing_id = th.cur_region_id in
+    let stores = th.cur_region_stores in
+    let ckpts = th.cur_region_ckpts in
+    let store_stall = th.cur_region_stall in
     close_dyn_region s th ~next_id:id;
     let stall =
       Persist.on_boundary s.persist ~core:th.core ~cycle:th.cycle ~boundary:id
         ~sp:th.regs.(sp_idx)
     in
+    let seq = th.region_seq in
+    th.region_seq <- seq + 1;
+    if closing then
+      Profiler.on_region_close s.obs.Obs.regions ~core:th.core ~seq
+        ~region:(region_name closing_id) ~stores ~ckpt_stores:ckpts
+        ~stall_cycles:(store_stall + stall) ~cycle:th.cycle;
+    let tr = s.obs.Obs.tracer in
+    if Tracer.enabled tr then begin
+      let track = Tracer.Core th.core in
+      if closing then Tracer.end_span tr ~track ~ts:th.cycle;
+      Tracer.begin_span tr ~track ~name:(region_name id) ~ts:th.cycle;
+      if stall > 0 then begin
+        Tracer.begin_span tr ~track ~name:"boundary-stall" ~ts:th.cycle;
+        Tracer.end_span tr ~track ~ts:(th.cycle + stall)
+      end
+    end;
     1 + stall
   | Instr.Ckpt { reg; slot } ->
     s.payload_count <- s.payload_count - 1;
     s.ckpt_count <- s.ckpt_count + 1;
     th.cur_region_stores <- th.cur_region_stores + 1;
+    th.cur_region_ckpts <- th.cur_region_ckpts + 1;
     Persist.on_ckpt s.persist ~core:th.core ~slot
       ~value:th.regs.(Reg.to_int reg);
     1
@@ -463,6 +518,11 @@ let exec_term s (th : thread) =
      | Some tr ->
        Trace.record tr (Trace.Halted { core = th.core; cycle = th.cycle })
      | None -> ());
+    let closing = th.in_region in
+    let closing_id = th.cur_region_id in
+    let stores = th.cur_region_stores in
+    let ckpts = th.cur_region_ckpts in
+    let store_stall = th.cur_region_stall in
     close_dyn_region s th ~next_id:(-1);
     th.in_region <- false;
     (* Stage the full architected register file with the final region:
@@ -473,6 +533,19 @@ let exec_term s (th : thread) =
       (fun slot value -> Persist.on_ckpt s.persist ~core:th.core ~slot ~value)
       th.regs;
     let stall = Persist.on_halt s.persist ~core:th.core ~cycle:th.cycle in
+    let seq = th.region_seq in
+    th.region_seq <- seq + 1;
+    if closing then
+      Profiler.on_region_close s.obs.Obs.regions ~core:th.core ~seq
+        ~region:(region_name closing_id) ~stores
+        ~ckpt_stores:(ckpts + Array.length th.regs)
+        ~stall_cycles:(store_stall + stall) ~cycle:th.cycle;
+    let tr = s.obs.Obs.tracer in
+    if Tracer.enabled tr then begin
+      let track = Tracer.Core th.core in
+      if closing then Tracer.end_span tr ~track ~ts:th.cycle;
+      Tracer.instant tr ~track ~name:"halt" ~ts:th.cycle
+    end;
     th.halted <- true;
     1 + stall
 
@@ -504,6 +577,7 @@ let step s (th : thread) =
   th.cycle <- th.cycle + cost
 
 let finish s =
+  Hierarchy.publish s.hier;
   let cycles = Array.fold_left (fun acc th -> max acc th.cycle) 0 s.threads in
   let outputs =
     if s.journal_io && Persist.mode s.persist <> Persist.Volatile then begin
@@ -555,6 +629,10 @@ let run ?crash_at_instr ?(max_steps = 100_000_000) s =
          (match s.trace with
           | Some tr -> Trace.record tr (Trace.Crashed { cycle = th.cycle })
           | None -> ());
+         if Tracer.enabled s.obs.Obs.tracer then
+           Tracer.instant s.obs.Obs.tracer ~track:Tracer.Proxy ~name:"crash"
+             ~ts:th.cycle
+             ~args:[ ("instr", string_of_int s.instr_count) ];
          let image = Persist.crash_recover s.persist ~cycle:th.cycle in
          Hierarchy.drop_all s.hier;
          crashed :=

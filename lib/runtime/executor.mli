@@ -67,19 +67,27 @@ type session
 
 val start :
   ?config:Arch.Config.t -> ?mode:Arch.Persist.mode -> ?journal_io:bool ->
-  ?trace:Trace.t -> ?check_threshold:int -> program:Program.t ->
-  threads:thread_spec list -> unit -> session
+  ?trace:Trace.t -> ?obs:Capri_obs.Obs.t -> ?check_threshold:int ->
+  program:Program.t -> threads:thread_spec list -> unit -> session
 (** Fresh machine: zeroed memory (plus the program's data image), cold
     caches, empty proxies. [check_threshold] makes the executor assert
     that no dynamic region exceeds the given store count (the compiler
     invariant the back-end proxy relies on). [journal_io] routes [Out]
     instructions through the durable output journal (Section 3.3's
     suggested I/O treatment): outputs become visible at region commit,
-    giving exactly-once semantics across crashes. *)
+    giving exactly-once semantics across crashes.
+
+    [obs] (default {!Capri_obs.Obs.null}) threads the observability
+    bundle through the whole machine: Persist and Hierarchy counters
+    register in its metrics registry, every dynamic region opens a span
+    on its core's trace track (with nested boundary-stall spans in the
+    synchronous modes), fences/atomics/halts/crashes emit instant
+    events, and the region profiler receives one record per closed
+    region, joined with Persist's commit reports by (core, seq). *)
 
 val resume :
   ?config:Arch.Config.t -> ?mode:Arch.Persist.mode -> ?journal_io:bool ->
-  ?trace:Trace.t -> ?check_threshold:int ->
+  ?trace:Trace.t -> ?obs:Capri_obs.Obs.t -> ?check_threshold:int ->
   compiled:Capri_compiler.Compiled.t -> image:Arch.Persist.image ->
   threads:thread_spec list -> unit -> session
 (** Machine rebuilt from a recovered durable image: memory = NVM contents,

@@ -64,4 +64,7 @@ let render ?(max_rows = 64) t =
             (Printf.sprintf "%-10d ----- POWER FAILURE\n" cycle)
       end)
     (events t);
+  if total > max_rows then
+    Buffer.add_string buf
+      (Printf.sprintf "… (+%d more rows)\n" (total - max_rows));
   Buffer.contents buf

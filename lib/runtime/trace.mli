@@ -35,4 +35,7 @@ val boundary_instrs : t -> int list
 
 val render : ?max_rows:int -> t -> string
 (** A per-core timeline table: one row per boundary crossing with cycle,
-    boundary id and the finished region's store count. *)
+    boundary id and the finished region's store count. When more than
+    [max_rows] (default 64) events were recorded, the middle is elided
+    and a final ["… (+K more rows)"] line reports how many rows the
+    table dropped. *)

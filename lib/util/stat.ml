@@ -37,16 +37,85 @@ let percentile p = function
     in
     List.nth sorted (rank - 1)
 
-module Acc = struct
-  type t = { mutable count : int; mutable total : float }
+(* Fixed-width bucketing over [lo, hi): values below lo clamp into the
+   first bucket, values at or above hi into the last. *)
+let histogram ~buckets ~lo ~hi xs =
+  if buckets <= 0 then invalid_arg "Stat.histogram: buckets must be positive";
+  if not (hi > lo) then invalid_arg "Stat.histogram: need hi > lo";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  List.iter
+    (fun x ->
+      let i =
+        int_of_float (floor ((x -. lo) /. width)) |> max 0 |> min (buckets - 1)
+      in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  List.init buckets (fun i ->
+      ( lo +. (width *. float_of_int i),
+        lo +. (width *. float_of_int (i + 1)),
+        counts.(i) ))
 
-  let create () = { count = 0; total = 0.0 }
+(* Power-of-two bucketing for non-negative integers: bucket k holds
+   [2^(k-1)+1 .. 2^k] with bucket 0 reserved for 0 — i.e. upper bounds
+   1, 2, 4, 8, ... as the region store-count distributions use. *)
+let log2_bucket v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref 1 in
+    while !x < v do
+      incr b;
+      x := !x * 2
+    done;
+    !b + 1
+  end
+
+let log2_bounds b =
+  if b = 0 then (0, 0)
+  else
+    let hi = 1 lsl (b - 1) in
+    let lo = if b = 1 then 1 else (1 lsl (b - 2)) + 1 in
+    (lo, hi)
+
+let log2_histogram xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    if List.exists (fun v -> v < 0) xs then
+      invalid_arg "Stat.log2_histogram: negative value";
+    let top = List.fold_left (fun acc v -> max acc (log2_bucket v)) 0 xs in
+    let counts = Array.make (top + 1) 0 in
+    List.iter
+      (fun v ->
+        let b = log2_bucket v in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    List.init (top + 1) (fun b ->
+        let lo, hi = log2_bounds b in
+        (lo, hi, counts.(b)))
+
+module Acc = struct
+  (* Welford's online algorithm: numerically stable streaming count /
+     mean / variance without retaining the samples. *)
+  type t = {
+    mutable count : int;
+    mutable total : float;
+    mutable mean_ : float;
+    mutable m2 : float;
+  }
+
+  let create () = { count = 0; total = 0.0; mean_ = 0.0; m2 = 0.0 }
 
   let add t x =
     t.count <- t.count + 1;
-    t.total <- t.total +. x
+    t.total <- t.total +. x;
+    let delta = x -. t.mean_ in
+    t.mean_ <- t.mean_ +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean_))
 
   let count t = t.count
   let total t = t.total
   let mean t = if t.count = 0 then 0.0 else t.total /. float_of_int t.count
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int t.count
+  let stddev t = sqrt (variance t)
 end

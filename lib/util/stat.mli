@@ -16,7 +16,28 @@ val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method.
     Raises [Invalid_argument] on the empty list. *)
 
-(** Streaming accumulator for counts and averages. *)
+val histogram :
+  buckets:int -> lo:float -> hi:float -> float list ->
+  (float * float * int) list
+(** Fixed-width bucketing of [\[lo, hi)] into [buckets] buckets; each
+    result row is [(bucket_lo, bucket_hi, count)]. Out-of-range values
+    clamp into the first/last bucket. Raises [Invalid_argument] when
+    [buckets <= 0] or [hi <= lo]. *)
+
+val log2_bucket : int -> int
+(** Power-of-two bucket index of a non-negative value: 0 for 0, and
+    [b >= 1] for values in [(2^(b-2), 2^(b-1)]] (so upper bounds run
+    1, 2, 4, 8, ...). Negative values map to bucket 0. *)
+
+val log2_bounds : int -> int * int
+(** Inclusive [(lo, hi)] value range of a {!log2_bucket} index. *)
+
+val log2_histogram : int list -> (int * int * int) list
+(** Log2 bucketing of non-negative integers: [(lo, hi, count)] rows from
+    bucket 0 up to the highest non-empty bucket; [\[\]] on the empty
+    list. Raises [Invalid_argument] on negative values. *)
+
+(** Streaming accumulator for counts, averages and spread (Welford). *)
 module Acc : sig
   type t
 
@@ -25,4 +46,10 @@ module Acc : sig
   val count : t -> int
   val total : t -> float
   val mean : t -> float
+
+  val variance : t -> float
+  (** Population variance; 0 on fewer than 2 samples. *)
+
+  val stddev : t -> float
+  (** Population standard deviation; 0 on fewer than 2 samples. *)
 end

@@ -16,6 +16,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("parser", Test_parser.suite);
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("runtime", Test_runtime_bits.suite);
       ("parallel", Test_parallel.suite);
       ("shapes", Test_shapes.suite);

@@ -259,7 +259,38 @@ let test_trace_records_regions () =
            false)
        (Capri_runtime.Trace.events tr2))
 
+let test_trace_render_truncation () =
+  let module Trace = Capri_runtime.Trace in
+  let tr = Trace.create () in
+  for i = 0 to 99 do
+    Trace.record tr
+      (Trace.Boundary { core = 0; boundary = i; cycle = i; stores = 1; instr = i })
+  done;
+  let rendered = Trace.render ~max_rows:10 tr in
+  let lines = String.split_on_char '\n' rendered in
+  let last_line =
+    List.fold_left (fun acc l -> if l <> "" then l else acc) "" lines
+  in
+  Alcotest.(check string) "truncation footer" "… (+90 more rows)" last_line;
+  Alcotest.(check bool) "elision marker" true
+    (List.exists
+       (fun l -> String.length l > 2 && String.sub l 0 2 = "  ")
+       lines);
+  (* below the limit: no footer *)
+  let tr2 = Trace.create () in
+  Trace.record tr2 (Trace.Halted { core = 0; cycle = 5 });
+  let rendered2 = Trace.render ~max_rows:10 tr2 in
+  Alcotest.(check bool) "no footer when it fits" false
+    (let needle = "more rows" in
+     let n = String.length rendered2 and m = String.length needle in
+     let rec found i =
+       i + m <= n && (String.sub rendered2 i m = needle || found (i + 1))
+     in
+     found 0)
+
 let suite = suite @ [
     Alcotest.test_case "trace records regions" `Quick
       test_trace_records_regions;
+    Alcotest.test_case "trace render truncation" `Quick
+      test_trace_render_truncation;
   ]

@@ -59,6 +59,57 @@ let test_stat_basics () =
   Alcotest.(check int) "acc count" 2 (Acc.count acc);
   Alcotest.(check (float 1e-9)) "acc mean" 3.0 (Acc.mean acc)
 
+let test_stat_histogram () =
+  let open Capri_util.Stat in
+  (* fixed-width bucketing, with clamping at both ends *)
+  let rows = histogram ~buckets:4 ~lo:0.0 ~hi:8.0 [ -1.0; 0.0; 1.9; 2.0; 7.9; 99.0 ] in
+  Alcotest.(check int) "bucket count" 4 (List.length rows);
+  let counts = List.map (fun (_, _, c) -> c) rows in
+  Alcotest.(check (list int)) "counts" [ 3; 1; 0; 2 ] counts;
+  let lo0, hi0, _ = List.hd rows in
+  Alcotest.(check (float 1e-9)) "first lo" 0.0 lo0;
+  Alcotest.(check (float 1e-9)) "first hi" 2.0 hi0;
+  Alcotest.(check (list (triple (float 1e-9) (float 1e-9) int)))
+    "empty input: zero counts"
+    [ (0.0, 1.0, 0); (1.0, 2.0, 0) ]
+    (histogram ~buckets:2 ~lo:0.0 ~hi:2.0 []);
+  Alcotest.check_raises "bad buckets"
+    (Invalid_argument "Stat.histogram: buckets must be positive") (fun () ->
+      ignore (histogram ~buckets:0 ~lo:0.0 ~hi:1.0 []));
+  (* log2 bucketing *)
+  Alcotest.(check int) "log2 0" 0 (log2_bucket 0);
+  Alcotest.(check int) "log2 1" 1 (log2_bucket 1);
+  Alcotest.(check int) "log2 2" 2 (log2_bucket 2);
+  Alcotest.(check int) "log2 3" 3 (log2_bucket 3);
+  Alcotest.(check int) "log2 4" 3 (log2_bucket 4);
+  Alcotest.(check int) "log2 5" 4 (log2_bucket 5);
+  Alcotest.(check (pair int int)) "bounds of 3" (3, 4) (log2_bounds 3);
+  Alcotest.(check (list (triple int int int))) "log2 empty" []
+    (log2_histogram []);
+  Alcotest.(check (list (triple int int int))) "log2 single"
+    [ (0, 0, 0); (1, 1, 1) ]
+    (log2_histogram [ 1 ]);
+  Alcotest.(check (list (triple int int int))) "log2 rows"
+    [ (0, 0, 1); (1, 1, 1); (2, 2, 1); (3, 4, 2) ]
+    (log2_histogram [ 0; 1; 2; 3; 4 ])
+
+let test_acc_spread () =
+  let open Capri_util.Stat in
+  let acc = Acc.create () in
+  Alcotest.(check (float 1e-9)) "variance empty" 0.0 (Acc.variance acc);
+  Alcotest.(check (float 1e-9)) "stddev empty" 0.0 (Acc.stddev acc);
+  Acc.add acc 5.0;
+  Alcotest.(check (float 1e-9)) "variance single" 0.0 (Acc.variance acc);
+  Alcotest.(check (float 1e-9)) "stddev single" 0.0 (Acc.stddev acc);
+  let acc = Acc.create () in
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  List.iter (Acc.add acc) xs;
+  Alcotest.(check (float 1e-6)) "variance" 4.0 (Acc.variance acc);
+  Alcotest.(check (float 1e-6)) "stddev" 2.0 (Acc.stddev acc);
+  (* agrees with the list-based version *)
+  Alcotest.(check (float 1e-9)) "matches Stat.stddev" (stddev xs)
+    (Acc.stddev acc)
+
 let test_table_render () =
   let t = Capri_util.Table.create ~header:[ "name"; "v" ] in
   Capri_util.Table.add_row t [ "alpha"; "1.00" ];
@@ -105,6 +156,8 @@ let suite =
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
     Alcotest.test_case "rng distribution" `Quick test_rng_distribution;
     Alcotest.test_case "statistics" `Quick test_stat_basics;
+    Alcotest.test_case "histograms" `Quick test_stat_histogram;
+    Alcotest.test_case "welford spread" `Quick test_acc_spread;
     Alcotest.test_case "table rendering" `Quick test_table_render;
     Alcotest.test_case "chart rendering" `Quick test_chart_render;
   ]
