@@ -1,0 +1,25 @@
+# Convenience entry points over dune. `make check` is the tier-1 gate
+# (see ROADMAP.md): the full build, every test suite, and the three
+# determinism smokes (bench, fuzz, service bench) that `dune runtest`
+# wires in via the runtest alias.
+
+.PHONY: all build check test bench fuzz clean
+
+all: build
+
+build:
+	dune build
+
+check: build
+	dune runtest --force
+
+test: check
+
+bench:
+	dune exec bench/service.exe -- --shards 2 --ops 120 --crash 2
+
+fuzz:
+	dune exec fuzz/main.exe -- --service --budget 200
+
+clean:
+	dune clean

@@ -1,0 +1,31 @@
+(* Serving-layer benchmark table.
+
+     dune exec bench/service.exe -- --shards 4 --ops 200 --crash 2 --jobs 8
+
+   Rows cover mode x mix; the table is byte-identical at any --jobs. *)
+
+let () =
+  let shards = ref 2 in
+  let ops = ref 120 in
+  let crashes = ref 2 in
+  let jobs = ref 0 in
+  let spec =
+    [
+      ("--shards", Arg.Set_int shards, "N  shard cores (default 2)");
+      ("--ops", Arg.Set_int ops, "N  requests per shard (default 120)");
+      ( "--crash",
+        Arg.Set_int crashes,
+        "N  crashes injected per trial (default 2; volatile runs crash-free)"
+      );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  trial parallelism (default: CAPRI_JOBS or the machine)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "usage: bench/service.exe [--shards N] [--ops N] [--crash N] [--jobs N]";
+  let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
+  print_string
+    (Capri_bench.Service_bench.table ~jobs ~shards:(max 1 !shards)
+       ~ops:(max 1 !ops) ~crashes:(max 0 !crashes))

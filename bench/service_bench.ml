@@ -1,0 +1,92 @@
+(* Serving-layer benchmark: throughput, latency percentiles and modeled
+   recovery time for the capri.service KV store across the five
+   persistence design points and the three YCSB-style mixes.
+
+   Trials are seed-pure and fan out over the Pool in input order, so the
+   rendered table is byte-identical at any --jobs count (enforced by
+   service_smoke as part of `dune runtest`). Every trial also holds the
+   acked-durability oracle; a violation aborts the benchmark rather than
+   report numbers for a broken store. *)
+
+module Arch = Capri_arch
+module Svc = Capri_service
+module Pool = Capri_util.Pool
+module Table = Capri_util.Table
+
+let modes =
+  [
+    Arch.Persist.Capri; Arch.Persist.Naive_sync; Arch.Persist.Undo_sync;
+    Arch.Persist.Redo_nowb; Arch.Persist.Volatile;
+  ]
+
+let mixes = [ Svc.Client.A; Svc.Client.B; Svc.Client.C ]
+
+type row = {
+  mode : Arch.Persist.mode;
+  mix : Svc.Client.mix;
+  stats : Svc.Sla.stats;
+}
+
+let trial ~shards ~ops ~crashes (mode, mix) =
+  let client =
+    { Svc.Client.default with Svc.Client.mix; ops_per_shard = ops }
+  in
+  let t =
+    Svc.Server.plan { Svc.Server.default_cfg with Svc.Server.shards; client; mode }
+  in
+  (* the crash schedule is phrased in per-segment instruction counts, so
+     derive it from a crash-free reference run of the same plan *)
+  let schedule =
+    if crashes = 0 || mode = Arch.Persist.Volatile then []
+    else begin
+      let total =
+        (Svc.Server.run t).Svc.Server.result.Capri_runtime.Executor.instrs
+      in
+      List.init crashes (fun _ -> max 1 (total / (crashes + 1)))
+    end
+  in
+  let outcome = Svc.Server.run ~crash_at:schedule t in
+  (match Svc.Server.check t outcome with
+  | Ok () -> ()
+  | Error v ->
+    failwith
+      (Format.asprintf "service bench: oracle violated: %a"
+         Svc.Sla.pp_violation v));
+  { mode; mix; stats = Svc.Server.stats t outcome }
+
+let rows ~jobs ~shards ~ops ~crashes =
+  let cells =
+    List.concat_map (fun mode -> List.map (fun mix -> (mode, mix)) mixes) modes
+  in
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.map_list pool (trial ~shards ~ops ~crashes) cells)
+
+let render rows =
+  let t =
+    Table.create
+      ~header:
+        [
+          "mode"; "mix"; "ops"; "tput/kcyc"; "p50"; "p99"; "recov";
+          "mean recov cyc";
+        ]
+  in
+  let last_mode = ref None in
+  List.iter
+    (fun r ->
+      if !last_mode <> None && !last_mode <> Some r.mode then Table.add_sep t;
+      last_mode := Some r.mode;
+      let s = r.stats in
+      Table.add_row t
+        [
+          Arch.Persist.mode_name r.mode; Svc.Client.mix_name r.mix;
+          string_of_int s.Svc.Sla.ops; Table.fmt_f s.Svc.Sla.throughput;
+          Table.fmt_f ~decimals:1 s.Svc.Sla.p50;
+          Table.fmt_f ~decimals:1 s.Svc.Sla.p99;
+          string_of_int s.Svc.Sla.recoveries;
+          Table.fmt_f ~decimals:1 s.Svc.Sla.mean_recovery;
+        ])
+    rows;
+  Table.render t
+
+let table ~jobs ~shards ~ops ~crashes =
+  render (rows ~jobs ~shards ~ops ~crashes)

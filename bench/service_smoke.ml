@@ -1,0 +1,23 @@
+(* service-smoke: the serving benchmark must be a pure scheduling change
+   under parallelism. Render a small mode x mix table sequentially and
+   under a 4-domain pool and require the output byte-identical. Runs as
+   part of `dune runtest`. *)
+
+let () =
+  let table jobs =
+    Capri_bench.Service_bench.table ~jobs ~shards:2 ~ops:40 ~crashes:2
+  in
+  let seq = table 1 in
+  let par = table 4 in
+  if seq <> par then begin
+    prerr_endline "service-smoke: parallel table differs from sequential:";
+    prerr_endline "--- jobs=1 ---";
+    prerr_string seq;
+    prerr_endline "--- jobs=4 ---";
+    prerr_string par;
+    exit 1
+  end;
+  (* Sanity: all fifteen mode x mix rows rendered. *)
+  let lines = String.split_on_char '\n' seq in
+  assert (List.length (List.filter (fun l -> l <> "") lines) >= 15);
+  print_endline "service-smoke: jobs=4 matches sequential"

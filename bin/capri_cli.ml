@@ -5,6 +5,7 @@
      compile  <kernel>          show region/checkpoint statistics
      run      <kernel>          run under the Capri architecture
      crash    <kernel>          crash-sweep a kernel and verify recovery
+     serve                      KV serving under the acked-durability oracle
      show-config                print Table 1
 *)
 
@@ -299,6 +300,83 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Show the dynamic region timeline of a kernel")
     Term.(const run $ kernel_arg $ scale_arg $ threshold_arg)
 
+let serve_cmd =
+  let module Svc = Capri_service in
+  let shards_arg =
+    let doc = "Shard cores serving the store." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let mix_arg =
+    let doc = "YCSB-style request mix ($(docv))." in
+    let mixes = List.map (fun m -> (Svc.Client.mix_name m, m))
+        [ Svc.Client.A; Svc.Client.B; Svc.Client.C ]
+    in
+    Arg.(value & opt (enum mixes) Svc.Client.A & info [ "mix" ] ~docv:"A|B|C" ~doc)
+  in
+  let ops_arg =
+    let doc = "Requests per shard." in
+    Arg.(value & opt int 200 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let crash_arg =
+    let doc =
+      "Crashes injected mid-service (volatile mode always runs crash-free)."
+    in
+    Arg.(value & opt int 2 & info [ "crash" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Run the per-mode services over N domains (output is byte-identical \
+       at any job count)."
+    in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let run shards mix ops crashes jobs =
+    let serve mode =
+      let client =
+        { Svc.Client.default with Svc.Client.mix; ops_per_shard = ops }
+      in
+      let t =
+        Svc.Server.plan
+          { Svc.Server.default_cfg with Svc.Server.shards; client; mode }
+      in
+      let schedule =
+        if crashes <= 0 || mode = Persist.Volatile then []
+        else begin
+          let total =
+            (Svc.Server.run t).Svc.Server.result.Executor.instrs
+          in
+          List.init crashes (fun _ -> max 1 (total / (crashes + 1)))
+        end
+      in
+      let outcome = Svc.Server.run ~crash_at:schedule t in
+      (mode, Svc.Server.check t outcome, Svc.Server.stats t outcome)
+    in
+    let results =
+      Capri_util.Pool.with_pool ~jobs:(max 1 jobs) (fun pool ->
+          Capri_util.Pool.map_list pool serve Profile.all_modes)
+    in
+    let failed = ref false in
+    List.iter
+      (fun (mode, checked, stats) ->
+        Format.printf "%-12s %a@." (Persist.mode_name mode) Svc.Sla.pp_stats
+          stats;
+        match checked with
+        | Ok () -> ()
+        | Error v ->
+          failed := true;
+          Format.printf "%-12s ORACLE VIOLATION: %a@." (Persist.mode_name mode)
+            Svc.Sla.pp_violation v)
+      results;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a key-value workload under every persistence mode, \
+          crashing mid-service, and report throughput, latency and \
+          recovery time under the acked-durability oracle")
+    Term.(const run $ shards_arg $ mix_arg $ ops_arg $ crash_arg $ jobs_arg)
+
 let show_config_cmd =
   let run () = Format.printf "%a@." Config.pp_table Config.table1 in
   Cmd.v (Cmd.info "show-config" ~doc:"Print the Table 1 configuration")
@@ -311,4 +389,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; run_cmd; crash_cmd; exec_cmd; profile_cmd;
-            trace_cmd; show_config_cmd ]))
+            serve_cmd; trace_cmd; show_config_cmd ]))

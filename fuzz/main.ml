@@ -17,17 +17,23 @@
      --diff-combos N     compiler option combos per trial (default 4)
      --max-cores N       trial core counts cycle in 1..N (default 3)
      --no-shrink    report failures without minimising them
+     --service      fuzz the capri.service layer instead: crash the
+                    store mid-service and hold the acked-durability
+                    oracle over every crash image (--max-cores and
+                    --diff-combos do not apply; non-recoverable modes
+                    are skipped)
 
    The report goes to stdout; the exit status is 1 iff any oracle
    failed. Every failure line includes the exact --seed to reproduce it
    in isolation. *)
 
 module Campaign = Capri_fuzz.Campaign
+module Service_fuzz = Capri_fuzz.Service_fuzz
 
 let usage =
   "usage: fuzz/main.exe [--seed N] [--budget N] [--jobs N] [--mode M]\n\
   \                     [--max-schedules N] [--diff-combos N]\n\
-  \                     [--max-cores N] [--no-shrink]\n"
+  \                     [--max-cores N] [--no-shrink] [--service]\n"
 
 let bad msg =
   prerr_string (msg ^ "\n" ^ usage);
@@ -58,6 +64,7 @@ let () =
   let diff_combos = ref Campaign.default_cfg.Campaign.diff_combos in
   let max_cores = ref Campaign.default_cfg.Campaign.max_cores in
   let shrink = ref true in
+  let service = ref false in
   let split_eq a =
     (* accept --flag=value *)
     match String.index_opt a '=' with
@@ -94,6 +101,9 @@ let () =
     | "--no-shrink" :: rest ->
       shrink := false;
       parse rest
+    | "--service" :: rest ->
+      service := true;
+      parse rest
     | a :: rest -> (
       match split_eq a with
       | Some (flag, value) -> parse (flag :: value :: rest)
@@ -102,6 +112,22 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
   let modes = if !modes = [] then Campaign.all_modes else !modes in
+  if !service then begin
+    let cfg =
+      {
+        Service_fuzz.default_cfg with
+        Service_fuzz.seed = !seed;
+        budget = max 1 !budget;
+        jobs;
+        modes;
+        max_schedules = max 1 !max_schedules;
+        shrink = !shrink;
+      }
+    in
+    let report = Service_fuzz.run cfg in
+    print_string (Service_fuzz.render report);
+    exit (if report.Service_fuzz.failures = [] then 0 else 1)
+  end;
   let cfg =
     {
       Campaign.default_cfg with

@@ -8,9 +8,14 @@
    - the report is byte-identical at jobs=1 and jobs=2 — the Pool
      fan-out is a pure scheduling change.
 
+   The same two properties are then held over the service campaign
+   (--service): the acked-durability oracle finds no violation at the
+   pinned seed, and its report is jobs-invariant too.
+
    Budget is deliberately small to keep runtest fast. *)
 
 module Campaign = Capri_fuzz.Campaign
+module Service_fuzz = Capri_fuzz.Service_fuzz
 
 let cfg jobs =
   {
@@ -38,6 +43,26 @@ let () =
   print_string seq;
   if r1.Campaign.failures <> [] then begin
     prerr_endline "fuzz-smoke: campaign reported failures";
+    exit 1
+  end;
+  let scfg jobs =
+    { Service_fuzz.default_cfg with Service_fuzz.seed = 7; budget = 40; jobs }
+  in
+  let s1 = Service_fuzz.run (scfg 1) in
+  let s2 = Service_fuzz.run (scfg 2) in
+  let sseq = Service_fuzz.render s1 in
+  let spar = Service_fuzz.render s2 in
+  if sseq <> spar then begin
+    prerr_endline "fuzz-smoke: parallel service report differs:";
+    prerr_endline "--- jobs=1 ---";
+    prerr_string sseq;
+    prerr_endline "--- jobs=2 ---";
+    prerr_string spar;
+    exit 1
+  end;
+  print_string sseq;
+  if s1.Service_fuzz.failures <> [] then begin
+    prerr_endline "fuzz-smoke: service campaign reported failures";
     exit 1
   end;
   print_endline "fuzz-smoke OK"

@@ -90,6 +90,10 @@ type image = {
   journal : int list array;
       (* per core: committed I/O journal (Section 3.3's suggested
          exactly-once treatment of outputs), in emission order *)
+  acked : (int * int) list array;
+      (* per core: the same journal with the cycle each output's region
+         committed — what the serving layer calls an acknowledged
+         request *)
 }
 
 type entry = {
@@ -132,7 +136,10 @@ type core_state = {
   mutable staged : (int * int) list;  (* slot, value; latest first *)
   staged_index : (int, int) Hashtbl.t;
   mutable out_staged : int list;  (* I/O journal: open region, reversed *)
-  mutable journal : int list;  (* committed outputs, reversed *)
+  mutable journal : (int * int) list;
+      (* committed (output, commit cycle), reversed: the cycle stamps when
+         the region carrying the output reached phase 2 — the serving
+         layer's ack time *)
   mutable open_seq : int;
   mutable open_entries : int;  (* data entries created in the open region *)
   mutable next_drain : int;
@@ -461,7 +468,8 @@ let do_commit t cs region info now =
           ("seq", string_of_int region.bseq);
           ("nvm_lines", string_of_int !commit_lines);
         ];
-  cs.journal <- List.rev_append info.outs cs.journal;
+  cs.journal <-
+    List.rev_append (List.map (fun v -> (v, now)) info.outs) cs.journal;
   if not info.elide_resume then
     cs.resume <-
       (if info.resume_boundary >= 0 then
@@ -688,10 +696,14 @@ let on_out t ~core ~value =
   let cs = t.cores.(core) in
   cs.out_staged <- value :: cs.out_staged
 
-let journal t ~core = List.rev t.cores.(core).journal
+let journal t ~core = List.rev_map fst t.cores.(core).journal
+
+let journal_entries t ~core = List.rev t.cores.(core).journal
 
 let seed_journal t ~core ~outs =
-  t.cores.(core).journal <- List.rev outs
+  (* Entries carried over a restart keep no timestamp: they were acked in
+     a previous power cycle, before this engine's clock existed. *)
+  t.cores.(core).journal <- List.rev_map (fun v -> (v, 0)) outs
 
 let flush_region t cs ~boundary ~sp =
   (* Close the open region: flush staged checkpoints (final values),
@@ -885,8 +897,13 @@ let crash_recover t ~cycle =
             List.iter
               (fun (slot, value) -> cs.slot_array.(slot) <- value)
               (List.rev r.bslots);
-            (* Committed journaled outputs survive the crash too. *)
-            cs.journal <- List.rev_append info.outs cs.journal;
+            (* Committed journaled outputs survive the crash too; their
+               regions reach phase 2 during recovery, at the crash
+               cycle. *)
+            cs.journal <-
+              List.rev_append
+                (List.map (fun v -> (v, cycle)) info.outs)
+                cs.journal;
             if not info.elide_resume then
               if info.resume_boundary >= 0 then
                 cs.resume <-
@@ -916,5 +933,6 @@ let crash_recover t ~cycle =
     nvm = Memory.copy t.nvm;
     resume = Array.map (fun cs -> cs.resume) t.cores;
     slots = Array.map (fun cs -> Array.copy cs.slot_array) t.cores;
-    journal = Array.map (fun cs -> List.rev cs.journal) t.cores;
+    journal = Array.map (fun cs -> List.rev_map fst cs.journal) t.cores;
+    acked = Array.map (fun cs -> List.rev cs.journal) t.cores;
   }

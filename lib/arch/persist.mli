@@ -75,6 +75,11 @@ type image = {
   slots : int array array;  (** per core, mutable: recovery blocks update *)
   journal : int list array;
       (** per core: the committed I/O journal (see {!on_out}) *)
+  acked : (int * int) list array;
+      (** per core: [(output, cycle)] pairs — the journal annotated with
+          the cycle each output's region committed at the back-end
+          proxy. The serving layer treats that commit as the point a
+          request is acknowledged to the client. *)
 }
 
 type t
@@ -134,6 +139,10 @@ val on_out : t -> core:int -> value:int -> unit
 
 val journal : t -> core:int -> int list
 (** Committed journal contents, in emission order. *)
+
+val journal_entries : t -> core:int -> (int * int) list
+(** [(output, commit cycle)] pairs in emission order; entries carried in
+    by {!seed_journal} report cycle 0. *)
 
 val seed_journal : t -> core:int -> outs:int list -> unit
 (** Restart setup: carry a recovered journal into a fresh engine. *)

@@ -15,6 +15,9 @@ val all_modes : Arch.Persist.mode list
     differential oracle (it is not crash-recoverable); the other four by
     the crash oracle. *)
 
+val crash_recoverable : Arch.Persist.mode -> bool
+(** Every mode but [Volatile]. *)
+
 type cfg = {
   seed : int;  (** base seed; trial [k] uses [seed + k] *)
   budget : int;  (** total oracle executions before stopping *)

@@ -1,0 +1,325 @@
+(* Crash fuzzing of the serving layer.
+
+   Mirrors Campaign's structure — seed-pure trials fanned out over the
+   Pool in waves, budget counted in oracle executions, reports identical
+   at any job count — but the subject is capri.service: each trial plans
+   a small store from a seed-derived client workload, then drives random
+   crash schedules through Server.run in every requested recoverable
+   persistence mode, holding Sla.check (the acked-durability oracle)
+   over every crash image and the completed run. Violations shrink
+   twice: the crash schedule through the generic ddmin, then the request
+   streams (the oracle re-tested on each candidate subset). *)
+
+module Arch = Capri_arch
+module Pool = Capri_util.Pool
+module Rng = Capri_util.Rng
+module Svc = Capri_service
+module Pipeline = Capri_compiler.Pipeline
+
+type cfg = {
+  seed : int;
+  budget : int;
+  jobs : int;
+  modes : Arch.Persist.mode list;
+  config : Arch.Config.t;
+  max_shards : int;
+  max_ops : int;  (* per shard *)
+  max_schedules : int;  (* crash schedules per trial and mode *)
+  shrink : bool;
+}
+
+let default_cfg =
+  {
+    seed = 0;
+    budget = 400;
+    jobs = 1;
+    modes = Campaign.all_modes;
+    config = Arch.Config.sim_default;
+    max_shards = 2;
+    max_ops = 24;
+    max_schedules = 6;
+    shrink = true;
+  }
+
+type failure = {
+  trial_seed : int;
+  mode : Arch.Persist.mode;
+  service : string;  (* shards/mix/ops provenance *)
+  reason : string;
+  schedule : int list;
+  shrunk_schedule : int list;
+  kept_requests : int list;  (* surviving request indices, [] = unshrunk *)
+  repro : string;
+}
+
+type trial = {
+  t_seed : int;
+  t_schedules : int;
+  t_checks : int;
+  t_failures : failure list;
+}
+
+type report = {
+  cfg : cfg;
+  trials : int;
+  schedules : int;
+  checks : int;
+  failures : failure list;
+}
+
+(* ---------------- seed-derived service shape ---------------- *)
+
+let mixes = [| Svc.Client.A; Svc.Client.B; Svc.Client.C |]
+
+let service_cfg cfg seed ~mode =
+  let rng = Rng.create (0x5eed + seed) in
+  let shards = 1 + Rng.int rng (max 1 cfg.max_shards) in
+  let ops = 6 + Rng.int rng (max 1 (cfg.max_ops - 5)) in
+  let client =
+    {
+      Svc.Client.mix = mixes.(Rng.int rng 3);
+      key_space = 8 + Rng.int rng 12;
+      ops_per_shard = ops;
+      skew = float_of_int (Rng.int rng 120) /. 100.0;
+      loop = Svc.Client.Closed;
+      seed;
+    }
+  in
+  {
+    Svc.Server.default_cfg with
+    Svc.Server.shards;
+    client;
+    batch = 1 + Rng.int rng 6;
+    mode;
+    config = cfg.config;
+  }
+
+let service_string (c : Svc.Server.cfg) =
+  Printf.sprintf "shards=%d mix=%s ops=%d keys=%d skew=%.2f batch=%d"
+    c.Svc.Server.shards
+    (Svc.Client.mix_name c.Svc.Server.client.Svc.Client.mix)
+    c.Svc.Server.client.Svc.Client.ops_per_shard
+    c.Svc.Server.client.Svc.Client.key_space
+    c.Svc.Server.client.Svc.Client.skew c.Svc.Server.batch
+
+(* ---------------- oracle drive and shrinking ---------------- *)
+
+let violates t schedule =
+  match Svc.Server.run ~crash_at:schedule t with
+  | outcome -> (
+    match Svc.Server.check t outcome with
+    | Ok () -> None
+    | Error v -> Some (Format.asprintf "%a" Svc.Sla.pp_violation v))
+  | exception e -> Some (Printexc.to_string e)
+
+(* Rebuild the service keeping only the request indices in [keep]
+   (indices run shard-major over the original streams). *)
+let restrict_requests (t : Svc.Server.t) keep =
+  let requests = t.Svc.Server.kv.Svc.Kvstore.requests in
+  let kept = Array.map (fun _ -> ref []) requests in
+  let base = ref 0 in
+  Array.iteri
+    (fun s reqs ->
+      Array.iteri
+        (fun i r ->
+          if List.mem (!base + i) keep then
+            kept.(s) := r :: !(kept.(s)))
+        reqs;
+      base := !base + Array.length reqs)
+    requests;
+  let requests' = Array.map (fun l -> Array.of_list (List.rev !l)) kept in
+  let kv =
+    Svc.Kvstore.build ~batch:t.Svc.Server.kv.Svc.Kvstore.batch
+      ~key_space:t.Svc.Server.kv.Svc.Kvstore.key_space ~requests:requests' ()
+  in
+  let compiled =
+    Pipeline.compile t.Svc.Server.cfg.Svc.Server.options kv.Svc.Kvstore.program
+  in
+  { t with Svc.Server.kv; compiled }
+
+let shrink_failure t schedule =
+  let test s = violates t s <> None in
+  let shrunk = Shrink.shrink_schedule ~test schedule in
+  let total =
+    Array.fold_left
+      (fun a reqs -> a + Array.length reqs)
+      0 t.Svc.Server.kv.Svc.Kvstore.requests
+  in
+  let all = List.init total Fun.id in
+  let test_keep keep =
+    match restrict_requests t keep with
+    | t' -> violates t' shrunk <> None
+    | exception _ -> false
+  in
+  let kept = Shrink.shrink_schedule ~test:test_keep all in
+  (shrunk, if List.length kept < total then kept else [])
+
+(* ---------------- one trial ---------------- *)
+
+let run_trial cfg k =
+  let seed = cfg.seed + k in
+  let rng = Rng.create (0xca11 + seed) in
+  let crash_modes = List.filter Campaign.crash_recoverable cfg.modes in
+  let checks = ref 0 in
+  let schedules_run = ref 0 in
+  let failure = ref None in
+  List.iter
+    (fun mode ->
+      if !failure = None then begin
+        let scfg = service_cfg cfg seed ~mode in
+        match Svc.Server.plan scfg with
+        | exception e ->
+          failure :=
+            Some
+              {
+                trial_seed = seed;
+                mode;
+                service = service_string scfg;
+                reason = "plan: " ^ Printexc.to_string e;
+                schedule = [];
+                shrunk_schedule = [];
+                kept_requests = [];
+                repro =
+                  Printf.sprintf "fuzz/main.exe --service --seed %d --budget 1"
+                    seed;
+              }
+        | t ->
+          (* reference run doubles as the completion-oracle check *)
+          incr checks;
+          (match violates t [] with
+          | Some reason ->
+            failure :=
+              Some
+                {
+                  trial_seed = seed;
+                  mode;
+                  service = service_string scfg;
+                  reason;
+                  schedule = [];
+                  shrunk_schedule = [];
+                  kept_requests = [];
+                  repro =
+                    Printf.sprintf
+                      "fuzz/main.exe --service --seed %d --budget 1" seed;
+                }
+          | None ->
+            let total =
+              (Svc.Server.run t).Svc.Server.result
+                .Capri_runtime.Executor.instrs
+            in
+            let schedule () =
+              let crashes = 1 + Rng.int rng 3 in
+              List.init crashes (fun _ -> 1 + Rng.int rng (max 2 total - 1))
+            in
+            for _ = 1 to cfg.max_schedules do
+              if !failure = None then begin
+                let s = schedule () in
+                incr checks;
+                incr schedules_run;
+                match violates t s with
+                | None -> ()
+                | Some reason ->
+                  let shrunk, kept =
+                    if cfg.shrink then shrink_failure t s else (s, [])
+                  in
+                  failure :=
+                    Some
+                      {
+                        trial_seed = seed;
+                        mode;
+                        service = service_string scfg;
+                        reason;
+                        schedule = s;
+                        shrunk_schedule = shrunk;
+                        kept_requests = kept;
+                        repro =
+                          Printf.sprintf
+                            "fuzz/main.exe --service --seed %d --budget 1" seed;
+                      }
+              end
+            done)
+      end)
+    crash_modes;
+  {
+    t_seed = seed;
+    t_schedules = !schedules_run;
+    t_checks = !checks;
+    t_failures = Option.to_list !failure;
+  }
+
+(* ---------------- the campaign loop ---------------- *)
+
+let run cfg =
+  let cfg = { cfg with jobs = max 1 cfg.jobs; budget = max 1 cfg.budget } in
+  Pool.with_pool ~jobs:cfg.jobs (fun pool ->
+      let trials = ref 0 in
+      let schedules = ref 0 in
+      let checks = ref 0 in
+      let failures = ref [] in
+      let next = ref 0 in
+      let continue = ref true in
+      while !continue do
+        (* same wave discipline as Campaign.run: in-order folding makes
+           the report independent of the job count *)
+        let wave = List.init cfg.jobs (fun i -> !next + i) in
+        next := !next + cfg.jobs;
+        let futures =
+          List.map (fun k -> Pool.submit pool (fun () -> run_trial cfg k)) wave
+        in
+        List.iter
+          (fun future ->
+            let t = Pool.await pool future in
+            if !continue then begin
+              incr trials;
+              schedules := !schedules + t.t_schedules;
+              checks := !checks + t.t_checks;
+              failures := !failures @ t.t_failures;
+              if !checks >= cfg.budget then continue := false
+            end)
+          futures
+      done;
+      {
+        cfg;
+        trials = !trials;
+        schedules = !schedules;
+        checks = !checks;
+        failures = !failures;
+      })
+
+(* ---------------- rendering ---------------- *)
+
+let render r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "service fuzz campaign: seed=%d budget=%d modes=%s\n\
+        trials=%d schedules=%d checks=%d\n"
+       r.cfg.seed r.cfg.budget
+       (String.concat "," (List.map Campaign.mode_name r.cfg.modes))
+       r.trials r.schedules r.checks);
+  if r.failures = [] then Buffer.add_string buf "failures: none\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "failures: %d\n" (List.length r.failures));
+    List.iteri
+      (fun i f ->
+        Buffer.add_string buf
+          (Printf.sprintf "failure #%d: acked-durability, trial seed %d, %s\n"
+             (i + 1) f.trial_seed
+             (Campaign.mode_name f.mode));
+        Buffer.add_string buf (Printf.sprintf "  service:  %s\n" f.service);
+        Buffer.add_string buf (Printf.sprintf "  reason:   %s\n" f.reason);
+        if f.schedule <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf "  schedule: [%s] -> shrunk [%s]\n"
+               (String.concat "; " (List.map string_of_int f.schedule))
+               (String.concat "; " (List.map string_of_int f.shrunk_schedule)));
+        if f.kept_requests <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf "  kept requests: %s\n"
+               (String.concat ","
+                  (List.map string_of_int f.kept_requests)));
+        Buffer.add_string buf (Printf.sprintf "  repro:    %s\n" f.repro))
+      r.failures
+  end;
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Crash fuzzing of the serving layer ([fuzz/main.exe --service]).
+
+    Seed-pure trials plan a small {!Capri_service.Server} store, drive
+    random crash schedules through it in every requested recoverable
+    persistence mode, and hold the acked-durability oracle
+    ({!Capri_service.Sla.check}) over each crash image plus the
+    completed run. Violations are shrunk twice: the crash schedule, then
+    the request streams, both through {!Shrink.shrink_schedule}'s ddmin.
+    Reports are byte-identical at any [jobs] count. *)
+
+module Arch = Capri_arch
+
+type cfg = {
+  seed : int;
+  budget : int;  (** oracle executions (reference + crash runs) *)
+  jobs : int;
+  modes : Arch.Persist.mode list;  (** [Volatile] entries are ignored *)
+  config : Arch.Config.t;
+  max_shards : int;
+  max_ops : int;  (** per shard *)
+  max_schedules : int;  (** crash schedules per trial and mode *)
+  shrink : bool;
+}
+
+val default_cfg : cfg
+
+type failure = {
+  trial_seed : int;
+  mode : Arch.Persist.mode;
+  service : string;
+  reason : string;
+  schedule : int list;
+  shrunk_schedule : int list;
+  kept_requests : int list;
+  repro : string;
+}
+
+type trial = {
+  t_seed : int;
+  t_schedules : int;
+  t_checks : int;
+  t_failures : failure list;
+}
+
+type report = {
+  cfg : cfg;
+  trials : int;
+  schedules : int;
+  checks : int;
+  failures : failure list;
+}
+
+val run_trial : cfg -> int -> trial
+(** One trial, pure in [cfg.seed + k] — exposed for tests. *)
+
+val run : cfg -> report
+val render : report -> string

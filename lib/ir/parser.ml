@@ -230,6 +230,11 @@ let finish_func ~line fs =
   Func.create ~name:fs.fname ~entry:fs.fentry (List.rev fs.blocks_rev)
 
 let parse source =
+  (* Source positions of every function header and block label, so errors
+     detected only after parsing (structural validation, duplicate
+     labels, ...) still point at a line of the input text. *)
+  let func_line : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let block_line : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
   try
     let lines = String.split_on_char '\n' source in
     let main = ref None in
@@ -247,6 +252,14 @@ let parse source =
       (fun idx raw ->
         let line = idx + 1 in
         let s = strip raw in
+        (* Helpers below (Label.of_string, Func.create, ...) raise plain
+           Invalid_argument/Failure; pin any such escapee to this line. *)
+        let trap f =
+          try f () with
+          | Parse_error _ as e -> raise e
+          | Invalid_argument msg | Failure msg -> fail line msg
+        in
+        trap @@ fun () ->
         if s = "" then ()
         else if starts_with "program (main = " s then begin
           let inner = after "program (main = " s in
@@ -272,6 +285,7 @@ let parse source =
               match String.index_opt tail ')' with
               | Some j ->
                 let entry = strip (String.sub tail 7 (j - 7)) in
+                Hashtbl.replace func_line fname line;
                 cur :=
                   Some
                     {
@@ -298,6 +312,7 @@ let parse source =
                    (Printf.sprintf "label %s begins inside open block %s"
                       (Label.to_string l) (Label.to_string open_l))
                | None ->
+                 Hashtbl.replace block_line (fs.fname, Label.to_string l) line;
                  fs.cur_label <- Some l;
                  fs.cur_instrs_rev <- [])
             | Pinstr i -> (
@@ -308,20 +323,37 @@ let parse source =
         end)
       lines;
     let nlines = List.length lines in
-    flush_func ~line:nlines;
+    (try flush_func ~line:nlines with
+     | Parse_error _ as e -> raise e
+     | Invalid_argument msg | Failure msg -> fail nlines msg);
     let main =
       match !main with
       | Some m -> m
       | None -> fail nlines "missing program header"
     in
     let program =
-      Program.create ~funcs:(List.rev !funcs_rev) ~main ~data:(List.rev !data)
+      try Program.create ~funcs:(List.rev !funcs_rev) ~main ~data:(List.rev !data)
+      with Invalid_argument msg | Failure msg -> fail nlines msg
+    in
+    (* A validation error names a function and possibly a block; point the
+       reported line at the block label (or the function header) of the
+       offending construct instead of the old, useless "line 0". *)
+    let line_of_validation (e : Validate.error) =
+      let block =
+        Option.bind e.Validate.block (fun l ->
+            Hashtbl.find_opt block_line
+              (e.Validate.func, Label.to_string l))
+      in
+      match block with
+      | Some l -> l
+      | None ->
+        Option.value (Hashtbl.find_opt func_line e.Validate.func) ~default:0
     in
     (match Validate.check program with
      | Ok () -> Ok program
      | Error (e :: _) ->
        Error
-         { line = 0;
+         { line = line_of_validation e;
            message = Format.asprintf "%a" Validate.pp_error e }
      | Error [] -> Ok program)
   with Parse_error e -> Error e

@@ -41,6 +41,10 @@ type result = {
       (* per boundary id: dynamic instance counts (profile-guided
          region formation consumes this) *)
   outputs : int list array;
+  acks : (int * int) list array;
+      (* per thread: (output, cycle it became client-visible). Journaled
+         runs stamp the back-end proxy commit of the carrying region;
+         unjournaled runs stamp the Out's execution cycle. *)
   memory : Arch.Memory.t;
   final_regs : int array array;
   persist_stats : Arch.Persist.stats;
@@ -65,6 +69,7 @@ type thread = {
   mutable cycle : int;
   mutable halted : bool;
   mutable outputs : int list;  (* reversed *)
+  mutable out_cycles : (int * int) list;  (* (value, cycle), reversed *)
   (* dynamic region accounting *)
   mutable cur_region_instrs : int;
   mutable cur_region_stores : int;
@@ -117,6 +122,7 @@ let make_thread code core (spec : thread_spec) =
     cycle = 0;
     halted = false;
     outputs = [];
+    out_cycles = [];
     cur_region_instrs = 0;
     cur_region_stores = 0;
     cur_region_ckpts = 0;
@@ -438,7 +444,10 @@ let exec_instr s (th : thread) (i : Instr.t) =
     let value = operand_value th src in
     if s.journal_io && Persist.mode s.persist <> Persist.Volatile then
       Persist.on_out s.persist ~core:th.core ~value
-    else th.outputs <- value :: th.outputs;
+    else begin
+      th.outputs <- value :: th.outputs;
+      th.out_cycles <- (value, th.cycle) :: th.out_cycles
+    end;
     1
   | Instr.Boundary { id } ->
     s.payload_count <- s.payload_count - 1;
@@ -579,14 +588,19 @@ let step s (th : thread) =
 let finish s =
   Hierarchy.publish s.hier;
   let cycles = Array.fold_left (fun acc th -> max acc th.cycle) 0 s.threads in
-  let outputs =
+  let outputs, acks =
     if s.journal_io && Persist.mode s.persist <> Persist.Volatile then begin
       (* The final regions' commits drain in the background; pull the
          clock far enough forward to read the complete journal. *)
       Persist.advance s.persist ~cycle:(cycles + 1_000_000);
-      Array.map (fun th -> Persist.journal s.persist ~core:th.core) s.threads
+      ( Array.map (fun th -> Persist.journal s.persist ~core:th.core) s.threads,
+        Array.map
+          (fun th -> Persist.journal_entries s.persist ~core:th.core)
+          s.threads )
     end
-    else Array.map (fun th -> List.rev th.outputs) s.threads
+    else
+      ( Array.map (fun th -> List.rev th.outputs) s.threads,
+        Array.map (fun th -> List.rev th.out_cycles) s.threads )
   in
   Finished
     {
@@ -599,6 +613,7 @@ let finish s =
       region_stats = !(s.rstats);
       profile = s.profile;
       outputs;
+      acks;
       memory = s.memory;
       final_regs = Array.map (fun th -> Array.copy th.regs) s.threads;
       persist_stats = Persist.stats s.persist;

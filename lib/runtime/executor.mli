@@ -44,6 +44,11 @@ type result = {
   region_stats : region_stats;
   profile : (int, boundary_profile) Hashtbl.t;
   outputs : int list array;  (** per core, in emission order *)
+  acks : (int * int) list array;
+      (** per core: [(output, cycle)] — when each output became
+          client-visible. Under [journal_io] that is the back-end proxy
+          commit of the carrying region (the serving layer's ack point);
+          otherwise the [Out]'s execution cycle. *)
   memory : Arch.Memory.t;  (** final architectural memory *)
   final_regs : int array array;  (** per core *)
   persist_stats : Arch.Persist.stats;

@@ -3,3 +3,17 @@ let stack_words_per_core = 4096
 let stack_top ~core =
   (* Highest stack sits just under the data segment. *)
   Capri_ir.Builder.data_base - (core * stack_words_per_core)
+
+let stack_range ~core =
+  let top = stack_top ~core in
+  (top - stack_words_per_core, top)
+
+let heap_base = Capri_ir.Builder.data_base
+
+let max_cores = heap_base / stack_words_per_core
+
+let check_cores cores =
+  if cores < 1 || cores > max_cores then
+    invalid_arg
+      (Printf.sprintf "Layout.check_cores: %d cores (1..%d supported)" cores
+         max_cores)

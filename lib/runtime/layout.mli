@@ -9,3 +9,20 @@
 val stack_words_per_core : int
 val stack_top : core:int -> int
 (** Initial stack pointer for a core (exclusive top; pushes pre-decrement). *)
+
+val stack_range : core:int -> int * int
+(** [(bottom, top)] of a core's stack: pushes live in [\[bottom, top)].
+    Ranges of distinct cores are disjoint, and every range lies below
+    {!heap_base}. *)
+
+val heap_base : int
+(** First data-segment address (= [Builder.data_base]); every
+    {!Capri_ir.Builder.alloc} result is at or above it, so heaps never
+    collide with any core's stack. *)
+
+val max_cores : int
+(** Cores whose stacks fit between address 0 and {!heap_base}. *)
+
+val check_cores : int -> unit
+(** Raises [Invalid_argument] when a core count's stacks would underflow
+    the address space (or is non-positive). *)

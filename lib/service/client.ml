@@ -1,0 +1,80 @@
+module Rng = Capri_util.Rng
+
+type mix = A | B | C
+
+let mix_name = function A -> "A" | B -> "B" | C -> "C"
+
+let mix_of_string = function
+  | "A" | "a" -> Some A
+  | "B" | "b" -> Some B
+  | "C" | "c" -> Some C
+  | _ -> None
+
+(* YCSB-inspired op fractions (get, put, delete, cas). Updates in the A/B
+   mixes are mostly puts with a sliver of deletes and compare-and-swaps so
+   every handler path sees traffic. *)
+let fractions = function
+  | A -> (0.50, 0.40, 0.05, 0.05)
+  | B -> (0.95, 0.04, 0.005, 0.005)
+  | C -> (1.0, 0.0, 0.0, 0.0)
+
+type loop = Closed | Open of { period : int }
+
+type cfg = {
+  mix : mix;
+  key_space : int;
+  ops_per_shard : int;
+  skew : float;
+  loop : loop;
+  seed : int;
+}
+
+let default =
+  {
+    mix = A;
+    key_space = 64;
+    ops_per_shard = 200;
+    skew = 0.99;
+    loop = Closed;
+    seed = 1;
+  }
+
+let pick_op rng mix =
+  let g, p, d, _c = fractions mix in
+  let x = Rng.float rng 1.0 in
+  if x < g then Wire.Get
+  else if x < g +. p then Wire.Put
+  else if x < g +. p +. d then Wire.Delete
+  else Wire.Cas
+
+let generate_shard rng cfg dist =
+  (* The generator mirrors the store so compare-and-swaps are not all
+     doomed: half the time [expected] is the key's true current value. *)
+  let model = Array.make (cfg.key_space + 1) (-1) in
+  Array.init cfg.ops_per_shard (fun _ ->
+      let key = 1 + Rng.zipf rng dist in
+      let op = pick_op rng cfg.mix in
+      let value = Rng.int rng Wire.payload_limit in
+      let expected =
+        if model.(key) >= 0 && Rng.bool rng then model.(key)
+        else Rng.int rng Wire.payload_limit
+      in
+      (match op with
+      | Wire.Put -> model.(key) <- value
+      | Wire.Delete -> model.(key) <- -1
+      | Wire.Cas -> if model.(key) = expected then model.(key) <- value
+      | Wire.Get -> ());
+      { Wire.op; key; value; expected })
+
+let generate cfg ~shards =
+  if shards < 1 then invalid_arg "Client.generate: shards must be positive";
+  if cfg.ops_per_shard < 0 then
+    invalid_arg "Client.generate: negative ops_per_shard";
+  let dist = Rng.Zipf.create ~n:cfg.key_space ~skew:cfg.skew in
+  let master = Rng.create cfg.seed in
+  Array.init shards (fun _ ->
+      let rng = Rng.split master in
+      generate_shard rng cfg dist)
+
+let arrival cfg ~index =
+  match cfg.loop with Closed -> 0 | Open { period } -> index * period

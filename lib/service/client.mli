@@ -1,0 +1,37 @@
+(** Deterministic workload generator: YCSB-style mixes over a bounded
+    zipfian key popularity ({!Capri_util.Rng.zipf}).
+
+    [Closed] loop means each client issues its next request only after
+    the previous acknowledgement — request latency is the inter-ack gap.
+    [Open] loop means requests arrive on a fixed period regardless of
+    service progress — latency is ack minus arrival and grows without
+    bound when the server cannot keep up (which is what admission
+    control, {!Server}, is for). *)
+
+type mix = A | B | C
+(** A = 50% reads / 50% updates; B = 95/5; C = read-only. *)
+
+val mix_name : mix -> string
+val mix_of_string : string -> mix option
+
+type loop = Closed | Open of { period : int (** cycles between arrivals *) }
+
+type cfg = {
+  mix : mix;
+  key_space : int;
+  ops_per_shard : int;
+  skew : float;  (** zipfian skew; 0 = uniform, 0.99 = YCSB default *)
+  loop : loop;
+  seed : int;
+}
+
+val default : cfg
+(** Mix A, 64 keys, 200 ops/shard, skew 0.99, closed loop, seed 1. *)
+
+val generate : cfg -> shards:int -> Wire.request array array
+(** Per-shard request streams; equal [cfg] and [shards] give equal
+    streams. *)
+
+val arrival : cfg -> index:int -> int
+(** Cycle at which a shard's [index]-th request arrives (0 under a
+    closed loop). *)

@@ -1,0 +1,207 @@
+open Capri_ir
+module Arch = Capri_arch
+module Runtime = Capri_runtime
+
+type t = {
+  shards : int;
+  key_space : int;
+  capacity : int;
+  batch : int;
+  requests : Wire.request array array;
+  program : Program.t;
+  mailboxes : int array;
+  tables : int array;
+}
+
+let r = Reg.of_int
+let rg i = Builder.reg (r i)
+let im = Builder.imm
+
+(* Register convention for the [shard] handler (set via thread_spec):
+     r0 = mailbox cursor   r1 = remaining requests
+     r2 = table base       r3 = capacity
+   Scratch: r4..r13; r12 is the batch countdown. *)
+
+let emit_shard b ~batch =
+  let f = Builder.func b "shard" in
+  let reqloop = Builder.block f "reqloop" in
+  let probe = Builder.block f "probe" in
+  let check_empty = Builder.block f "check_empty" in
+  let probe_next = Builder.block f "probe_next" in
+  let found = Builder.block f "found" in
+  let d_put = Builder.block f "d_put" in
+  let d_del = Builder.block f "d_del" in
+  let f_get = Builder.block f "f_get" in
+  let g_hit = Builder.block f "g_hit" in
+  let f_put = Builder.block f "f_put" in
+  let f_del = Builder.block f "f_del" in
+  let del_do = Builder.block f "del_do" in
+  let f_cas = Builder.block f "f_cas" in
+  let cas_live = Builder.block f "cas_live" in
+  let cas_win = Builder.block f "cas_win" in
+  let cas_fail = Builder.block f "cas_fail" in
+  let empty = Builder.block f "empty" in
+  let e_put = Builder.block f "e_put" in
+  let resp_miss = Builder.block f "resp_miss" in
+  let next_req = Builder.block f "next_req" in
+  let do_fence = Builder.block f "do_fence" in
+  let check_done = Builder.block f "check_done" in
+  let fin = Builder.block f "done" in
+  (* entry *)
+  Builder.li f (r 12) 0;
+  Builder.binop f Instr.Lt (r 13) (im 0) (rg 1);
+  Builder.branch f (rg 13) reqloop fin;
+  (* fetch the next request from the mailbox *)
+  Builder.switch f reqloop;
+  Builder.load f (r 4) ~base:(r 0) ~off:0 ();
+  Builder.load f (r 5) ~base:(r 0) ~off:1 ();
+  Builder.load f (r 6) ~base:(r 0) ~off:2 ();
+  Builder.load f (r 7) ~base:(r 0) ~off:3 ();
+  Builder.binop f Instr.Rem (r 8) (rg 5) (rg 3);
+  Builder.jump f probe;
+  (* open-addressing probe; keys are never removed (deletion leaves the
+     key with a -1 value sentinel), so with capacity > distinct keys the
+     scan always terminates at the key or an empty slot *)
+  Builder.switch f probe;
+  Builder.mul f (r 9) (rg 8) (im 2);
+  Builder.add f (r 9) (rg 9) (rg 2);
+  Builder.load f (r 10) ~base:(r 9) ~off:0 ();
+  Builder.binop f Instr.Eq (r 13) (rg 10) (rg 5);
+  Builder.branch f (rg 13) found check_empty;
+  Builder.switch f check_empty;
+  Builder.binop f Instr.Eq (r 13) (rg 10) (im 0);
+  Builder.branch f (rg 13) empty probe_next;
+  Builder.switch f probe_next;
+  Builder.add f (r 8) (rg 8) (im 1);
+  Builder.binop f Instr.Rem (r 8) (rg 8) (rg 3);
+  Builder.jump f probe;
+  (* key present: dispatch on op *)
+  Builder.switch f found;
+  Builder.load f (r 11) ~base:(r 9) ~off:1 ();
+  Builder.binop f Instr.Eq (r 13) (rg 4) (im (Wire.op_code Wire.Get));
+  Builder.branch f (rg 13) f_get d_put;
+  Builder.switch f d_put;
+  Builder.binop f Instr.Eq (r 13) (rg 4) (im (Wire.op_code Wire.Put));
+  Builder.branch f (rg 13) f_put d_del;
+  Builder.switch f d_del;
+  Builder.binop f Instr.Eq (r 13) (rg 4) (im (Wire.op_code Wire.Delete));
+  Builder.branch f (rg 13) f_del f_cas;
+  Builder.switch f f_get;
+  Builder.binop f Instr.Eq (r 13) (rg 11) (im (-1));
+  Builder.branch f (rg 13) resp_miss g_hit;
+  Builder.switch f g_hit;
+  Builder.out f (rg 11);
+  Builder.jump f next_req;
+  Builder.switch f f_put;
+  Builder.store f ~base:(r 9) ~off:1 (rg 6);
+  Builder.out f (rg 6);
+  Builder.jump f next_req;
+  Builder.switch f f_del;
+  Builder.binop f Instr.Eq (r 13) (rg 11) (im (-1));
+  Builder.branch f (rg 13) resp_miss del_do;
+  Builder.switch f del_do;
+  Builder.store f ~base:(r 9) ~off:1 (im (-1));
+  Builder.out f (im 0);
+  Builder.jump f next_req;
+  Builder.switch f f_cas;
+  Builder.binop f Instr.Eq (r 13) (rg 11) (im (-1));
+  Builder.branch f (rg 13) resp_miss cas_live;
+  Builder.switch f cas_live;
+  Builder.binop f Instr.Eq (r 13) (rg 11) (rg 7);
+  Builder.branch f (rg 13) cas_win cas_fail;
+  Builder.switch f cas_win;
+  Builder.store f ~base:(r 9) ~off:1 (rg 6);
+  Builder.out f (rg 6);
+  Builder.jump f next_req;
+  Builder.switch f cas_fail;
+  Builder.add f (r 13) (rg 11)
+    (im (Wire.response ~status:Wire.Cas_fail ~payload:0));
+  Builder.out f (rg 13);
+  Builder.jump f next_req;
+  (* key absent: only Put creates it *)
+  Builder.switch f empty;
+  Builder.binop f Instr.Eq (r 13) (rg 4) (im (Wire.op_code Wire.Put));
+  Builder.branch f (rg 13) e_put resp_miss;
+  Builder.switch f e_put;
+  (* value before key: regions commit in order, so a crash can never
+     leave a key visible with an unwritten value word *)
+  Builder.store f ~base:(r 9) ~off:1 (rg 6);
+  Builder.store f ~base:(r 9) ~off:0 (rg 5);
+  Builder.out f (rg 6);
+  Builder.jump f next_req;
+  Builder.switch f resp_miss;
+  Builder.out f (im Wire.response_miss);
+  Builder.jump f next_req;
+  (* advance; fence closes the region every [batch] requests *)
+  Builder.switch f next_req;
+  Builder.add f (r 0) (rg 0) (im Wire.words_per_request);
+  Builder.sub f (r 1) (rg 1) (im 1);
+  Builder.add f (r 12) (rg 12) (im 1);
+  Builder.binop f Instr.Eq (r 13) (rg 12) (im batch);
+  Builder.branch f (rg 13) do_fence check_done;
+  Builder.switch f do_fence;
+  Builder.fence f;
+  Builder.li f (r 12) 0;
+  Builder.jump f check_done;
+  Builder.switch f check_done;
+  Builder.binop f Instr.Lt (r 13) (im 0) (rg 1);
+  Builder.branch f (rg 13) reqloop fin;
+  Builder.switch f fin;
+  Builder.halt f
+
+let capacity_for key_space = max 8 (2 * key_space)
+
+let build ?(batch = 8) ~key_space ~requests () =
+  let shards = Array.length requests in
+  if shards = 0 then invalid_arg "Kvstore.build: no shards";
+  if key_space < 1 then invalid_arg "Kvstore.build: key_space must be positive";
+  if batch < 1 then invalid_arg "Kvstore.build: batch must be positive";
+  Capri_runtime.Layout.check_cores shards;
+  Array.iter (fun reqs -> Array.iter Wire.check_request reqs) requests;
+  let capacity = capacity_for key_space in
+  let b = Builder.create () in
+  emit_shard b ~batch;
+  let mailboxes =
+    Array.map
+      (fun reqs ->
+        let words =
+          Array.concat (Array.to_list (Array.map Wire.encode_request reqs))
+        in
+        (* a shard with no admitted requests still owns a (zeroed) box *)
+        let words = if Array.length words = 0 then [| 0 |] else words in
+        Builder.alloc_init b words)
+      requests
+  in
+  let tables =
+    Array.init shards (fun _ -> Builder.alloc b ~words:(capacity * 2))
+  in
+  let program = Builder.finish b ~main:"shard" in
+  { shards; key_space; capacity; batch; requests; program; mailboxes; tables }
+
+let thread_specs t =
+  List.init t.shards (fun s ->
+      {
+        Runtime.Executor.func = "shard";
+        args =
+          [
+            (r 0, t.mailboxes.(s));
+            (r 1, Array.length t.requests.(s));
+            (r 2, t.tables.(s));
+            (r 3, t.capacity);
+          ];
+      })
+
+let lookup t mem ~shard ~key =
+  let table = t.tables.(shard) in
+  let cap = t.capacity in
+  let rec go slot steps =
+    if steps >= cap then None
+    else
+      let k = Arch.Memory.read mem (table + (slot * 2)) in
+      if k = key then
+        let v = Arch.Memory.read mem (table + (slot * 2) + 1) in
+        if v = -1 then None else Some v
+      else if k = 0 then None
+      else go ((slot + 1) mod cap) (steps + 1)
+  in
+  go (key mod cap) 0

@@ -1,0 +1,43 @@
+(** The store itself, written in the Capri IR.
+
+    [build] emits one [shard] handler function — an open-addressing hash
+    table (two words per slot, key 0 = empty) over the NVM heap with
+    get/put/delete/cas handled inline — plus per-shard request mailboxes
+    and tables in disjoint data-segment allocations. Each shard core runs
+    [shard] with its own mailbox/table base registers; a fence every
+    [batch] requests bounds how long a region (and therefore an
+    acknowledgement) can stay open.
+
+    The handler contains no persistence-aware code: no logging, no
+    flushes, no recovery paths. Compiling it through the Capri pipeline
+    and running it under the persistence engine is what makes the store
+    durable. Deletion leaves the key in place with a [-1] value sentinel
+    so probe chains stay intact; since [capacity > key_space], probes
+    always terminate. *)
+
+type t = {
+  shards : int;
+  key_space : int;  (** client keys are [1..key_space] *)
+  capacity : int;  (** slots per shard table *)
+  batch : int;
+  requests : Wire.request array array;  (** per shard, mailbox order *)
+  program : Capri_ir.Program.t;
+  mailboxes : int array;  (** per shard: mailbox base address *)
+  tables : int array;  (** per shard: table base address *)
+}
+
+val capacity_for : int -> int
+(** Table slots used for a given key space (2x, minimum 8). *)
+
+val build :
+  ?batch:int -> key_space:int -> requests:Wire.request array array -> unit -> t
+(** One shard per element of [requests]. Raises [Invalid_argument] on an
+    empty shard list, a non-positive key space or batch, more shards than
+    {!Capri_runtime.Layout.max_cores}, or an out-of-range request. *)
+
+val thread_specs : t -> Capri_runtime.Executor.thread_spec list
+(** One thread per shard, parameterized via argument registers. *)
+
+val lookup : t -> Capri_arch.Memory.t -> shard:int -> key:int -> int option
+(** Host-side probe of a shard's table in a memory image (used by the
+    durability oracle against recovered NVM). *)

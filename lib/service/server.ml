@@ -1,0 +1,238 @@
+module Arch = Capri_arch
+module Comp = Capri_compiler
+module Runtime = Capri_runtime
+module Obs = Capri_obs.Obs
+module Metrics = Capri_obs.Metrics
+module Tracer = Capri_obs.Tracer
+module Executor = Runtime.Executor
+
+type cfg = {
+  shards : int;
+  client : Client.cfg;
+  batch : int;
+  mode : Arch.Persist.mode;
+  options : Comp.Options.t;
+  config : Arch.Config.t;
+  admit_depth : int option;
+}
+
+let default_cfg =
+  {
+    shards = 2;
+    client = Client.default;
+    batch = 8;
+    mode = Arch.Persist.Capri;
+    options = Comp.Options.default;
+    config = Arch.Config.sim_default;
+    admit_depth = None;
+  }
+
+type t = {
+  cfg : cfg;
+  kv : Kvstore.t;
+  compiled : Comp.Compiled.t;
+  rejected : int;
+}
+
+(* Modeled recovery time: a fixed power-cycle cost (proxy drain, redo of
+   committed regions, register reload) plus a per-recovery-block charge
+   for the software pass that rebuilds pruned checkpoint slots. *)
+let power_cycle_cycles = 1000
+let recovery_block_cycles = 50
+
+(* Estimated service cycles per request, measured by running a small
+   probe store under the same compiler options and persistence mode.
+   Admission control prices open-loop arrivals against this estimate. *)
+let calibrate cfg =
+  let probe_client =
+    {
+      Client.mix = Client.A;
+      key_space = 16;
+      ops_per_shard = 32;
+      skew = 0.0;
+      loop = Client.Closed;
+      seed = 7;
+    }
+  in
+  let requests = Client.generate probe_client ~shards:1 in
+  let kv = Kvstore.build ~batch:cfg.batch ~key_space:16 ~requests () in
+  let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
+  let session =
+    Executor.start ~config:cfg.config ~mode:cfg.mode ~journal_io:true
+      ~check_threshold:cfg.options.Comp.Options.threshold
+      ~program:compiled.Comp.Compiled.program
+      ~threads:(Kvstore.thread_specs kv) ()
+  in
+  match Executor.run session with
+  | Executor.Finished r -> max 1 (r.Executor.cycles / 32)
+  | Executor.Crashed _ -> assert false
+
+let admit ~period ~depth ~svc requests =
+  let rejected = ref 0 in
+  let admitted =
+    Array.map
+      (fun shard_reqs ->
+        (* estimated finish times of admitted requests, newest first
+           (decreasing), so counting the in-flight set is a prefix walk *)
+        let finishes = ref [] in
+        let last_finish = ref 0 in
+        let kept = ref [] in
+        Array.iteri
+          (fun i r ->
+            let arrival = i * period in
+            let rec in_flight n = function
+              | f :: rest when f > arrival -> in_flight (n + 1) rest
+              | _ -> n
+            in
+            if in_flight 0 !finishes >= depth then incr rejected
+            else begin
+              let f = max arrival !last_finish + svc in
+              last_finish := f;
+              finishes := f :: !finishes;
+              kept := r :: !kept
+            end)
+          shard_reqs;
+        Array.of_list (List.rev !kept))
+      requests
+  in
+  (admitted, !rejected)
+
+let plan cfg =
+  if cfg.shards < 1 then invalid_arg "Server.plan: shards must be positive";
+  let requests = Client.generate cfg.client ~shards:cfg.shards in
+  let requests, rejected =
+    match (cfg.client.Client.loop, cfg.admit_depth) with
+    | Client.Open { period }, Some depth when depth >= 0 ->
+      admit ~period ~depth ~svc:(calibrate cfg) requests
+    | _ -> (requests, 0)
+  in
+  let kv =
+    Kvstore.build ~batch:cfg.batch ~key_space:cfg.client.Client.key_space
+      ~requests ()
+  in
+  let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
+  { cfg; kv; compiled; rejected }
+
+type outcome = {
+  acks : (int * int) list array;
+  final : int list array;
+  images : Arch.Persist.image list;
+  cycles : int;
+  recoveries : int;
+  recovery_blocks : int;
+  recovery_cycles : int;
+  result : Executor.result;
+}
+
+let instrument obs t outcome =
+  if Obs.enabled obs then begin
+    let m = obs.Obs.metrics in
+    Metrics.Counter.add
+      (Metrics.counter m "service_rejected")
+      t.rejected;
+    Metrics.Counter.add (Metrics.counter m "service_recoveries")
+      outcome.recoveries;
+    let lat_hist = Metrics.log2_histogram m "service_latency_cycles" ~buckets:24 in
+    Array.iteri
+      (fun shard shard_acks ->
+        let labels = [ ("shard", string_of_int shard) ] in
+        Metrics.Counter.add
+          (Metrics.counter ~labels m "service_acked")
+          (List.length shard_acks);
+        let lats =
+          Sla.request_latencies ~loop:t.cfg.client.Client.loop shard_acks
+        in
+        List.iter (Metrics.Histogram.observe lat_hist) lats;
+        List.iteri
+          (fun i (resp, cycle) ->
+            Tracer.instant obs.Obs.tracer
+              ~track:(Tracer.Core shard)
+              ~name:"ack" ~ts:cycle
+              ~args:
+                [
+                  ("request", string_of_int i); ("response", string_of_int resp);
+                ])
+          shard_acks)
+      outcome.acks
+  end
+
+let run ?(obs = Obs.null) ?(crash_at = []) t =
+  let cfg = t.cfg in
+  if cfg.mode = Arch.Persist.Volatile && crash_at <> [] then
+    invalid_arg "Server.run: a volatile store cannot recover from a crash";
+  let threads = Kvstore.thread_specs t.kv in
+  let shards = t.kv.Kvstore.shards in
+  let threshold = cfg.options.Comp.Options.threshold in
+  let seen = Array.make shards 0 in
+  let acks = Array.make shards [] in  (* reversed accumulation *)
+  let images = ref [] in
+  let recoveries = ref 0 in
+  let blocks_total = ref 0 in
+  let rec_cycles = ref 0 in
+  let base = ref 0 in
+  let absorb per_core =
+    Array.iteri
+      (fun s entries ->
+        let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+        let fresh = drop seen.(s) entries in
+        List.iter (fun (v, c) -> acks.(s) <- (v, c + !base) :: acks.(s)) fresh;
+        seen.(s) <- seen.(s) + List.length fresh)
+      per_core
+  in
+  let rec go session = function
+    | [] -> (
+      match Executor.run session with
+      | Executor.Finished r ->
+        absorb r.Executor.acks;
+        r
+      | Executor.Crashed _ -> assert false)
+    | at :: rest -> (
+      match Executor.run ~crash_at_instr:at session with
+      | Executor.Finished r ->
+        (* the service drained before the crash point fired *)
+        absorb r.Executor.acks;
+        r
+      | Executor.Crashed { image; at_cycle; _ } ->
+        absorb image.Arch.Persist.acked;
+        images := image :: !images;
+        incr recoveries;
+        let blocks = Runtime.Recovery.apply_recovery_blocks t.compiled image in
+        blocks_total := !blocks_total + blocks;
+        let penalty = power_cycle_cycles + (blocks * recovery_block_cycles) in
+        rec_cycles := !rec_cycles + penalty;
+        base := !base + at_cycle + penalty;
+        let session =
+          Executor.resume ~config:cfg.config ~mode:cfg.mode ~journal_io:true
+            ~obs ~check_threshold:threshold ~compiled:t.compiled ~image
+            ~threads ()
+        in
+        go session rest)
+  in
+  let session =
+    Executor.start ~config:cfg.config ~mode:cfg.mode ~journal_io:true ~obs
+      ~check_threshold:threshold
+      ~program:t.compiled.Comp.Compiled.program ~threads ()
+  in
+  let result = go session crash_at in
+  let outcome =
+    {
+      acks = Array.map List.rev acks;
+      final = result.Executor.outputs;
+      images = List.rev !images;
+      cycles = !base + result.Executor.cycles;
+      recoveries = !recoveries;
+      recovery_blocks = !blocks_total;
+      recovery_cycles = !rec_cycles;
+      result;
+    }
+  in
+  instrument obs t outcome;
+  outcome
+
+let check t outcome =
+  Sla.check ~kv:t.kv ~images:outcome.images ~final:outcome.final
+
+let stats t outcome =
+  Sla.stats ~loop:t.cfg.client.Client.loop ~acks:outcome.acks
+    ~cycles:outcome.cycles ~rejected:t.rejected ~recoveries:outcome.recoveries
+    ~recovery_cycles:outcome.recovery_cycles

@@ -1,0 +1,74 @@
+(** The serving harness: plans a store from a client workload, drives the
+    shard cores through the executor (optionally through a crash
+    schedule), and accounts acknowledgements.
+
+    A request is acknowledged when its response's region commits at the
+    back-end NVM proxy — under journaled I/O that is exactly when the
+    [Out] word enters the durable journal, so "acked" and "durable"
+    coincide by construction and {!Sla.check} verifies the store's state
+    keeps the same promise.
+
+    Admission control (open-loop clients only): a small probe run under
+    the same compiler options and persistence mode estimates service
+    cycles per request; arrivals that would find [admit_depth] requests
+    already in flight against that estimate are rejected up front. *)
+
+type cfg = {
+  shards : int;
+  client : Client.cfg;
+  batch : int;  (** fence (and thus ack) at least every [batch] requests *)
+  mode : Capri_arch.Persist.mode;
+  options : Capri_compiler.Options.t;
+  config : Capri_arch.Config.t;
+  admit_depth : int option;  (** [None] disables admission control *)
+}
+
+val default_cfg : cfg
+(** 2 shards, {!Client.default}, batch 8, Capri mode, default compiler
+    options, no admission control. *)
+
+val power_cycle_cycles : int
+val recovery_block_cycles : int
+(** Modeled recovery time per crash:
+    [power_cycle_cycles + blocks_run * recovery_block_cycles]. *)
+
+type t = {
+  cfg : cfg;
+  kv : Kvstore.t;
+  compiled : Capri_compiler.Compiled.t;
+  rejected : int;  (** requests refused by admission control *)
+}
+
+val plan : cfg -> t
+(** Generate the workload, apply admission control, build the store and
+    compile it through the Capri pipeline. *)
+
+type outcome = {
+  acks : (int * int) list array;
+      (** per shard: [(response, ack cycle)] in request order; cycles are
+          absolute across crash segments and recovery penalties *)
+  final : int list array;  (** complete response streams at completion *)
+  images : Capri_arch.Persist.image list;  (** one per crash, in order *)
+  cycles : int;  (** total elapsed, modeled recovery time included *)
+  recoveries : int;
+  recovery_blocks : int;
+  recovery_cycles : int;
+  result : Capri_runtime.Executor.result;
+}
+
+val run :
+  ?obs:Capri_obs.Obs.t -> ?crash_at:int list -> t -> outcome
+(** Each [crash_at] entry is a dynamic-instruction crash point within its
+    own segment (first entry in the fresh run, second after the first
+    recovery, ...), as in {!Capri_runtime.Verify.run_with_crashes}. The
+    run always completes: after the schedule is exhausted the final
+    segment drains every remaining request. With an enabled [obs], per-
+    request ack instants land on each shard's trace track and the
+    metrics registry gains [service_acked]/[service_rejected]/
+    [service_recoveries] counters plus a latency histogram.
+
+    Raises [Invalid_argument] for a non-empty schedule in [Volatile]
+    mode — a volatile store cannot recover. *)
+
+val check : t -> outcome -> (unit, Sla.violation) result
+val stats : t -> outcome -> Sla.stats

@@ -1,0 +1,216 @@
+module Arch = Capri_arch
+module Stat = Capri_util.Stat
+
+module Model = struct
+  type t = { values : int array }  (* index by key; -1 = absent *)
+
+  let create ~key_space = { values = Array.make (key_space + 1) (-1) }
+  let copy t = { values = Array.copy t.values }
+  let get t key = if t.values.(key) = -1 then None else Some t.values.(key)
+
+  let apply t (r : Wire.request) =
+    let v = t.values.(r.key) in
+    match r.op with
+    | Wire.Get ->
+      if v = -1 then Wire.response_miss
+      else Wire.response ~status:Wire.Ok ~payload:v
+    | Wire.Put ->
+      t.values.(r.key) <- r.value;
+      Wire.response ~status:Wire.Ok ~payload:r.value
+    | Wire.Delete ->
+      if v = -1 then Wire.response_miss
+      else begin
+        t.values.(r.key) <- -1;
+        Wire.response ~status:Wire.Ok ~payload:0
+      end
+    | Wire.Cas ->
+      if v = -1 then Wire.response_miss
+      else if v = r.expected then begin
+        t.values.(r.key) <- r.value;
+        Wire.response ~status:Wire.Ok ~payload:r.value
+      end
+      else Wire.response ~status:Wire.Cas_fail ~payload:v
+end
+
+let expected_responses ~key_space reqs =
+  let m = Model.create ~key_space in
+  Array.map (fun r -> Model.apply m r) reqs
+
+(* How far the durable table may run ahead of the acked count: a
+   request's store can sit in a committed region while its response is
+   still staged in the open one (a threshold or fence boundary between
+   them), but never by more than the requests bracketing that open
+   region. *)
+let durable_slack = 2
+
+type violation = { shard : int; crash_index : int; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "shard %d%s: %s" v.shard
+    (if v.crash_index < 0 then " (completion)"
+     else Printf.sprintf " (crash %d)" v.crash_index)
+    v.detail
+
+let prefix_mismatch expected got =
+  (* Returns the first index where [got] stops being a prefix of
+     [expected], or None. *)
+  let rec go i = function
+    | [] -> None
+    | g :: rest ->
+      if i >= Array.length expected then Some i
+      else if expected.(i) <> g then Some i
+      else go (i + 1) rest
+  in
+  go 0 got
+
+let table_matches kv nvm ~shard model =
+  let ok = ref true in
+  for key = 1 to kv.Kvstore.key_space do
+    if !ok && Kvstore.lookup kv nvm ~shard ~key <> Model.get model key then
+      ok := false
+  done;
+  !ok
+
+let check_crash ~kv ~expected ~crash_index (image : Arch.Persist.image) =
+  let shards = kv.Kvstore.shards in
+  let err shard detail = Error { shard; crash_index; detail } in
+  let rec per_shard shard =
+    if shard >= shards then Ok ()
+    else
+      let acked = List.map fst image.Arch.Persist.acked.(shard) in
+      let exp : int array = expected.(shard) in
+      let n = List.length acked in
+      match prefix_mismatch exp acked with
+      | Some i when i >= Array.length exp ->
+        err shard
+          (Printf.sprintf "acked %d responses but only %d requests exist" n
+             (Array.length exp))
+      | Some i ->
+        err shard
+          (Printf.sprintf
+             "acked response %d is %d but the model answers %d (duplicate, \
+              lost or corrupt ack)"
+             i (List.nth acked i) exp.(i))
+      | None ->
+        (* replay the model to the acked count, then scan the slack
+           window for a durable match *)
+        let m = Model.create ~key_space:kv.Kvstore.key_space in
+        let reqs = kv.Kvstore.requests.(shard) in
+        for i = 0 to n - 1 do
+          ignore (Model.apply m reqs.(i))
+        done;
+        let hi = min (n + durable_slack) (Array.length reqs) in
+        let rec scan k m =
+          if table_matches kv image.Arch.Persist.nvm ~shard m then true
+          else if k >= hi then false
+          else begin
+            ignore (Model.apply m reqs.(k));
+            scan (k + 1) m
+          end
+        in
+        if scan n m then per_shard (shard + 1)
+        else
+          err shard
+            (Printf.sprintf
+               "durable table matches no model state in [%d..%d] — an acked \
+                effect is missing or a torn write survived recovery"
+               n hi)
+  in
+  per_shard 0
+
+let check ~kv ~images ~final =
+  let expected =
+    Array.map
+      (expected_responses ~key_space:kv.Kvstore.key_space)
+      kv.Kvstore.requests
+  in
+  let rec crashes i = function
+    | [] -> Ok ()
+    | image :: rest -> (
+      match check_crash ~kv ~expected ~crash_index:i image with
+      | Error _ as e -> e
+      | Ok () -> crashes (i + 1) rest)
+  in
+  match crashes 0 images with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec completion shard =
+      if shard >= kv.Kvstore.shards then Ok ()
+      else
+        let exp = expected.(shard) in
+        let got = final.(shard) in
+        if got <> Array.to_list exp then
+          Error
+            {
+              shard;
+              crash_index = -1;
+              detail =
+                Printf.sprintf
+                  "completed run answered %d responses, model answers %d%s"
+                  (List.length got) (Array.length exp)
+                  (match prefix_mismatch exp got with
+                  | Some i when i < Array.length exp ->
+                    Printf.sprintf " (first divergence at request %d)" i
+                  | _ -> "");
+            }
+        else completion (shard + 1)
+    in
+    completion 0
+
+type stats = {
+  ops : int;
+  rejected : int;
+  cycles : int;
+  throughput : float;
+  p50 : float;
+  p99 : float;
+  recoveries : int;
+  mean_recovery : float;
+}
+
+let request_latencies ~loop shard_acks =
+  let prev = ref 0 in
+  List.mapi
+    (fun i (_, cycle) ->
+      let l =
+        match loop with
+        | Client.Closed -> cycle - !prev
+        | Client.Open { period } -> cycle - (i * period)
+      in
+      prev := cycle;
+      max 1 l)
+    shard_acks
+
+let latencies ~loop acks =
+  Array.fold_left
+    (fun acc shard_acks ->
+      List.rev_append
+        (List.rev_map float_of_int (request_latencies ~loop shard_acks))
+        acc)
+    [] acks
+
+let stats ~loop ~acks ~cycles ~rejected ~recoveries ~recovery_cycles =
+  let ops = Array.fold_left (fun a l -> a + List.length l) 0 acks in
+  let lat = latencies ~loop acks in
+  let pct p = if lat = [] then 0.0 else Stat.percentile p lat in
+  {
+    ops;
+    rejected;
+    cycles;
+    throughput =
+      (if cycles = 0 then 0.0
+       else 1000.0 *. float_of_int ops /. float_of_int cycles);
+    p50 = pct 50.0;
+    p99 = pct 99.0;
+    recoveries;
+    mean_recovery =
+      (if recoveries = 0 then 0.0
+       else float_of_int recovery_cycles /. float_of_int recoveries);
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d ops (%d rejected) in %d cycles: %.2f ops/kcycle, latency p50 %.0f \
+     p99 %.0f, %d recoveries (mean %.0f cycles)"
+    s.ops s.rejected s.cycles s.throughput s.p50 s.p99 s.recoveries
+    s.mean_recovery

@@ -1,0 +1,70 @@
+(** Service-level accounting and the acked-durability oracle.
+
+    The contract the serving layer sells: once a request is acknowledged
+    — its response's region committed at the back-end proxy — a power
+    failure at {e any} point leaves the store with that request's effect
+    durable, and the response stream is never lost, duplicated or
+    reordered. [check] enforces it against every crash image of a run
+    plus the completed run's full response streams. *)
+
+(** Host-side reference model of one shard's table. *)
+module Model : sig
+  type t
+
+  val create : key_space:int -> t
+  val copy : t -> t
+  val get : t -> int -> int option
+  val apply : t -> Wire.request -> int
+  (** Mutates the model; returns the response word the shard handler
+      must emit for this request. *)
+end
+
+val expected_responses : key_space:int -> Wire.request array -> int array
+
+val durable_slack : int
+(** Requests the durable table may run ahead of the acked count (a
+    mutation's region can commit while the response's region is still
+    open). *)
+
+type violation = { shard : int; crash_index : int; detail : string }
+(** [crash_index = -1] marks a completion check failure. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  kv:Kvstore.t ->
+  images:Capri_arch.Persist.image list ->
+  final:int list array ->
+  (unit, violation) result
+(** For every crash image: each shard's acked responses must be a prefix
+    of the model's answers, and the recovered table must equal the model
+    replayed to some point in [\[acked, acked + durable_slack\]]. For the
+    completed run: the response streams must equal the model's answers
+    exactly (exactly-once delivery). *)
+
+type stats = {
+  ops : int;  (** acknowledged requests *)
+  rejected : int;  (** refused by admission control *)
+  cycles : int;  (** wall-clock including modeled recovery time *)
+  throughput : float;  (** acked ops per kilocycle *)
+  p50 : float;
+  p99 : float;  (** request latency percentiles, cycles *)
+  recoveries : int;
+  mean_recovery : float;  (** modeled cycles per recovery *)
+}
+
+val request_latencies : loop:Client.loop -> (int * int) list -> int list
+(** Per-request latency of one shard's [(response, ack cycle)] stream. *)
+
+val stats :
+  loop:Client.loop ->
+  acks:(int * int) list array ->
+  cycles:int ->
+  rejected:int ->
+  recoveries:int ->
+  recovery_cycles:int ->
+  stats
+(** Closed-loop latency is the inter-ack gap; open-loop latency is ack
+    minus nominal arrival (clamped to 1). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,51 @@
+type op = Get | Put | Delete | Cas
+
+type request = { op : op; key : int; value : int; expected : int }
+
+let op_code = function Get -> 0 | Put -> 1 | Delete -> 2 | Cas -> 3
+let op_name = function Get -> "get" | Put -> "put" | Delete -> "del" | Cas -> "cas"
+
+let words_per_request = 4
+
+let payload_bits = 20
+let payload_limit = 1 lsl payload_bits
+
+let check_request r =
+  if r.key < 1 then invalid_arg "Wire: keys start at 1 (0 is the empty slot)";
+  if r.value < 0 || r.value >= payload_limit then
+    invalid_arg "Wire: value outside the payload range";
+  if r.expected < 0 || r.expected >= payload_limit then
+    invalid_arg "Wire: expected outside the payload range"
+
+let encode_request r =
+  check_request r;
+  [| op_code r.op; r.key; r.value; r.expected |]
+
+type status = Ok | Miss | Cas_fail
+
+let status_code = function Ok -> 0 | Miss -> 1 | Cas_fail -> 2
+let status_name = function Ok -> "ok" | Miss -> "miss" | Cas_fail -> "casfail"
+
+let response ~status ~payload = (status_code status * payload_limit) + payload
+let response_miss = response ~status:Miss ~payload:0
+
+let decode_response w =
+  let status =
+    match w / payload_limit with
+    | 0 -> Ok
+    | 1 -> Miss
+    | 2 -> Cas_fail
+    | _ -> invalid_arg (Printf.sprintf "Wire.decode_response: %d" w)
+  in
+  (status, w mod payload_limit)
+
+let pp_request ppf r =
+  match r.op with
+  | Get -> Format.fprintf ppf "get k%d" r.key
+  | Put -> Format.fprintf ppf "put k%d=%d" r.key r.value
+  | Delete -> Format.fprintf ppf "del k%d" r.key
+  | Cas -> Format.fprintf ppf "cas k%d %d->%d" r.key r.expected r.value
+
+let pp_response ppf w =
+  let status, payload = decode_response w in
+  Format.fprintf ppf "%s:%d" (status_name status) payload

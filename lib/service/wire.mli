@@ -1,0 +1,39 @@
+(** Request/response encoding between the host-side serving harness and
+    the IR shard handlers.
+
+    Requests are staged in per-shard data-segment mailboxes,
+    {!words_per_request} words each: [op; key; value; expected]. The
+    handler answers every request with exactly one [Out] whose word packs
+    a status and a payload as [status * 2^20 + payload]; under journaled
+    I/O that output becomes client-visible only when its region commits
+    at the back-end proxy — the acknowledgement point. *)
+
+type op = Get | Put | Delete | Cas
+
+type request = { op : op; key : int; value : int; expected : int }
+(** [key >= 1] (0 marks an empty table slot); [value]/[expected] in
+    [\[0, payload_limit)]. [expected] only matters for [Cas]. *)
+
+val op_code : op -> int
+val op_name : op -> string
+
+val words_per_request : int
+
+val payload_limit : int
+(** Exclusive upper bound on values carried in a response (2^20). *)
+
+val check_request : request -> unit
+(** Raises [Invalid_argument] on out-of-range fields. *)
+
+val encode_request : request -> int array
+(** The {!words_per_request} mailbox words. *)
+
+type status = Ok | Miss | Cas_fail
+
+val status_name : status -> string
+val response : status:status -> payload:int -> int
+val response_miss : int
+val decode_response : int -> status * int
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> int -> unit

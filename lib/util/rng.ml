@@ -43,6 +43,43 @@ let choose t arr =
   assert (Array.length arr > 0);
   arr.(int t (Array.length arr))
 
+module Zipf = struct
+  (* Bounded zipfian sampler over ranks [0, n): P(rank i) proportional to
+     1 / (i+1)^skew. The cumulative table makes each draw one uniform
+     float plus a binary search, so hot-key streams of millions of
+     requests stay cheap after an O(n) setup. *)
+  type dist = { cum : float array }
+
+  let create ~n ~skew =
+    if n <= 0 then invalid_arg "Rng.Zipf.create: n must be positive";
+    if skew < 0.0 then invalid_arg "Rng.Zipf.create: skew must be >= 0";
+    let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** skew)) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let cum = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        acc := !acc +. (x /. total);
+        cum.(i) <- !acc)
+      w;
+    (* Guard the top against rounding: the last bucket must cover 1.0. *)
+    cum.(n - 1) <- 1.0;
+    { cum }
+
+  let n dist = Array.length dist.cum
+end
+
+let zipf t (dist : Zipf.dist) =
+  let r = float t 1.0 in
+  let cum = dist.Zipf.cum in
+  (* First index with cum.(i) > r. *)
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) > r then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 let shuffle t arr =
   let n = Array.length arr in
   for i = n - 1 downto 1 do

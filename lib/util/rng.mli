@@ -39,3 +39,19 @@ val choose : t -> 'a array -> 'a
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
+
+(** Bounded zipfian distribution over ranks [\[0, n)]. *)
+module Zipf : sig
+  type dist
+
+  val create : n:int -> skew:float -> dist
+  (** [P(rank i) ∝ 1 / (i+1)^skew]. [skew = 0] is uniform; [skew = 1] is
+      the classic zipfian where rank 0 is drawn twice as often as rank 1.
+      O(n) setup, O(log n) per draw. Raises [Invalid_argument] when
+      [n <= 0] or [skew < 0]. *)
+
+  val n : dist -> int
+end
+
+val zipf : t -> Zipf.dist -> int
+(** Draw a rank in [\[0, n)] from the distribution. *)

@@ -20,6 +20,7 @@ let () =
       ("runtime", Test_runtime_bits.suite);
       ("parallel", Test_parallel.suite);
       ("shapes", Test_shapes.suite);
+      ("service", Test_service.suite);
       ("fuzz", Test_fuzz.suite);
       ("qcheck", Test_qcheck.suite);
     ]

@@ -131,3 +131,62 @@ let suite =
     Alcotest.test_case "round trip: random programs" `Quick
       test_round_trip_random;
   ]
+
+let test_error_line_numbers () =
+  (* Every rejection must name the offending line. *)
+  let cases =
+    [
+      (* malformed instruction on line 5 *)
+      ( "program (main = main)\n\n\
+         func main (entry entry):\n\
+         entry:\n\
+         \  r1 = bogus 7\n\
+         \  halt\n",
+        5 );
+      (* bad operand on line 6 *)
+      ( "program (main = main)\n\n\
+         func main (entry entry):\n\
+         entry:\n\
+         \  r1 = mov 1\n\
+         \  out $nope\n\
+         \  halt\n",
+        6 );
+      (* validation failure (branch to a missing block) reported at the
+         block that contains it *)
+      ( "program (main = main)\n\n\
+         func main (entry entry):\n\
+         entry:\n\
+         \  branch r1 ? nowhere.0 : entry\n",
+        4 );
+    ]
+  in
+  List.iter
+    (fun (src, line) ->
+      match Parser.parse src with
+      | Ok _ -> Alcotest.failf "accepted malformed source (line %d)" line
+      | Error e ->
+        Alcotest.(check int)
+          (Printf.sprintf "error line for %s" (String.sub src 0 20))
+          line e.Parser.line)
+    cases
+
+let test_fixpoint_counter_example () =
+  (* parse -> print -> parse over the shipped example must be a fixpoint:
+     the second print is byte-identical to the first. *)
+  let path = "../examples/counter.capri" in
+  match Parser.parse_file path with
+  | Error e ->
+    Alcotest.failf "counter.capri: line %d: %s" e.Parser.line e.Parser.message
+  | Ok p1 ->
+    let s1 = Parser.to_string p1 in
+    (match Parser.parse s1 with
+     | Error e ->
+       Alcotest.failf "reparse: line %d: %s" e.Parser.line e.Parser.message
+     | Ok p2 ->
+       Alcotest.(check string) "print/parse fixpoint" s1 (Parser.to_string p2))
+
+let suite = suite @ [
+    Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+    Alcotest.test_case "fixpoint: examples/counter.capri" `Quick
+      test_fixpoint_counter_example;
+  ]

@@ -294,3 +294,81 @@ let suite = suite @ [
     Alcotest.test_case "trace render truncation" `Quick
       test_trace_render_truncation;
   ]
+
+(* Address-space layout with many disjoint heaps: shard tables and
+   mailboxes (heap allocations) must never overlap each other, any
+   core's stack, or the address space below it. *)
+let test_layout_disjoint_heaps () =
+  let open Capri_runtime.Layout in
+  Alcotest.(check int) "heap base is the data base" Builder.data_base heap_base;
+  (* stack ranges sit strictly below the heap and off each other *)
+  let cores = 6 in
+  check_cores cores;
+  let ranges = List.init cores (fun core -> stack_range ~core) in
+  List.iter
+    (fun (lo, hi) ->
+      Alcotest.(check bool) "well-formed" true (lo < hi);
+      Alcotest.(check bool) "below heap" true (hi <= heap_base);
+      Alcotest.(check bool) "non-negative" true (lo >= 0))
+    ranges;
+  List.iteri
+    (fun i (lo, hi) ->
+      List.iteri
+        (fun j (lo', hi') ->
+          if i <> j then
+            Alcotest.(check bool) "stack ranges disjoint" true
+              (hi <= lo' || hi' <= lo))
+        ranges)
+    ranges;
+  (* a multi-shard store's heap structures are pairwise disjoint *)
+  let shards = 4 in
+  let key_space = 16 in
+  let requests =
+    Array.make shards
+      [| { Capri_service.Wire.op = Capri_service.Wire.Put; key = 1;
+           value = 2; expected = 0 } |]
+  in
+  let kv = Capri_service.Kvstore.build ~key_space ~requests () in
+  let extents =
+    Array.to_list
+      (Array.map
+         (fun base -> (base, base + Capri_service.Wire.words_per_request))
+         kv.Capri_service.Kvstore.mailboxes)
+    @ Array.to_list
+        (Array.map
+           (fun base ->
+             (base, base + (2 * kv.Capri_service.Kvstore.capacity)))
+           kv.Capri_service.Kvstore.tables)
+  in
+  List.iter
+    (fun (lo, _) ->
+      Alcotest.(check bool) "heap allocation above heap_base" true
+        (lo >= heap_base))
+    extents;
+  List.iteri
+    (fun i (lo, hi) ->
+      List.iteri
+        (fun j (lo', hi') ->
+          if i <> j then
+            Alcotest.(check bool) "heap extents disjoint" true
+              (hi <= lo' || hi' <= lo))
+        extents)
+    extents
+
+let test_layout_check_cores () =
+  let open Capri_runtime.Layout in
+  check_cores 1;
+  check_cores max_cores;
+  List.iter
+    (fun bad ->
+      match check_cores bad with
+      | () -> Alcotest.failf "check_cores accepted %d" bad
+      | exception Invalid_argument _ -> ())
+    [ 0; -3; max_cores + 1 ]
+
+let suite = suite @ [
+    Alcotest.test_case "layout: disjoint heaps" `Quick
+      test_layout_disjoint_heaps;
+    Alcotest.test_case "layout: core count validation" `Quick
+      test_layout_check_cores;
+  ]

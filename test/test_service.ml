@@ -1,0 +1,264 @@
+(* capri.service: the WSP-backed KV serving layer — crash-free
+   correctness, the acked-durability oracle under crash schedules in
+   every recoverable persistence mode, admission control, and
+   determinism of the whole harness. *)
+
+module Arch = Capri_arch
+open Capri_service
+
+let mk ?(shards = 2) ?(ops = 60) ?(mix = Client.A) ?(mode = Arch.Persist.Capri)
+    ?(seed = 11) ?(loop = Client.Closed) ?admit ?(batch = 8) () =
+  let client =
+    { Client.default with mix; ops_per_shard = ops; key_space = 24; seed; loop }
+  in
+  { Server.default_cfg with shards; client; mode; admit_depth = admit; batch }
+
+let check_ok t outcome =
+  match Server.check t outcome with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "oracle: %a" Sla.pp_violation v
+
+let test_wire_round_trip () =
+  List.iter
+    (fun (status, payload) ->
+      let w = Wire.response ~status ~payload in
+      let status', payload' = Wire.decode_response w in
+      Alcotest.(check bool) "status" true (status = status');
+      Alcotest.(check int) "payload" payload payload')
+    [
+      (Wire.Ok, 0); (Wire.Ok, Wire.payload_limit - 1); (Wire.Miss, 0);
+      (Wire.Cas_fail, 12345);
+    ];
+  Alcotest.check_raises "key 0 rejected"
+    (Invalid_argument "Wire: keys start at 1 (0 is the empty slot)")
+    (fun () ->
+      ignore
+        (Wire.encode_request
+           { Wire.op = Wire.Get; key = 0; value = 0; expected = 0 }))
+
+let test_crash_free_matches_model () =
+  List.iter
+    (fun mix ->
+      let t = Server.plan (mk ~mix ()) in
+      let outcome = Server.run t in
+      check_ok t outcome;
+      let s = Server.stats t outcome in
+      Alcotest.(check int) "all acked" (2 * 60) s.Sla.ops;
+      Alcotest.(check bool) "throughput positive" true (s.Sla.throughput > 0.0);
+      Alcotest.(check bool) "p50 <= p99" true (s.Sla.p50 <= s.Sla.p99))
+    [ Client.A; Client.B; Client.C ]
+
+let test_handler_paths () =
+  (* Scripted requests covering every handler branch, checked against the
+     model through the oracle's completion check. *)
+  let reqs =
+    [|
+      [|
+        { Wire.op = Wire.Get; key = 3; value = 0; expected = 0 };  (* miss *)
+        { Wire.op = Wire.Put; key = 3; value = 7; expected = 0 };
+        { Wire.op = Wire.Get; key = 3; value = 0; expected = 0 };  (* hit *)
+        { Wire.op = Wire.Cas; key = 3; value = 9; expected = 7 };  (* win *)
+        { Wire.op = Wire.Cas; key = 3; value = 5; expected = 7 };  (* fail *)
+        { Wire.op = Wire.Delete; key = 3; value = 0; expected = 0 };
+        { Wire.op = Wire.Get; key = 3; value = 0; expected = 0 };  (* deleted *)
+        { Wire.op = Wire.Delete; key = 3; value = 0; expected = 0 };  (* miss *)
+        { Wire.op = Wire.Cas; key = 3; value = 1; expected = 1 };  (* miss *)
+        { Wire.op = Wire.Put; key = 3; value = 2; expected = 0 };  (* revive *)
+        (* collision chain: 3 and 3+capacity hash alike *)
+        { Wire.op = Wire.Put; key = 19; value = 4; expected = 0 };
+        { Wire.op = Wire.Get; key = 19; value = 0; expected = 0 };
+      |];
+    |]
+  in
+  let kv = Kvstore.build ~key_space:24 ~requests:reqs () in
+  let compiled = Capri_compiler.Pipeline.compile Capri_compiler.Options.default
+      kv.Kvstore.program
+  in
+  let t =
+    { Server.cfg = mk ~shards:1 (); kv; compiled; rejected = 0 }
+  in
+  let outcome = Server.run t in
+  check_ok t outcome;
+  let expected =
+    Sla.expected_responses ~key_space:24 reqs.(0) |> Array.to_list
+  in
+  Alcotest.(check (list int)) "responses" expected outcome.Server.final.(0)
+
+let test_oracle_under_crashes_all_modes () =
+  List.iter
+    (fun mode ->
+      let t = Server.plan (mk ~mode ~ops:40 ()) in
+      let reference = Server.run t in
+      let total = reference.Server.result.Capri_runtime.Executor.instrs in
+      let schedule = [ total / 4; total / 3; total / 5 ] in
+      let outcome = Server.run ~crash_at:schedule t in
+      check_ok t outcome;
+      Alcotest.(check int) "recoveries" 3 outcome.Server.recoveries;
+      Alcotest.(check bool) "crash images kept" true
+        (List.length outcome.Server.images = 3);
+      (* the crashes must not change what the clients ultimately see *)
+      Alcotest.(check bool) "streams equal" true
+        (outcome.Server.final = reference.Server.final))
+    [
+      Arch.Persist.Capri; Arch.Persist.Naive_sync; Arch.Persist.Undo_sync;
+      Arch.Persist.Redo_nowb;
+    ]
+
+let test_volatile_rejects_crashes () =
+  let t = Server.plan (mk ~mode:Arch.Persist.Volatile ~ops:10 ()) in
+  check_ok t (Server.run t);
+  Alcotest.check_raises "no recovery without persistence"
+    (Invalid_argument "Server.run: a volatile store cannot recover from a crash")
+    (fun () -> ignore (Server.run ~crash_at:[ 100 ] t))
+
+let test_acks_monotone () =
+  let t = Server.plan (mk ~ops:30 ()) in
+  let reference = Server.run t in
+  let total = reference.Server.result.Capri_runtime.Executor.instrs in
+  let outcome = Server.run ~crash_at:[ total / 2 ] t in
+  Array.iter
+    (fun shard_acks ->
+      let prev = ref 0 in
+      List.iter
+        (fun (_, cycle) ->
+          Alcotest.(check bool) "nondecreasing ack cycles" true (cycle >= !prev);
+          prev := cycle)
+        shard_acks)
+    outcome.Server.acks
+
+let test_admission_control () =
+  (* A period far below the per-request service time must shed load. *)
+  let t =
+    Server.plan
+      (mk ~ops:80 ~loop:(Client.Open { period = 5 }) ~admit:4 ())
+  in
+  Alcotest.(check bool) "rejects under overload" true (t.Server.rejected > 0);
+  let outcome = Server.run t in
+  check_ok t outcome;
+  let s = Server.stats t outcome in
+  Alcotest.(check int) "rejected reported" t.Server.rejected s.Sla.rejected;
+  Alcotest.(check int) "admitted + rejected = offered" (2 * 80)
+    (s.Sla.ops + s.Sla.rejected);
+  (* A generous depth admits everything. *)
+  let t' =
+    Server.plan
+      (mk ~ops:20 ~loop:(Client.Open { period = 5 }) ~admit:1000 ())
+  in
+  Alcotest.(check int) "no rejection" 0 t'.Server.rejected
+
+let test_deterministic () =
+  let run_once () =
+    let t = Server.plan (mk ~ops:40 ()) in
+    let reference = Server.run t in
+    let total = reference.Server.result.Capri_runtime.Executor.instrs in
+    let outcome = Server.run ~crash_at:[ total / 3; total / 4 ] t in
+    (outcome.Server.acks, Server.stats t outcome)
+  in
+  let a1, s1 = run_once () in
+  let a2, s2 = run_once () in
+  Alcotest.(check bool) "acks identical" true (a1 = a2);
+  Alcotest.(check bool) "stats identical" true (s1 = s2)
+
+let test_obs_instrumentation () =
+  let obs = Capri_obs.Obs.create () in
+  let t = Server.plan (mk ~ops:20 ()) in
+  let outcome = Server.run ~obs t in
+  let json = Capri_obs.Metrics.to_json obs.Capri_obs.Obs.metrics in
+  Alcotest.(check bool) "acked counter exported" true
+    (let needle = "service_acked" in
+     let rec find i =
+       i + String.length needle <= String.length json
+       && (String.sub json i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  let acked = Array.fold_left (fun a l -> a + List.length l) 0 outcome.Server.acks in
+  let instants =
+    List.length
+      (List.filter
+         (fun (e : Capri_obs.Tracer.event) ->
+           e.Capri_obs.Tracer.name = "ack")
+         (Capri_obs.Tracer.events obs.Capri_obs.Obs.tracer))
+  in
+  Alcotest.(check int) "one ack instant per request" acked instants
+
+let test_oracle_detects_corruption () =
+  let t = Server.plan (mk ~ops:30 ()) in
+  let reference = Server.run t in
+  let total = reference.Server.result.Capri_runtime.Executor.instrs in
+  let outcome = Server.run ~crash_at:[ total / 2 ] t in
+  check_ok t outcome;
+  (* a lost acked effect: corrupt the recovered table under an acked key *)
+  (match outcome.Server.images with
+  | [ image ] ->
+    let nvm = image.Arch.Persist.nvm in
+    let table = t.Server.kv.Kvstore.tables.(0) in
+    let capacity = t.Server.kv.Kvstore.capacity in
+    (* find a live slot and vanish its key, losing an acked put *)
+    let slot = ref (-1) in
+    for i = capacity - 1 downto 0 do
+      if
+        Arch.Memory.read nvm (table + (2 * i)) <> 0
+        && Arch.Memory.read nvm (table + (2 * i) + 1) >= 0
+      then slot := i
+    done;
+    Alcotest.(check bool) "table has a live slot" true (!slot >= 0);
+    Arch.Memory.write nvm (table + (2 * !slot)) 999_999;
+    (match Server.check t outcome with
+     | Ok () -> Alcotest.fail "oracle missed a corrupted durable table"
+     | Error v ->
+       Alcotest.(check int) "blames shard 0" 0 v.Sla.shard)
+  | _ -> Alcotest.fail "expected one crash image");
+  (* a duplicated response in the completed stream *)
+  let dup =
+    {
+      outcome with
+      Server.images = [];
+      final =
+        Array.map
+          (function x :: rest -> x :: x :: rest | [] -> [])
+          outcome.Server.final;
+    }
+  in
+  match Server.check t dup with
+  | Ok () -> Alcotest.fail "oracle missed a duplicated response"
+  | Error v -> Alcotest.(check int) "completion check" (-1) v.Sla.crash_index
+
+let test_service_fuzz_trial_deterministic () =
+  let module SF = Capri_fuzz.Service_fuzz in
+  let cfg = { SF.default_cfg with SF.seed = 5; max_schedules = 3 } in
+  let t1 = SF.run_trial cfg 0 in
+  let t2 = SF.run_trial cfg 0 in
+  Alcotest.(check bool) "pure in seed" true (t1 = t2);
+  Alcotest.(check bool) "found no violation" true (t1.SF.t_failures = []);
+  Alcotest.(check bool) "ran schedules" true (t1.SF.t_schedules > 0)
+
+let test_zipf_skews_requests () =
+  let reqs =
+    Client.generate
+      { Client.default with key_space = 32; ops_per_shard = 4000; skew = 0.99 }
+      ~shards:1
+  in
+  let counts = Array.make 33 0 in
+  Array.iter (fun r -> counts.(r.Wire.key) <- counts.(r.Wire.key) + 1) reqs.(0);
+  Alcotest.(check bool) "hot key dominates" true
+    (counts.(1) > 3 * counts.(16))
+
+let suite =
+  [
+    Alcotest.test_case "wire round trip" `Quick test_wire_round_trip;
+    Alcotest.test_case "crash-free = model" `Quick test_crash_free_matches_model;
+    Alcotest.test_case "handler paths" `Quick test_handler_paths;
+    Alcotest.test_case "oracle under crashes, all modes" `Quick
+      test_oracle_under_crashes_all_modes;
+    Alcotest.test_case "volatile rejects crashes" `Quick
+      test_volatile_rejects_crashes;
+    Alcotest.test_case "ack cycles monotone" `Quick test_acks_monotone;
+    Alcotest.test_case "admission control" `Quick test_admission_control;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "obs instrumentation" `Quick test_obs_instrumentation;
+    Alcotest.test_case "oracle detects corruption" `Quick
+      test_oracle_detects_corruption;
+    Alcotest.test_case "service fuzz trial deterministic" `Quick
+      test_service_fuzz_trial_deterministic;
+    Alcotest.test_case "zipfian request skew" `Quick test_zipf_skews_requests;
+  ]

@@ -161,3 +161,50 @@ let suite =
     Alcotest.test_case "table rendering" `Quick test_table_render;
     Alcotest.test_case "chart rendering" `Quick test_chart_render;
   ]
+
+let test_zipf_frequency_ratio () =
+  let module Rng = Capri_util.Rng in
+  (* skew 1: rank 0 must be drawn roughly twice as often as rank 1, and
+     roughly n times as often as rank n-1 *)
+  let rng = Rng.create 13 in
+  let dist = Rng.Zipf.create ~n:16 ~skew:1.0 in
+  Alcotest.(check int) "n" 16 (Rng.Zipf.n dist);
+  let counts = Array.make 16 0 in
+  let draws = 200_000 in
+  for _ = 1 to draws do
+    let v = Rng.zipf rng dist in
+    if v < 0 || v >= 16 then Alcotest.failf "zipf out of bounds: %d" v;
+    counts.(v) <- counts.(v) + 1
+  done;
+  let ratio = float_of_int counts.(0) /. float_of_int counts.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rank0/rank1 ~ 2 (got %.2f)" ratio)
+    true
+    (ratio > 1.8 && ratio < 2.2);
+  let tail = float_of_int counts.(0) /. float_of_int counts.(15) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rank0/rank15 ~ 16 (got %.2f)" tail)
+    true
+    (tail > 12.0 && tail < 20.0);
+  (* skew 0 degenerates to uniform *)
+  let flat = Rng.Zipf.create ~n:8 ~skew:0.0 in
+  let fc = Array.make 8 0 in
+  for _ = 1 to 40_000 do
+    let v = Rng.zipf rng flat in
+    fc.(v) <- fc.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n < 4300 || n > 5700 then Alcotest.failf "uniform bucket %d: %d" i n)
+    fc;
+  (* invalid parameters *)
+  (match Rng.Zipf.create ~n:0 ~skew:1.0 with
+   | _ -> Alcotest.fail "accepted n = 0"
+   | exception Invalid_argument _ -> ());
+  match Rng.Zipf.create ~n:4 ~skew:(-0.5) with
+  | _ -> Alcotest.fail "accepted negative skew"
+  | exception Invalid_argument _ -> ()
+
+let suite = suite @ [
+    Alcotest.test_case "zipf frequency ratios" `Quick test_zipf_frequency_ratio;
+  ]
