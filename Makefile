@@ -1,9 +1,9 @@
 # Convenience entry points over dune. `make check` is the tier-1 gate
-# (see ROADMAP.md): the full build, every test suite, and the three
-# determinism smokes (bench, fuzz, service bench) that `dune runtest`
-# wires in via the runtest alias.
+# (see ROADMAP.md): the full build, every test suite, and the four
+# determinism smokes (bench, fuzz, service bench, perf) that
+# `dune runtest` wires in via the runtest alias.
 
-.PHONY: all build check test bench fuzz clean
+.PHONY: all build check test bench perfsmoke fuzz clean
 
 all: build
 
@@ -17,6 +17,11 @@ test: check
 
 bench:
 	dune exec bench/service.exe -- --shards 2 --ops 120 --crash 2
+
+# Engine-equivalence gate: tiny-scale micro shapes + a kernel + a
+# generated multi-core program, interp vs compiled, all five modes.
+perfsmoke:
+	dune exec bench/perfsmoke.exe
 
 fuzz:
 	dune exec fuzz/main.exe -- --service --budget 200

@@ -38,10 +38,120 @@ let test_run =
     (Staged.stage (fun () ->
          ignore (run ~threads:k.W.Kernel.threads compiled)))
 
+(* --- Dispatch microbenchmarks -------------------------------------- *)
+(* Three loop shapes that isolate the per-instruction dispatch cost the
+   compiled tier removes: a tight arithmetic loop (pure register traffic,
+   the best case for fused whole-block execution), a store-heavy loop
+   (every iteration feeds the persist front proxy, exercising the batched
+   word-delta path) and a branch-heavy loop (a data-dependent diamond per
+   iteration, so no block fuses across the backedge). Each shape runs
+   under both engines so the gap reads off one table; `--engine` on the
+   harness restricts the section to a single engine. *)
+
+let rr = Reg.of_int
+let rg i = Builder.reg (rr i)
+let im = Builder.imm
+
+(* Shared loop skeleton: i in r1, acc in r2, array base in r3; [body]
+   emits the per-iteration payload and must leave the insertion point
+   where the increment belongs. *)
+let loop_program ~trips body =
+  let b = Builder.create () in
+  let arr = Builder.alloc b ~words:64 in
+  let f = Builder.func b "main" in
+  let loop = Builder.block f "loop" in
+  let body_l = Builder.block f "body" in
+  let exit_ = Builder.block f "exit" in
+  Builder.li f (rr 1) 0;
+  Builder.li f (rr 2) 0;
+  Builder.li f (rr 3) arr;
+  Builder.jump f loop;
+  Builder.switch f loop;
+  Builder.binop f Instr.Lt (rr 4) (rg 1) (im trips);
+  Builder.branch f (rg 4) body_l exit_;
+  Builder.switch f body_l;
+  body f;
+  Builder.add f (rr 1) (rg 1) (im 1);
+  Builder.jump f loop;
+  Builder.switch f exit_;
+  Builder.out f (rg 2);
+  Builder.halt f;
+  Builder.finish b ~main:"main"
+
+let arith_program ~trips =
+  loop_program ~trips (fun f ->
+      Builder.add f (rr 2) (rg 2) (rg 1);
+      Builder.binop f Instr.Xor (rr 5) (rg 2) (im 0x5555);
+      Builder.binop f Instr.And (rr 5) (rg 5) (im 0xffff);
+      Builder.add f (rr 2) (rg 2) (rg 5);
+      Builder.binop f Instr.Shr (rr 6) (rg 2) (im 3);
+      Builder.sub f (rr 2) (rg 2) (rg 6))
+
+let store_program ~trips =
+  loop_program ~trips (fun f ->
+      (* eight stores per iteration, one per cache line of the array *)
+      for k = 0 to 7 do
+        Builder.store f ~base:(rr 3) ~off:(k * 8) (rg 1)
+      done;
+      Builder.add f (rr 2) (rg 2) (im 8))
+
+let branch_program ~trips =
+  loop_program ~trips (fun f ->
+      let then_ = Builder.block f "then" in
+      let else_ = Builder.block f "else" in
+      let join = Builder.block f "join" in
+      Builder.binop f Instr.And (rr 5) (rg 1) (im 1);
+      Builder.branch f (rg 5) then_ else_;
+      Builder.switch f then_;
+      Builder.add f (rr 2) (rg 2) (im 3);
+      Builder.jump f join;
+      Builder.switch f else_;
+      Builder.sub f (rr 2) (rg 2) (im 1);
+      Builder.jump f join;
+      Builder.switch f join)
+
+(* The three shapes at a given scale; bench/perfsmoke.ml replays these
+   at tiny [trips] under both engines and diffs the results. *)
+let dispatch_programs ~trips =
+  [
+    ("arith", arith_program ~trips); ("stores", store_program ~trips);
+    ("branches", branch_program ~trips);
+  ]
+
+(* Engines the dispatch section covers; bench/main.exe's `--engine`
+   narrows this to one. *)
+let dispatch_engines : Executor.engine list ref =
+  ref [ Executor.Interp; Executor.Compiled ]
+
+let dispatch_tests () =
+  let shapes = dispatch_programs ~trips:10_000 in
+  List.concat_map
+    (fun (shape, program) ->
+      let compiled = compile program in
+      List.map
+        (fun engine ->
+          Test.make
+            ~name:
+              (Printf.sprintf "dispatch: %s loop (%s)" shape
+                 (Executor.engine_name engine))
+            (Staged.stage (fun () ->
+                 let session =
+                   Executor.start ~engine
+                     ~program:compiled.Compiled.program
+                     ~threads:[ Executor.main_thread compiled.Compiled.program ]
+                     ()
+                 in
+                 match Executor.run session with
+                 | Executor.Finished r -> ignore r.Executor.cycles
+                 | Executor.Crashed _ -> assert false)))
+        !dispatch_engines)
+    shapes
+
 let benchmark () =
   let tests =
     Test.make_grouped ~name:"capri"
-      [ test_cache; test_liveness; test_compile; test_run ]
+      ([ test_cache; test_liveness; test_compile; test_run ]
+      @ dispatch_tests ())
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in

@@ -1,0 +1,77 @@
+(* perf-smoke: the compiled execution tier must be a pure speed change.
+   Run the dispatch microbenchmark shapes at tiny scale — plus a small
+   suite kernel and a multi-core workload-generator program — under both
+   engines across all five persistence modes and require identical
+   results: cycles, instruction/store accounting, outputs, acks, final
+   registers, persist and hierarchy statistics, and final memory. Runs
+   as part of `dune runtest` (and as `make perfsmoke`). *)
+
+open Capri
+module W = Capri_workloads
+
+let modes =
+  [
+    Persist.Capri; Persist.Naive_sync; Persist.Undo_sync; Persist.Redo_nowb;
+    Persist.Volatile;
+  ]
+
+let failures = ref 0
+
+(* Everything observable about a finished run, as one comparable value
+   (memory via its sorted line dump). *)
+let fingerprint (r : Executor.result) =
+  let mem = ref [] in
+  Memory.iter_lines r.Executor.memory (fun l data ->
+      mem := (l, Array.to_list data) :: !mem);
+  ( ( r.Executor.cycles, r.Executor.instrs, r.Executor.payload_instrs,
+      r.Executor.stores, r.Executor.ckpt_stores, r.Executor.boundaries ),
+    ( r.Executor.outputs, r.Executor.acks, r.Executor.final_regs,
+      r.Executor.stale_reads ),
+    (r.Executor.persist_stats, r.Executor.hier_stats),
+    List.sort compare !mem )
+
+let check ~name ~mode program threads =
+  let run engine =
+    let session =
+      Executor.start ~mode ~engine ~program ~threads ()
+    in
+    match Executor.run session with
+    | Executor.Finished r -> fingerprint r
+    | Executor.Crashed _ -> assert false
+  in
+  let a = run Executor.Interp in
+  let b = run Executor.Compiled in
+  if a <> b then begin
+    incr failures;
+    Printf.eprintf "perf-smoke: %s [%s]: compiled differs from interp\n" name
+      (Persist.mode_name mode)
+  end
+
+let () =
+  let dispatch = Capri_bench.Micro.dispatch_programs ~trips:64 in
+  List.iter
+    (fun (name, program) ->
+      let compiled = compile program in
+      let p = compiled.Compiled.program in
+      List.iter
+        (fun mode ->
+          check ~name:("dispatch/" ^ name) ~mode p
+            [ Executor.main_thread p ])
+        modes)
+    dispatch;
+  (* one real kernel, single-core *)
+  let k = W.Suite.by_name ~scale:1 "505.mcf_r" in
+  let kp = (compile k.W.Kernel.program).Compiled.program in
+  List.iter
+    (fun mode -> check ~name:"kernel/505.mcf_r" ~mode kp k.W.Kernel.threads)
+    modes;
+  (* one generated multi-core program, Capri mode *)
+  let prog = W.Gen.generate ~cores:2 7 in
+  let gp, gthreads = W.Gen.lower prog in
+  let gp = (compile gp).Compiled.program in
+  check ~name:"gen/seed7x2" ~mode:Persist.Capri gp gthreads;
+  if !failures > 0 then begin
+    Printf.eprintf "perf-smoke: %d mismatch(es)\n" !failures;
+    exit 1
+  end;
+  print_endline "perf-smoke: compiled matches interp on all shapes and modes"

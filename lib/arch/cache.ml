@@ -56,6 +56,27 @@ let touch t line ~dirty =
     if dirty then w.dirty <- true
   | None -> invalid_arg "Cache.touch: line not resident"
 
+(* Fused residency test + touch: one set probe and no option allocation —
+   the per-access fast path of {!Hierarchy.access} ([mem] followed by
+   [touch] probes the set twice). Returns whether the line was resident;
+   a miss leaves the cache untouched. *)
+let touch_if_present t line ~dirty =
+  let set = t.ways.(set_of t line) in
+  let n = Array.length set in
+  let rec go i =
+    if i >= n then false
+    else
+      let w = Array.unsafe_get set i in
+      if w.line = line then begin
+        t.tick <- t.tick + 1;
+        w.lru <- t.tick;
+        if dirty then w.dirty <- true;
+        true
+      end
+      else go (i + 1)
+  in
+  go 0
+
 let insert t line ~dirty =
   assert (not (mem t line));
   let set = t.ways.(set_of t line) in

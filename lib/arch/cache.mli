@@ -20,6 +20,11 @@ val touch : t -> int -> dirty:bool -> unit
 (** Mark a resident line most-recently-used; optionally set its dirty bit.
     The line must be resident. *)
 
+val touch_if_present : t -> int -> dirty:bool -> bool
+(** [mem] and [touch] fused into a single set probe: returns [true] and
+    touches if the line is resident, returns [false] (cache untouched)
+    otherwise. The hierarchy's per-access fast path. *)
+
 val insert : t -> int -> dirty:bool -> eviction option
 (** Allocate a line (must not be resident); returns the victim if the set
     was full. *)

@@ -140,14 +140,17 @@ let fetch_from_below t ~cycle ~line =
 let access t ~core ~cycle ~addr ~write =
   let line = Memory.line_of_addr addr in
   let l1 = t.l1.(core) in
-  if Cache.mem l1 line then begin
+  if Cache.touch_if_present l1 line ~dirty:write then begin
     (* On a write, ownership may still belong elsewhere only if the copy
        was shared; steal it. *)
     if write then begin
       (match Hashtbl.find_opt t.owner line with
-       | Some other when other <> core ->
+       | Some other when other = core ->
+         (* Already the exclusive dirty owner — the steady state of a
+            store-heavy loop; rewriting the binding would be a no-op. *)
+         ()
+       | Some other ->
          ignore (Cache.invalidate t.l1.(other) line);
-         Hashtbl.remove t.owner line;
          Metrics.Counter.inc t.c.c_invalidations;
          (* also drop other shared copies *)
          Array.iteri
@@ -156,8 +159,8 @@ let access t ~core ~cycle ~addr ~write =
                ignore (Cache.invalidate l1o line);
                Metrics.Counter.inc t.c.c_invalidations
              end)
-           t.l1
-       | Some _ -> ()
+           t.l1;
+         Hashtbl.replace t.owner line core
        | None ->
          Array.iteri
            (fun i l1o ->
@@ -165,11 +168,9 @@ let access t ~core ~cycle ~addr ~write =
                ignore (Cache.invalidate l1o line);
                Metrics.Counter.inc t.c.c_invalidations
              end)
-           t.l1);
-      Hashtbl.replace t.owner line core;
-      Cache.touch l1 line ~dirty:true
-    end
-    else Cache.touch l1 line ~dirty:false;
+           t.l1;
+         Hashtbl.replace t.owner line core)
+    end;
     Metrics.Counter.inc t.c.c_l1_hits;
     L1
   end

@@ -113,28 +113,166 @@ type commit_info = {
   outs : int list;  (* the region's journaled outputs, in order *)
 }
 
+let dummy_entry =
+  { line = min_int; undo = [||]; redo = [||]; mask = 0; version = 0;
+    valid = false; seq = min_int }
+
+(* The proxy-path event plumbing. The original implementation kept one
+   global binary heap of (time, serial, event) for both item arrivals and
+   back-end space releases. Every event class is in fact monotone in
+   time at its source — per-core drains happen in nondecreasing time
+   order, so per-core arrivals (drain + constant latency) do too, and
+   space releases are pushed at max(now, nvm_wq_free), both nondecreasing
+   — so a ring queue per source replaces the heap: O(1) pushes and pops,
+   no per-event tuple or sift, and "next event" is a min over ring heads.
+   A global serial stamped at push keeps the heap's exact total order for
+   equal-time events across sources. *)
+module Ring = struct
+  (* Capacity is always a power of two, so index wraparound is a bit
+     mask, not a division — pushes and pops run once per proxy-path item. *)
+  type 'a t = {
+    mutable times : int array;
+    mutable serials : int array;
+    mutable vals : 'a array;
+    mutable mask : int;  (* capacity - 1 *)
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create (dummy : 'a) =
+    { times = Array.make 64 0; serials = Array.make 64 0;
+      vals = Array.make 64 dummy; mask = 63; head = 0; len = 0 }
+
+  let grow r =
+    let cap = Array.length r.times in
+    let nt = Array.make (2 * cap) 0
+    and ns = Array.make (2 * cap) 0
+    and nv = Array.make (2 * cap) r.vals.(0) in
+    for i = 0 to r.len - 1 do
+      let j = (r.head + i) land r.mask in
+      nt.(i) <- r.times.(j);
+      ns.(i) <- r.serials.(j);
+      nv.(i) <- r.vals.(j)
+    done;
+    r.times <- nt;
+    r.serials <- ns;
+    r.vals <- nv;
+    r.mask <- (2 * cap) - 1;
+    r.head <- 0
+
+  let[@inline] push r time serial v =
+    if r.len > r.mask then grow r;
+    let i = (r.head + r.len) land r.mask in
+    Array.unsafe_set r.times i time;
+    Array.unsafe_set r.serials i serial;
+    Array.unsafe_set r.vals i v;
+    r.len <- r.len + 1
+
+  let[@inline] top_time r =
+    if r.len = 0 then max_int else Array.unsafe_get r.times r.head
+
+  let[@inline] top_serial r =
+    if r.len = 0 then max_int else Array.unsafe_get r.serials r.head
+
+  let[@inline] pop r =
+    let v = Array.unsafe_get r.vals r.head in
+    r.head <- (r.head + 1) land r.mask;
+    r.len <- r.len - 1;
+    v
+
+  let[@inline] is_empty r = r.len = 0
+end
+
+(* Untimed FIFO on a growable circular buffer: the front proxy queue.
+   Replaces [Stdlib.Queue], whose linked cells cost an allocation per
+   push — this queue sees one push and one pop per proxy-path item. *)
+module Fifo = struct
+  type 'a t = {
+    mutable vals : 'a array;
+    mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+    mutable head : int;
+    mutable len : int;
+    dummy : 'a;
+  }
+
+  let create (dummy : 'a) =
+    { vals = Array.make 64 dummy; mask = 63; head = 0; len = 0; dummy }
+
+  let grow q =
+    let cap = Array.length q.vals in
+    let nv = Array.make (2 * cap) q.dummy in
+    for i = 0 to q.len - 1 do
+      nv.(i) <- q.vals.((q.head + i) land q.mask)
+    done;
+    q.vals <- nv;
+    q.mask <- (2 * cap) - 1;
+    q.head <- 0
+
+  let[@inline] push q v =
+    if q.len > q.mask then grow q;
+    Array.unsafe_set q.vals ((q.head + q.len) land q.mask) v;
+    q.len <- q.len + 1
+
+  let[@inline] is_empty q = q.len = 0
+  let[@inline] peek q = Array.unsafe_get q.vals q.head
+
+  let[@inline] pop q =
+    let v = Array.unsafe_get q.vals q.head in
+    Array.unsafe_set q.vals q.head q.dummy;
+    q.head <- (q.head + 1) land q.mask;
+    q.len <- q.len - 1;
+    v
+
+  let iter f q =
+    for i = 0 to q.len - 1 do
+      f q.vals.((q.head + i) land q.mask)
+    done
+
+  let clear q =
+    Array.fill q.vals 0 (Array.length q.vals) q.dummy;
+    q.head <- 0;
+    q.len <- 0
+end
+
 (* An item travelling the per-core proxy path, in FIFO order. *)
 type item =
   | Data of entry
   | Ckpt_flush of { seq : int; slot : int; value : int }
   | Commit of { seq : int; info : commit_info }
 
+let dummy_item =
+  Commit { seq = min_int;
+           info = { resume_boundary = -1; sp = 0; elide_resume = true;
+                    outs = [] } }
+
 (* A region as seen by the back-end proxy. *)
 type back_region = {
-  bseq : int;
+  mutable bseq : int;
   mutable bentries : entry list;  (* reverse arrival order *)
   mutable bcount : int;
   mutable bslots : (int * int) list;
   mutable bcommit : commit_info option;
 }
 
+let dummy_back =
+  { bseq = min_int; bentries = []; bcount = 0; bslots = []; bcommit = None }
+
 type core_state = {
   id : int;
-  front : item Queue.t;
+  front : item Fifo.t;
   mutable front_data : int;  (* Data items currently in the front queue *)
-  front_index : (int, entry) Hashtbl.t;  (* line -> mergeable front entry *)
-  mutable staged : (int * int) list;  (* slot, value; latest first *)
-  staged_index : (int, int) Hashtbl.t;
+  (* line -> mergeable front entry, as a bounded linear map: the front
+     queue holds at most [front_proxy_entries] (= 32) data entries — the
+     store path stalls before exceeding it — so a cache-line scan of the
+     line numbers beats hashing on every store. At most one binding per
+     line; [fi_n] live. *)
+  fi_lines : int array;
+  fi_entries : entry array;
+  mutable fi_n : int;
+  staged_order : int array;  (* slots in first-store order; staged_n live *)
+  mutable staged_n : int;
+  staged_val : int array;  (* per slot; meaningful while staged_mark *)
+  staged_mark : bool array;
   mutable out_staged : int list;  (* I/O journal: open region, reversed *)
   mutable journal : (int * int) list;
       (* committed (output, commit cycle), reversed: the cycle stamps when
@@ -143,91 +281,37 @@ type core_state = {
   mutable open_seq : int;
   mutable open_entries : int;  (* data entries created in the open region *)
   mutable next_drain : int;
+  arrivals : item Ring.t;  (* in flight on the proxy path, FIFO *)
   mutable back : back_region list;  (* ascending seq *)
+  mutable back_spare : back_region;
+      (* recycled region record: regions commit in order, so one spare
+         covers the steady state and back-region allocation happens once,
+         not once per dynamic region. [dummy_back] = empty. *)
   mutable back_used : int;
   mutable resume : resume;
   slot_array : int array;
   mutable halted : bool;
 }
 
-type event =
-  | Arrive of int * item  (* core *)
-  | Free of int * int  (* core, entry count to release *)
-
-module Heap = struct
-  (* Tiny binary heap on (time, serial) so equal-time events keep
-     insertion order. *)
-  type 'a t = {
-    mutable arr : (int * int * 'a) array;
-    mutable size : int;
-    mutable serial : int;
-  }
-
-  let create () = { arr = Array.make 64 (0, 0, Obj.magic 0); size = 0; serial = 0 }
-
-  let less (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
-
-  let push h time v =
-    if h.size = Array.length h.arr then begin
-      let bigger = Array.make (2 * h.size) h.arr.(0) in
-      Array.blit h.arr 0 bigger 0 h.size;
-      h.arr <- bigger
-    end;
-    h.serial <- h.serial + 1;
-    let item = (time, h.serial, v) in
-    let i = ref h.size in
-    h.size <- h.size + 1;
-    h.arr.(!i) <- item;
-    let continue = ref true in
-    while !continue && !i > 0 do
-      let parent = (!i - 1) / 2 in
-      if less h.arr.(!i) h.arr.(parent) then begin
-        let tmp = h.arr.(parent) in
-        h.arr.(parent) <- h.arr.(!i);
-        h.arr.(!i) <- tmp;
-        i := parent
-      end
-      else continue := false
-    done
-
-  let peek_time h = if h.size = 0 then None else (fun (t, _, _) -> Some t) h.arr.(0)
-
-  let pop h =
-    if h.size = 0 then None
-    else begin
-      let (_, _, v) as top = h.arr.(0) in
-      ignore top;
-      h.size <- h.size - 1;
-      h.arr.(0) <- h.arr.(h.size);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
-        if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.arr.(!smallest) in
-          h.arr.(!smallest) <- h.arr.(!i);
-          h.arr.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      Some v
-    end
-end
-
 type t = {
   config : Config.t;
   mode : mode;
   cores : core_state array;
-  events : event Heap.t;
+  frees : (int * int) Ring.t;  (* back-end space releases: (core, n) *)
+  mutable eserial : int;  (* global event order stamp across all rings *)
   nvm : Memory.t;  (* durable contents *)
-  nvm_stamp : (int, int array) Hashtbl.t;
-      (* line -> per-word version of the stored data: the age guard must
-         match the word granularity of masked redo/undo application *)
+  mutable stamp_pages : int array array;
+      (* per-word version stamps of stored NVM data, paged flat arrays:
+         page [line lsr 8] holds 256 lines x line_words stamps ([-1] =
+         never written). The age guard must match the word granularity of
+         masked redo/undo application; [stamps] runs once per NVM line
+         write, so it is a shift and two bounds checks, not a hash. *)
   mutable nvm_wq_free : int;  (* write-queue service timeline *)
+  mutable wake : int;
+      (* earliest cycle at which any internal event (heap entry or
+         drainable front-queue head) is due; [advance] is a no-op before
+         then. May be conservatively early — every mutation outside
+         [advance] that could schedule work lowers it — but never late. *)
   mutable recent_wb : (int * int * int) list;  (* line, version, ctrl time *)
   pending : (int, int array) Hashtbl.t;
       (* line -> per-core count of not-yet-committed entries; drives the
@@ -244,26 +328,35 @@ let create ?(obs = Obs.null) config ~mode =
       Array.init config.Config.cores (fun id ->
           {
             id;
-            front = Queue.create ();
+            front = Fifo.create dummy_item;
             front_data = 0;
-            front_index = Hashtbl.create 64;
-            staged = [];
-            staged_index = Hashtbl.create 8;
+            fi_lines = Array.make (config.Config.front_proxy_entries + 1) min_int;
+            fi_entries =
+              Array.make (config.Config.front_proxy_entries + 1) dummy_entry;
+            fi_n = 0;
+            staged_order = Array.make Capri_ir.Reg.count 0;
+            staged_n = 0;
+            staged_val = Array.make Capri_ir.Reg.count 0;
+            staged_mark = Array.make Capri_ir.Reg.count false;
             out_staged = [];
             journal = [];
             open_seq = 0;
             open_entries = 0;
             next_drain = 0;
+            arrivals = Ring.create dummy_item;
             back = [];
+            back_spare = dummy_back;
             back_used = 0;
             resume = Never_started;
             slot_array = Array.make Capri_ir.Reg.count 0;
             halted = false;
           });
-    events = Heap.create ();
+    frees = Ring.create (0, 0);
+    eserial = 0;
     nvm = Memory.create ();
-    nvm_stamp = Hashtbl.create 1024;
+    stamp_pages = [||];
     nvm_wq_free = 0;
+    wake = 0;
     recent_wb = [];
     pending = Hashtbl.create 256;
     c = mk_counters obs.Obs.metrics ~mode;
@@ -274,6 +367,12 @@ let debug_line =
   match Sys.getenv_opt "CAPRI_DEBUG_LINE" with
   | Some s -> (try Some (int_of_string s) with _ -> None)
   | None -> None
+
+(* Whether any line is being debugged at all: the hot paths test this
+   cheap flag before touching [dbg] — [Printf.ifprintf] still interprets
+   the format string (allocating its ignore-continuations), which at
+   millions of calls per run is real simulation time. *)
+let dbg_on = debug_line <> None
 
 let dbg line fmt =
   if debug_line = Some line then Printf.eprintf fmt
@@ -317,20 +416,29 @@ let seed_core t ~core ~slots ~resume =
   cs.resume <- resume;
   (match resume with Done -> cs.halted <- true | Resume _ | Never_started -> ())
 
-let stamps_of t line =
-  match Hashtbl.find_opt t.nvm_stamp line with
-  | Some a -> a
-  | None ->
-    let a = Array.make Config.line_words (-1) in
-    Hashtbl.replace t.nvm_stamp line a;
-    a
+let stamp_page t line =
+  let p = line lsr 8 in
+  let np = Array.length t.stamp_pages in
+  if p >= np then begin
+    let grown = Array.make (max (p + 1) (2 * np)) [||] in
+    Array.blit t.stamp_pages 0 grown 0 np;
+    t.stamp_pages <- grown
+  end;
+  let pg = Array.unsafe_get t.stamp_pages p in
+  if pg != [||] then pg
+  else begin
+    let pg = Array.make (256 * Config.line_words) (-1) in
+    t.stamp_pages.(p) <- pg;
+    pg
+  end
 
 (* Word-granular aged write: each masked word lands only if its data is
    at least as new as what that word already holds. [kind] attributes the
    line write to one of the three traffic categories at the single choke
    point, so nvm_line_writes = wb + redo + slot holds by construction. *)
 let nvm_write ?(mask = 0xFF) t ~kind ~line ~data ~version =
-  let stamps = stamps_of t line in
+  let stamps = stamp_page t line in
+  let base = (line land 255) * Config.line_words in
   Metrics.Counter.inc t.c.c_nvm_line_writes;
   Metrics.Counter.inc
     (match kind with
@@ -339,13 +447,14 @@ let nvm_write ?(mask = 0xFF) t ~kind ~line ~data ~version =
     | `Slot -> t.c.c_nvm_writes_slot);
   let write_mask = ref 0 in
   for o = 0 to Config.line_words - 1 do
-    if mask land (1 lsl o) <> 0 && version >= stamps.(o) then begin
+    if mask land (1 lsl o) <> 0 && version >= stamps.(base + o) then begin
       write_mask := !write_mask lor (1 lsl o);
-      stamps.(o) <- version
+      stamps.(base + o) <- version
     end
   done;
-  dbg line "nvm_write line=%d mask=%x wrote=%x v=%d data2=%d\n" line mask
-    !write_mask version data.(2);
+  if dbg_on then
+    dbg line "nvm_write line=%d mask=%x wrote=%x v=%d data2=%d\n" line mask
+      !write_mask version data.(2);
   if !write_mask <> 0 then begin
     Memory.write_line_masked t.nvm line data !write_mask;
     true
@@ -404,20 +513,111 @@ let pending_dec t ~core ~line =
     if a.(2 * core) = 0 then a.((2 * core) + 1) <- 0
   end
 
+(* Front-index linear map (see [core_state.fi_lines]). [fi_find] returns
+   [dummy_entry] on miss — its [seq] is [min_int], which no open region
+   ever has, so the merge guard rejects it without a branch on "found". *)
+let rec fi_scan cs line i =
+  if i >= cs.fi_n then -1
+  else if Array.unsafe_get cs.fi_lines i = line then i
+  else fi_scan cs line (i + 1)
+
+let[@inline] fi_find cs line =
+  let i = fi_scan cs line 0 in
+  if i < 0 then dummy_entry else Array.unsafe_get cs.fi_entries i
+
+(* Bind [line -> e], replacing any existing binding for the line (the
+   replaced entry is necessarily a stale one from an earlier region). *)
+let fi_bind cs line e =
+  let i = fi_scan cs line 0 in
+  if i >= 0 then cs.fi_entries.(i) <- e
+  else begin
+    cs.fi_lines.(cs.fi_n) <- line;
+    cs.fi_entries.(cs.fi_n) <- e;
+    cs.fi_n <- cs.fi_n + 1
+  end
+
+(* Remove the binding for [e.line] iff it is [e] itself. *)
+let fi_unbind cs e =
+  let i = fi_scan cs e.line 0 in
+  if i >= 0 && Array.unsafe_get cs.fi_entries i == e then begin
+    cs.fi_n <- cs.fi_n - 1;
+    cs.fi_lines.(i) <- cs.fi_lines.(cs.fi_n);
+    cs.fi_entries.(i) <- cs.fi_entries.(cs.fi_n);
+    cs.fi_lines.(cs.fi_n) <- min_int;
+    cs.fi_entries.(cs.fi_n) <- dummy_entry
+  end
+
 (* ---------------- back-end ---------------- *)
 
 let back_region_for cs seq =
-  match List.find_opt (fun r -> r.bseq = seq) cs.back with
-  | Some r -> r
-  | None ->
-    let r = { bseq = seq; bentries = []; bcount = 0; bslots = [];
-              bcommit = None } in
-    cs.back <- cs.back @ [ r ];
-    r
+  (* FIFO delivery means the region being delivered to is almost always
+     the head of [back] (regions complete in order); the scan and the
+     append only run on region creation and the rare multi-region case. *)
+  match cs.back with
+  | r :: _ when r.bseq = seq -> r
+  | l ->
+    let rec find = function
+      | [] ->
+        let r =
+          if cs.back_spare != dummy_back then begin
+            let r = cs.back_spare in
+            cs.back_spare <- dummy_back;
+            r.bseq <- seq;
+            r
+          end
+          else
+            { bseq = seq; bentries = []; bcount = 0; bslots = [];
+              bcommit = None }
+        in
+        cs.back <- cs.back @ [ r ];
+        r
+      | r :: tl -> if r.bseq = seq then r else find tl
+    in
+    find l
 
 let prune_window t now =
-  let w = t.config.Config.monitor_window in
-  t.recent_wb <- List.filter (fun (_, _, tw) -> tw + w >= now) t.recent_wb
+  match t.recent_wb with
+  | [] -> ()  (* the common case outside writeback storms: no filter pass *)
+  | _ ->
+    let w = t.config.Config.monitor_window in
+    t.recent_wb <- List.filter (fun (_, _, tw) -> tw + w >= now) t.recent_wb
+
+(* [bentries]/[bslots] are in reverse arrival order; recursing into the
+   tail first processes oldest-first without materializing [List.rev].
+   Depth is bounded by back_proxy_entries / the per-region slot count.
+   Top-level (not local to [do_commit]) so no closures are built per
+   commit. pending_dec only touches the conflict table and nvm_write
+   never reads it, so fusing the two passes per entry is observationally
+   identical to the original two-pass loop. Returns the number of line
+   writes issued. *)
+let rec commit_entries t cs now = function
+  | [] -> 0
+  | e :: older ->
+    let n = commit_entries t cs now older in
+    pending_dec t ~core:cs.id ~line:e.line;
+    if not e.valid then begin
+      Metrics.Counter.inc t.c.c_redo_skipped_invalid;
+      n
+    end
+    else begin
+      t.nvm_wq_free <-
+        max t.nvm_wq_free now + t.config.Config.nvm_write_service;
+      if nvm_write ~mask:e.mask t ~kind:`Redo ~line:e.line ~data:e.redo
+           ~version:e.version
+      then Metrics.Counter.inc t.c.c_redo_writes;
+      n + 1
+    end
+
+let rec apply_slots cs = function
+  | [] -> ()
+  | (slot, value) :: older ->
+    apply_slots cs older;
+    cs.slot_array.(slot) <- value
+
+(* Drop [region] from a back list; it is almost always the head. *)
+let rec remove_back region = function
+  | [] -> []
+  | r :: tl -> if r == region then tl else r :: remove_back region tl
 
 (* Phase 2: copy redo data of valid entries, apply checkpoint slots, update
    the resume record, and schedule the space release. *)
@@ -428,24 +628,8 @@ let do_commit t cs region info now =
        info.resume_boundary now region.bcount
    | _ -> ());
   Metrics.Counter.inc t.c.c_commits;
-  let commit_lines = ref 0 in
-  let entries = List.rev region.bentries in
-  List.iter (fun e -> pending_dec t ~core:cs.id ~line:e.line) entries;
-  List.iter
-    (fun e ->
-      if not e.valid then Metrics.Counter.inc t.c.c_redo_skipped_invalid
-      else begin
-        t.nvm_wq_free <-
-          max t.nvm_wq_free now + t.config.Config.nvm_write_service;
-        incr commit_lines;
-        if nvm_write ~mask:e.mask t ~kind:`Redo ~line:e.line ~data:e.redo
-             ~version:e.version
-        then Metrics.Counter.inc t.c.c_redo_writes
-      end)
-    entries;
-  List.iter
-    (fun (slot, value) -> cs.slot_array.(slot) <- value)
-    (List.rev region.bslots);
+  let commit_lines = ref (commit_entries t cs now region.bentries) in
+  apply_slots cs region.bslots;
   (* Slot stores are adjacent 8-byte words of the per-core checkpoint
      array: they coalesce into whole-line writes (at most 4 lines for 32
      registers). They bypass the stamp machinery (the slot arrays live
@@ -468,16 +652,29 @@ let do_commit t cs region info now =
           ("seq", string_of_int region.bseq);
           ("nvm_lines", string_of_int !commit_lines);
         ];
-  cs.journal <-
-    List.rev_append (List.map (fun v -> (v, now)) info.outs) cs.journal;
+  (match info.outs with
+   | [] -> ()
+   | outs ->
+     cs.journal <- List.rev_append (List.map (fun v -> (v, now)) outs) cs.journal);
   if not info.elide_resume then
     cs.resume <-
       (if info.resume_boundary >= 0 then
          Resume { boundary = info.resume_boundary; sp = info.sp }
        else Done);
-  if region.bcount > 0 then
-    Heap.push t.events (max now t.nvm_wq_free) (Free (cs.id, region.bcount));
-  cs.back <- List.filter (fun r -> r != region) cs.back
+  if region.bcount > 0 then begin
+    t.eserial <- t.eserial + 1;
+    Ring.push t.frees (max now t.nvm_wq_free) t.eserial (cs.id, region.bcount)
+  end;
+  cs.back <- remove_back region cs.back;
+  (* Recycle the record for the next region on this core. *)
+  if cs.back_spare == dummy_back then begin
+    region.bseq <- min_int;
+    region.bentries <- [];
+    region.bcount <- 0;
+    region.bslots <- [];
+    region.bcommit <- None;
+    cs.back_spare <- region
+  end
 
 let deliver t core item now =
   let cs = t.cores.(core) in
@@ -487,9 +684,10 @@ let deliver t core item now =
        this new (same line) invalidates the arriving redo. *)
     prune_window t now;
     if
-      List.exists
-        (fun (line, v, _) -> line = e.line && v >= e.version)
-        t.recent_wb
+      (match t.recent_wb with
+       | [] -> false  (* no closure built on the windowless fast path *)
+       | l ->
+         List.exists (fun (line, v, _) -> line = e.line && v >= e.version) l)
     then begin
       if e.valid then begin
         e.valid <- false;
@@ -513,26 +711,25 @@ let deliver t core item now =
 
 (* ---------------- draining ---------------- *)
 
-let head_drainable t cs =
-  match Queue.peek_opt cs.front with
-  | None -> false
-  | Some (Data _) -> cs.back_used < t.config.Config.back_proxy_entries
-  | Some (Ckpt_flush _ | Commit _) -> true
+let[@inline] head_drainable t cs =
+  (not (Fifo.is_empty cs.front))
+  &&
+  match Fifo.peek cs.front with
+  | Data _ -> cs.back_used < t.config.Config.back_proxy_entries
+  | Ckpt_flush _ | Commit _ -> true
 
 let drain_one t cs now =
-  let item = Queue.pop cs.front in
+  let item = Fifo.pop cs.front in
   (match item with
    | Data e ->
      cs.front_data <- cs.front_data - 1;
      cs.back_used <- cs.back_used + 1;
      (* The entry leaves the front-end: no longer mergeable. *)
-     (match Hashtbl.find_opt cs.front_index e.line with
-      | Some e' when e' == e -> Hashtbl.remove cs.front_index e.line
-      | Some _ | None -> ())
+     fi_unbind cs e
    | Ckpt_flush _ | Commit _ -> ());
-  Heap.push t.events
-    (now + t.config.Config.proxy_path_latency)
-    (Arrive (cs.id, item));
+  t.eserial <- t.eserial + 1;
+  Ring.push cs.arrivals (now + t.config.Config.proxy_path_latency) t.eserial
+    item;
   (* Occupancy is proportional to payload: a data entry carries two cache
      lines (undo + redo), a checkpoint flush or commit marker a dozen
      bytes. *)
@@ -543,38 +740,104 @@ let drain_one t cs now =
   in
   cs.next_drain <- now + gap
 
-let rec advance t ~cycle =
-  (* Interleave heap events and per-core drains in time order. *)
-  let next_drain_candidate () =
-    Array.fold_left
-      (fun acc cs ->
-        if head_drainable t cs then
-          match acc with
-          | Some (tbest, _) when tbest <= max cs.next_drain 0 -> acc
-          | _ -> Some (max cs.next_drain 0, cs)
-        else acc)
-      None t.cores
+let advance_loop t ~cycle =
+  (* Interleave heap events and per-core drains in time order. Runs once
+     per proxy-path item systemwide, so it is written allocation-free:
+     [max_int] for "nothing pending", heap wins time ties, first core
+     wins drain-time ties (matching the heap's serial order and the
+     original fold's first-minimal choice). *)
+  (* Written as closure-free tail recursion with immediate-int
+     accumulators: this loop runs once per proxy-path event systemwide
+     (millions of iterations per run), and refs or [Array.iter] closures
+     allocated inside it were the single largest allocation source in the
+     whole simulator. *)
+  let ncores = Array.length t.cores in
+  (* Earliest event ring by (time, serial): returns -1 for the free ring,
+     the core id for an arrival ring — the exact pop order of the old
+     global heap, since serials are stamped at push in chronological
+     order across all rings. *)
+  let rec best_event i bt bs bi =
+    if i >= ncores then bi
+    else begin
+      let a = (Array.unsafe_get t.cores i).arrivals in
+      let ti = Ring.top_time a in
+      if ti < bt || (ti = bt && Ring.top_serial a < bs) then
+        best_event (i + 1) ti (Ring.top_serial a) i
+      else best_event (i + 1) bt bs bi
+    end
   in
-  let heap_time = Heap.peek_time t.events in
-  let drain = next_drain_candidate () in
-  match (heap_time, drain) with
-  | None, None -> ()
-  | Some th, _ when th <= cycle
-                    && (match drain with
-                        | Some (td, _) -> th <= td
-                        | None -> true) -> (
-    match Heap.pop t.events with
-    | Some (Arrive (core, item)) ->
-      deliver t core item th;
-      advance t ~cycle
-    | Some (Free (core, n)) ->
-      t.cores.(core).back_used <- t.cores.(core).back_used - n;
-      advance t ~cycle
-    | None -> ())
-  | _, Some (td, cs) when td <= cycle ->
-    drain_one t cs td;
-    advance t ~cycle
-  | _, _ -> ()
+  (* Earliest drainable core by due time; first core wins ties (matching
+     the original fold's first-minimal choice). *)
+  let rec best_drain i bt bi =
+    if i >= ncores then bi
+    else begin
+      let cs = Array.unsafe_get t.cores i in
+      if head_drainable t cs then begin
+        let d = if cs.next_drain > 0 then cs.next_drain else 0 in
+        if d < bt then best_drain (i + 1) d i else best_drain (i + 1) bt bi
+      end
+      else best_drain (i + 1) bt bi
+    end
+  in
+  let rec go () =
+    let bi = best_event 0 (Ring.top_time t.frees) (Ring.top_serial t.frees) (-1) in
+    let bt =
+      if bi < 0 then Ring.top_time t.frees
+      else Ring.top_time t.cores.(bi).arrivals
+    in
+    let di = best_drain 0 max_int (-1) in
+    let td =
+      if di < 0 then max_int
+      else begin
+        let d = t.cores.(di).next_drain in
+        if d > 0 then d else 0
+      end
+    in
+    if bt <= cycle && bt <= td then begin
+      (if bi < 0 then begin
+         let core, n = Ring.pop t.frees in
+         t.cores.(core).back_used <- t.cores.(core).back_used - n
+       end
+       else deliver t bi (Ring.pop t.cores.(bi).arrivals) bt);
+      go ()
+    end
+    else if td <= cycle then begin
+      drain_one t t.cores.(di) td;
+      go ()
+    end
+    else
+      (* The stopping iteration has the exact next internal event time in
+         hand — record it so [advance] need not rescan. *)
+      t.wake <- if bt < td then bt else td
+  in
+  go ()
+
+(* Recompute the exact next internal event time. Identical to the
+   next-time scan in [stall_until]: the minimum over the heap's head and
+   every core whose front-queue head is currently drainable. *)
+let rec next_event_from t i m =
+  if i >= Array.length t.cores then m
+  else begin
+    let ti = Ring.top_time (Array.unsafe_get t.cores i).arrivals in
+    next_event_from t (i + 1) (if ti < m then ti else m)
+  end
+
+let next_event_time t = next_event_from t 0 (Ring.top_time t.frees)
+
+let rec next_drain_from t i m =
+  if i >= Array.length t.cores then m
+  else begin
+    let cs = Array.unsafe_get t.cores i in
+    let m =
+      if head_drainable t cs then min m (max cs.next_drain 0) else m
+    in
+    next_drain_from t (i + 1) m
+  end
+
+let[@inline] advance t ~cycle =
+  (* [advance_loop]'s stopping iteration stores the next due time into
+     [t.wake] itself, so no separate rescan is needed here. *)
+  if cycle >= t.wake then advance_loop t ~cycle
 
 (* Pump time forward until [cond] holds; returns the cycle at which it
    does. Used to model core stalls on full buffers. *)
@@ -585,29 +848,13 @@ let stall_until t ~cycle cond =
   while not (cond ()) do
     incr guard;
     if !guard > 100_000_000 then failwith "Persist: stall does not resolve";
-    let next_time =
-      let heap = Heap.peek_time t.events in
-      let drain =
-        Array.fold_left
-          (fun acc cs ->
-            if head_drainable t cs then
-              match acc with
-              | Some tb when tb <= max cs.next_drain 0 -> acc
-              | _ -> Some (max cs.next_drain 0)
-            else acc)
-          None t.cores
-      in
-      match (heap, drain) with
-      | None, None -> None
-      | Some a, None -> Some a
-      | None, Some b -> Some b
-      | Some a, Some b -> Some (min a b)
-    in
-    match next_time with
-    | None -> failwith "Persist: stalled with no pending events"
-    | Some tn ->
-      now := max !now tn;
+    let next_time = next_drain_from t 0 (next_event_time t) in
+    if next_time = max_int then
+      failwith "Persist: stalled with no pending events"
+    else begin
+      now := max !now next_time;
       advance t ~cycle:!now
+    end
   done;
   !now
 
@@ -639,17 +886,18 @@ let on_store t ~core ~cycle ~line ~mask ~undo ~redo ~version =
     let cs = t.cores.(core) in
     advance t ~cycle;
     (* Merge with a front-resident entry of the same open region. *)
-    (match Hashtbl.find_opt cs.front_index line with
-     | Some e when e.seq = cs.open_seq ->
+    (match fi_find cs line with
+     | e when e.seq = cs.open_seq ->
        e.redo <- redo;
        e.mask <- e.mask lor mask;
        e.version <- version;
-       dbg line "merge line=%d seq=%d mask=%x v=%d redo2=%d\n" line e.seq
-         e.mask version redo.(2);
+       if dbg_on then
+         dbg line "merge line=%d seq=%d mask=%x v=%d redo2=%d\n" line e.seq
+           e.mask version redo.(2);
        pending_add_mask t ~core ~line ~mask;
        Metrics.Counter.inc t.c.c_entries_merged;
        0
-     | Some _ | None ->
+     | _ ->
        let resolved =
          if cs.front_data >= t.config.Config.front_proxy_entries then begin
            let target = cycle in
@@ -666,16 +914,77 @@ let on_store t ~core ~cycle ~line ~mask ~undo ~redo ~version =
        let e =
          { line; undo; redo; mask; version; valid = true; seq = cs.open_seq }
        in
-       dbg line "entry line=%d seq=%d mask=%x v=%d redo2=%d undo2=%d\n" line
-         e.seq mask version redo.(2) undo.(2);
+       if dbg_on then
+         dbg line "entry line=%d seq=%d mask=%x v=%d redo2=%d undo2=%d\n" line
+           e.seq mask version redo.(2) undo.(2);
        pending_inc t ~core:cs.id ~line ~mask;
-       Queue.push (Data e) cs.front;
+       Fifo.push cs.front (Data e);
        cs.front_data <- cs.front_data + 1;
        cs.open_entries <- cs.open_entries + 1;
-       Hashtbl.replace cs.front_index line e;
+       fi_bind cs line e;
        (* The transfer to the back-end cannot begin in the creation
           cycle, so a same-cycle second store to the line still merges. *)
        cs.next_drain <- max cs.next_drain (cycle + 1);
+       t.wake <- min t.wake (max cs.next_drain 0);
+       Metrics.Counter.inc t.c.c_entries_created;
+       resolved)
+
+(* Same phase-1 protocol as {!on_store}, but fed a single word delta
+   instead of caller-built line snapshots. The proxy entry itself is the
+   accumulation buffer: a merge is one in-place word write (the entry's
+   unmasked words are never observed — recovery and phase 2 both apply
+   [mask] — so refreshing them would be wasted work), and only entry
+   creation snapshots the line. [memory] is the architectural memory
+   *after* the store, so the undo image is the snapshot with the stored
+   word rolled back to [old]. *)
+let on_store_word t ~core ~cycle ~line ~mask ~word ~value ~old ~version
+    ~memory =
+  match t.mode with
+  | Volatile -> 0
+  | Capri | Naive_sync | Undo_sync | Redo_nowb ->
+    let cs = t.cores.(core) in
+    advance t ~cycle;
+    (match fi_find cs line with
+     | e when e.seq = cs.open_seq ->
+       e.redo.(word) <- value;
+       e.mask <- e.mask lor mask;
+       e.version <- version;
+       if dbg_on then
+         dbg line "merge line=%d seq=%d mask=%x v=%d redo2=%d\n" line e.seq
+           e.mask version e.redo.(2);
+       pending_add_mask t ~core ~line ~mask;
+       Metrics.Counter.inc t.c.c_entries_merged;
+       0
+     | _ ->
+       let resolved =
+         if cs.front_data >= t.config.Config.front_proxy_entries then begin
+           let target = cycle in
+           let finish =
+             stall_until t ~cycle (fun () ->
+                 cs.front_data < t.config.Config.front_proxy_entries)
+           in
+           let stall = max 0 (finish - target) in
+           Metrics.Counter.add t.c.c_store_stall_cycles stall;
+           stall
+         end
+         else 0
+       in
+       let redo = Memory.line_snapshot memory line in
+       let undo = Array.copy redo in
+       undo.(word) <- old;
+       let e =
+         { line; undo; redo; mask; version; valid = true; seq = cs.open_seq }
+       in
+       if dbg_on then
+         dbg line "entry line=%d seq=%d mask=%x v=%d redo2=%d undo2=%d\n" line
+           e.seq mask version redo.(2) undo.(2);
+       pending_inc t ~core:cs.id ~line ~mask;
+       Fifo.push cs.front (Data e);
+       cs.front_data <- cs.front_data + 1;
+       cs.open_entries <- cs.open_entries + 1;
+       fi_bind cs line e;
+       cs.next_drain <- max cs.next_drain (cycle + 1);
+       t.wake <- min t.wake (max cs.next_drain 0);
        Metrics.Counter.inc t.c.c_entries_created;
        resolved)
 
@@ -684,9 +993,12 @@ let on_ckpt t ~core ~slot ~value =
   | Volatile -> ()
   | Capri | Naive_sync | Undo_sync | Redo_nowb ->
     let cs = t.cores.(core) in
-    if not (Hashtbl.mem cs.staged_index slot) then
-      cs.staged <- (slot, value) :: cs.staged;
-    Hashtbl.replace cs.staged_index slot value
+    if not cs.staged_mark.(slot) then begin
+      cs.staged_mark.(slot) <- true;
+      cs.staged_order.(cs.staged_n) <- slot;
+      cs.staged_n <- cs.staged_n + 1
+    end;
+    cs.staged_val.(slot) <- value
 
 (* Section 3.3's open I/O problem, handled as the paper suggests: outputs
    stage durably with their region and become externally visible only at
@@ -709,37 +1021,36 @@ let flush_region t cs ~boundary ~sp =
   (* Close the open region: flush staged checkpoints (final values),
      journaled outputs and the commit marker, unless the region produced
      nothing (elided boundary entry, Section 5.2.1 optimization). *)
-  let staged =
-    List.rev_map
-      (fun (slot, _) -> (slot, Hashtbl.find cs.staged_index slot))
-      cs.staged
-  in
   let outs = List.rev cs.out_staged in
-  let has_work = cs.open_entries > 0 || staged <> [] || outs <> [] in
+  let has_work = cs.open_entries > 0 || cs.staged_n > 0 || outs <> [] in
   if has_work then begin
-    List.iter
-      (fun (slot, value) ->
-        Metrics.Counter.inc t.c.c_ckpt_flushes;
-        Queue.push (Ckpt_flush { seq = cs.open_seq; slot; value }) cs.front)
-      staged;
-    Queue.push
+    for i = 0 to cs.staged_n - 1 do
+      let slot = cs.staged_order.(i) in
+      Metrics.Counter.inc t.c.c_ckpt_flushes;
+      Fifo.push cs.front
+        (Ckpt_flush { seq = cs.open_seq; slot; value = cs.staged_val.(slot) })
+    done;
+    Fifo.push cs.front
       (Commit
          { seq = cs.open_seq;
            info = { resume_boundary = boundary; sp; elide_resume = false;
-                    outs } })
-      cs.front
+                    outs } });
+    t.wake <- min t.wake (max cs.next_drain 0)
   end
   else Metrics.Counter.inc t.c.c_boundaries_elided;
   cs.out_staged <- [];
-  cs.staged <- [];
-  Hashtbl.reset cs.staged_index;
+  for i = 0 to cs.staged_n - 1 do
+    cs.staged_mark.(cs.staged_order.(i)) <- false
+  done;
+  cs.staged_n <- 0;
   (* Entries of the finished region still in the front-end must not merge
-     with the next region's stores. *)
-  Hashtbl.reset cs.front_index;
+     with the next region's stores: the seq guard on the merge path makes
+     the leftover index entries inert (and cheaper than clearing the
+     map once per region), and draining removes them. *)
   cs.open_seq <- cs.open_seq + 1;
   cs.open_entries <- 0
 
-let fully_drained cs = Queue.is_empty cs.front && cs.back = [] && cs.back_used = 0
+let fully_drained cs = Fifo.is_empty cs.front && cs.back = [] && cs.back_used = 0
 
 let on_boundary t ~core ~cycle ~boundary ~sp =
   match t.mode with
@@ -768,8 +1079,9 @@ let on_writeback t ~cycle ~line ~data ~version =
     ()
   | Capri | Naive_sync | Undo_sync ->
     advance t ~cycle;
-    dbg line "writeback line=%d v=%d data2=%d cyc=%d\n" line version data.(2)
-      cycle;
+    if dbg_on then
+      dbg line "writeback line=%d v=%d data2=%d cyc=%d\n" line version data.(2)
+        cycle;
     ignore (nvm_write t ~kind:`Wb ~line ~data ~version);
     t.nvm_wq_free <- max t.nvm_wq_free cycle + t.config.Config.nvm_write_service;
     (* Scan the back-end proxies: invalidate overtaken redo entries. *)
@@ -840,7 +1152,7 @@ let crash_recover t ~cycle =
      reaches the back-end structures. *)
   Array.iter
     (fun cs ->
-      Queue.iter
+      Fifo.iter
         (fun item ->
           match item with
           | Data e ->
@@ -854,28 +1166,30 @@ let crash_recover t ~cycle =
             let r = back_region_for cs seq in
             r.bcommit <- Some info)
         cs.front;
-      Queue.clear cs.front)
+      Fifo.clear cs.front)
     t.cores;
-  let rec drain_events () =
-    match Heap.pop t.events with
-    | Some (Arrive (core, item)) ->
-      let cs = t.cores.(core) in
-      (match item with
-       | Data e ->
-         let r = back_region_for cs e.seq in
-         r.bentries <- e :: r.bentries;
-         r.bcount <- r.bcount + 1
-       | Ckpt_flush { seq; slot; value } ->
-         let r = back_region_for cs seq in
-         r.bslots <- (slot, value) :: r.bslots
-       | Commit { seq; info } ->
-         let r = back_region_for cs seq in
-         r.bcommit <- Some info);
-      drain_events ()
-    | Some (Free _) -> drain_events ()
-    | None -> ()
-  in
-  drain_events ();
+  (* In-flight items land after the front-queue ones above, matching the
+     old heap drain: per-core back structures only see their own core's
+     items, and a core's ring order is that core's (time, serial) order. *)
+  Array.iter
+    (fun cs ->
+      while not (Ring.is_empty cs.arrivals) do
+        match Ring.pop cs.arrivals with
+        | Data e ->
+          let r = back_region_for cs e.seq in
+          r.bentries <- e :: r.bentries;
+          r.bcount <- r.bcount + 1
+        | Ckpt_flush { seq; slot; value } ->
+          let r = back_region_for cs seq in
+          r.bslots <- (slot, value) :: r.bslots
+        | Commit { seq; info } ->
+          let r = back_region_for cs seq in
+          r.bcommit <- Some info
+      done)
+    t.cores;
+  while not (Ring.is_empty t.frees) do
+    ignore (Ring.pop t.frees)
+  done;
   (* Section 5.4: redo committed regions in order, then undo the (at most
      one per core) interrupted region. *)
   Array.iter
@@ -918,10 +1232,12 @@ let crash_recover t ~cycle =
                   dbg e.line "undo line=%d seq=%d mask=%x v=%d undo2=%d\n"
                     e.line e.seq e.mask e.version e.undo.(2);
                   Memory.write_line_masked t.nvm e.line e.undo e.mask;
-                  let stamps = stamps_of t e.line in
+                  let stamps = stamp_page t e.line in
+                  let base = (e.line land 255) * Config.line_words in
                   for o = 0 to Config.line_words - 1 do
                     if e.mask land (1 lsl o) <> 0 then
-                      stamps.(o) <- max stamps.(o) (e.version + 1)
+                      stamps.(base + o) <-
+                        max stamps.(base + o) (e.version + 1)
                   done)
                 r.bentries)
         regions;

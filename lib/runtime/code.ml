@@ -93,6 +93,91 @@ let build (program : Program.t) =
 
 let block t idx = t.blocks.(idx)
 
+(* ------------------------------------------------------------------ *)
+(* Decoded form for the compiled execution tier.                       *)
+(* ------------------------------------------------------------------ *)
+
+type dop = Dreg of int | Dimm of int
+
+type dinstr =
+  | Dbinop of { op : Instr.binop; dst : int; a : dop; b : dop }
+  | Dmov of { dst : int; src : dop }
+  | Dload of { dst : int; base : int; offset : int }
+  | Dstore of { base : int; offset : int; src : dop }
+  | Datomic of { op : Instr.binop; dst : int; base : int; offset : int;
+                 src : dop }
+  | Dfence
+  | Dout of dop
+  | Dboundary of { id : int }
+  | Dckpt of { reg : int; slot : int }
+  | Dckpt_load of { dst : int; slot : int }
+
+type dterm =
+  | Djump of int
+  | Dbranch of { cond : dop; if_true : int; if_false : int }
+  | Dcall of { callee_entry : int; ret_addr : int }
+  | Dret
+  | Dhalt
+
+type compiled_block = {
+  dinstrs : dinstr array;
+  dterm : dterm;
+  fast : bool;
+}
+
+let decode_op = function
+  | Instr.Reg r -> Dreg (Reg.to_int r)
+  | Instr.Imm i -> Dimm i
+
+let decode_instr = function
+  | Instr.Binop { op; dst; a; b } ->
+    Dbinop { op; dst = Reg.to_int dst; a = decode_op a; b = decode_op b }
+  | Instr.Mov { dst; src } ->
+    Dmov { dst = Reg.to_int dst; src = decode_op src }
+  | Instr.Load { dst; base; offset } ->
+    Dload { dst = Reg.to_int dst; base = Reg.to_int base; offset }
+  | Instr.Store { base; offset; src } ->
+    Dstore { base = Reg.to_int base; offset; src = decode_op src }
+  | Instr.Atomic_rmw { op; dst; base; offset; src } ->
+    Datomic
+      { op; dst = Reg.to_int dst; base = Reg.to_int base; offset;
+        src = decode_op src }
+  | Instr.Fence -> Dfence
+  | Instr.Out src -> Dout (decode_op src)
+  | Instr.Boundary { id } -> Dboundary { id }
+  | Instr.Ckpt { reg; slot } -> Dckpt { reg = Reg.to_int reg; slot }
+  | Instr.Ckpt_load { dst; slot } ->
+    Dckpt_load { dst = Reg.to_int dst; slot }
+
+let decode_term = function
+  | Jump idx -> Djump idx
+  | Branch { cond; if_true; if_false } ->
+    Dbranch { cond = decode_op cond; if_true; if_false }
+  | Call { callee_entry; ret_addr } -> Dcall { callee_entry; ret_addr }
+  | Ret -> Dret
+  | Halt -> Dhalt
+
+(* A block is fused-loop eligible unless it contains a region boundary
+   (whose bookkeeping reads the region's running instruction counter
+   mid-flight) or a recovery-only Ckpt_load. Stores and atomics are fine:
+   the executor only engages the fused loop when the conflict fence is
+   off, so their closures cannot raise. *)
+let fuse_safe = function
+  | Dboundary _ | Dckpt_load _ -> false
+  | Dbinop _ | Dmov _ | Dload _ | Dstore _ | Datomic _ | Dfence | Dout _
+  | Dckpt _ -> true
+
+let compile t =
+  Array.map
+    (fun b ->
+      let dinstrs = Array.map decode_instr b.instrs in
+      {
+        dinstrs;
+        dterm = decode_term b.rterm;
+        fast = Array.for_all fuse_safe dinstrs;
+      })
+    t.blocks
+
 let index_of t ~func label =
   Hashtbl.find t.by_key (func, Label.to_string label)
 

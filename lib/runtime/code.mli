@@ -25,6 +25,43 @@ type block = {
   addr : int;
 }
 
+(** Fully decoded form consumed by the executor's compiled tier: register
+    operands are integer indices, immediates are unwrapped, and control
+    targets are block indices — everything the interpreter re-derives per
+    dynamic instruction is resolved once here, at load time. *)
+
+type dop = Dreg of int | Dimm of int
+
+type dinstr =
+  | Dbinop of { op : Instr.binop; dst : int; a : dop; b : dop }
+  | Dmov of { dst : int; src : dop }
+  | Dload of { dst : int; base : int; offset : int }
+  | Dstore of { base : int; offset : int; src : dop }
+  | Datomic of { op : Instr.binop; dst : int; base : int; offset : int;
+                 src : dop }
+  | Dfence
+  | Dout of dop
+  | Dboundary of { id : int }
+  | Dckpt of { reg : int; slot : int }
+  | Dckpt_load of { dst : int; slot : int }
+
+type dterm =
+  | Djump of int
+  | Dbranch of { cond : dop; if_true : int; if_false : int }
+  | Dcall of { callee_entry : int; ret_addr : int }
+  | Dret
+  | Dhalt
+
+type compiled_block = {
+  dinstrs : dinstr array;
+  dterm : dterm;
+  fast : bool;
+      (** no region boundary or recovery-only instruction: the whole
+          block may run in the executor's fused loop (which skips the
+          per-instruction scheduler/crash checks) when its other
+          preconditions hold *)
+}
+
 type t
 
 val build : Program.t -> t
@@ -33,6 +70,12 @@ val build : Program.t -> t
     expected to have passed {!Capri_ir.Validate}). *)
 
 val block : t -> int -> block
+
+val compile : t -> compiled_block array
+(** Decode every block once (index [i] of the result corresponds to
+    block index [i]); the executor lowers the result to closure arrays
+    per session. *)
+
 val index_of : t -> func:string -> Label.t -> int
 (** Raises [Not_found]. *)
 

@@ -18,6 +18,30 @@ type thread_spec = { func : string; args : (Reg.t * int) list }
 
 val main_thread : Program.t -> thread_spec
 
+(** Execution engine selection. [Compiled] (the default) pre-lowers every
+    basic block to a flat closure array at session setup — operands,
+    register indices and branch targets resolved once — and runs a burst
+    scheduler whose fused fast path executes whole boundary-free blocks
+    without per-instruction dispatch checks. [Interp] is the original
+    AST-walking reference engine; the two are held to byte-identical
+    results (final memory, journals, acks, metrics) by the differential
+    tests, so [Interp] exists for cross-checking and bisection, not
+    speed. *)
+type engine = Interp | Compiled
+
+val default_engine : engine ref
+(** Engine used when {!start}/{!resume} get no [?engine]. Initialized
+    from the [CAPRI_ENGINE] environment variable ("interp" selects the
+    interpreter; anything else, or unset, the compiled tier). *)
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+exception Livelock of { core : int; region : string; steps : int }
+(** Raised by {!run} when one thread exceeds the per-thread step budget:
+    the offending core, the dynamic region it was spinning in ("entry"
+    before the first boundary) and the step count reached. *)
+
 type region_stats = {
   regions_executed : int;  (** dynamic boundary count *)
   total_instrs : int;  (** dynamic instructions inside regions *)
@@ -73,7 +97,8 @@ type session
 val start :
   ?config:Arch.Config.t -> ?mode:Arch.Persist.mode -> ?journal_io:bool ->
   ?trace:Trace.t -> ?obs:Capri_obs.Obs.t -> ?check_threshold:int ->
-  program:Program.t -> threads:thread_spec list -> unit -> session
+  ?engine:engine -> program:Program.t -> threads:thread_spec list -> unit ->
+  session
 (** Fresh machine: zeroed memory (plus the program's data image), cold
     caches, empty proxies. [check_threshold] makes the executor assert
     that no dynamic region exceeds the given store count (the compiler
@@ -93,8 +118,8 @@ val start :
 val resume :
   ?config:Arch.Config.t -> ?mode:Arch.Persist.mode -> ?journal_io:bool ->
   ?trace:Trace.t -> ?obs:Capri_obs.Obs.t -> ?check_threshold:int ->
-  compiled:Capri_compiler.Compiled.t -> image:Arch.Persist.image ->
-  threads:thread_spec list -> unit -> session
+  ?engine:engine -> compiled:Capri_compiler.Compiled.t ->
+  image:Arch.Persist.image -> threads:thread_spec list -> unit -> session
 (** Machine rebuilt from a recovered durable image: memory = NVM contents,
     registers reloaded from the slot arrays, threads positioned at their
     resume boundaries ({!Recovery} must have applied recovery blocks to the
@@ -102,7 +127,9 @@ val resume :
 
 val run : ?crash_at_instr:int -> ?max_steps:int -> session -> outcome
 (** Executes until every thread halts, the optional crash point fires, or
-    [max_steps] (default 100M) is exceeded (raises [Failure]). *)
+    some thread exceeds [max_steps] step attempts (default 100M,
+    counted per thread — conflict-fence retries included — identically
+    in both engines), which raises {!Livelock}. *)
 
 val positions : session -> (string * string * int * int) array
 (** Per-core (function, block label, instruction index, cycle) — where

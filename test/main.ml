@@ -22,5 +22,6 @@ let () =
       ("shapes", Test_shapes.suite);
       ("service", Test_service.suite);
       ("fuzz", Test_fuzz.suite);
+      ("engine", Test_engine.suite);
       ("qcheck", Test_qcheck.suite);
     ]
