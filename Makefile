@@ -3,7 +3,7 @@
 # determinism smokes (bench, fuzz, service bench, perf) that
 # `dune runtest` wires in via the runtest alias.
 
-.PHONY: all build check test bench perfsmoke fuzz clean
+.PHONY: all build check test bench perfsmoke fuzz fuzz-txn clean
 
 all: build
 
@@ -25,6 +25,12 @@ perfsmoke:
 
 fuzz:
 	dune exec fuzz/main.exe -- --service --budget 200
+
+# 2PC-focused campaign: every trial carries cross-shard transactions and
+# half the crash points aim at the protocol's region boundaries (vote
+# seal, decision, apply), so crashes land mid-2PC by construction.
+fuzz-txn:
+	dune exec fuzz/main.exe -- --service --min-txns 1 --max-txns 3 --budget 250
 
 clean:
 	dune clean

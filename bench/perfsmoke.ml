@@ -3,19 +3,24 @@
    suite kernel and a multi-core workload-generator program — under both
    engines across all five persistence modes and require identical
    results: cycles, instruction/store accounting, outputs, acks, final
-   registers, persist and hierarchy statistics, and final memory. Runs
-   as part of `dune runtest` (and as `make perfsmoke`). *)
+   registers, persist and hierarchy statistics, and final memory.
+
+   The whole matrix is evaluated twice, through a 1-domain and a
+   4-domain `Capri_util.Pool`, and the two result lists must be
+   identical: the pool is a pure scheduling change even on a box where
+   `Domain.recommended_domain_count ()` is 1 (domains time-slice one
+   core; determinism is what the smoke can and does verify there).
+   Runs as part of `dune runtest` (and as `make perfsmoke`). *)
 
 open Capri
 module W = Capri_workloads
+module Pool = Capri_util.Pool
 
 let modes =
   [
     Persist.Capri; Persist.Naive_sync; Persist.Undo_sync; Persist.Redo_nowb;
     Persist.Volatile;
   ]
-
-let failures = ref 0
 
 (* Everything observable about a finished run, as one comparable value
    (memory via its sorted line dump). *)
@@ -30,48 +35,65 @@ let fingerprint (r : Executor.result) =
     (r.Executor.persist_stats, r.Executor.hier_stats),
     List.sort compare !mem )
 
-let check ~name ~mode program threads =
+(* One task = one (shape, mode): fingerprint under both engines. *)
+let run_pair (name, mode, program, threads) =
   let run engine =
-    let session =
-      Executor.start ~mode ~engine ~program ~threads ()
-    in
+    let session = Executor.start ~mode ~engine ~program ~threads () in
     match Executor.run session with
     | Executor.Finished r -> fingerprint r
     | Executor.Crashed _ -> assert false
   in
-  let a = run Executor.Interp in
-  let b = run Executor.Compiled in
-  if a <> b then begin
-    incr failures;
-    Printf.eprintf "perf-smoke: %s [%s]: compiled differs from interp\n" name
-      (Persist.mode_name mode)
-  end
+  ( name, Persist.mode_name mode,
+    run Executor.Interp, run Executor.Compiled )
 
 let () =
+  let tasks = ref [] in
+  let add name mode program threads =
+    tasks := (name, mode, program, threads) :: !tasks
+  in
   let dispatch = Capri_bench.Micro.dispatch_programs ~trips:64 in
   List.iter
     (fun (name, program) ->
-      let compiled = compile program in
-      let p = compiled.Compiled.program in
+      let p = (compile program).Compiled.program in
       List.iter
         (fun mode ->
-          check ~name:("dispatch/" ^ name) ~mode p
-            [ Executor.main_thread p ])
+          add ("dispatch/" ^ name) mode p [ Executor.main_thread p ])
         modes)
     dispatch;
   (* one real kernel, single-core *)
   let k = W.Suite.by_name ~scale:1 "505.mcf_r" in
   let kp = (compile k.W.Kernel.program).Compiled.program in
   List.iter
-    (fun mode -> check ~name:"kernel/505.mcf_r" ~mode kp k.W.Kernel.threads)
+    (fun mode -> add "kernel/505.mcf_r" mode kp k.W.Kernel.threads)
     modes;
   (* one generated multi-core program, Capri mode *)
   let prog = W.Gen.generate ~cores:2 7 in
   let gp, gthreads = W.Gen.lower prog in
   let gp = (compile gp).Compiled.program in
-  check ~name:"gen/seed7x2" ~mode:Persist.Capri gp gthreads;
+  add "gen/seed7x2" Persist.Capri gp gthreads;
+  let tasks = List.rev !tasks in
+  let eval jobs =
+    Pool.with_pool ~jobs (fun pool -> Pool.map_list pool run_pair tasks)
+  in
+  let seq = eval 1 in
+  let par = eval 4 in
+  if seq <> par then begin
+    prerr_endline "perf-smoke: --jobs 4 results differ from --jobs 1";
+    exit 1
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun (name, mode, a, b) ->
+      if a <> b then begin
+        incr failures;
+        Printf.eprintf "perf-smoke: %s [%s]: compiled differs from interp\n"
+          name mode
+      end)
+    seq;
   if !failures > 0 then begin
     Printf.eprintf "perf-smoke: %d mismatch(es)\n" !failures;
     exit 1
   end;
-  print_endline "perf-smoke: compiled matches interp on all shapes and modes"
+  print_endline
+    "perf-smoke: compiled matches interp on all shapes and modes; jobs=4 \
+     matches jobs=1"

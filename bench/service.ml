@@ -8,6 +8,7 @@ let () =
   let shards = ref 2 in
   let ops = ref 120 in
   let crashes = ref 2 in
+  let txns = ref 4 in
   let jobs = ref 0 in
   let spec =
     [
@@ -17,6 +18,9 @@ let () =
         Arg.Set_int crashes,
         "N  crashes injected per trial (default 2; volatile runs crash-free)"
       );
+      ( "--txns",
+        Arg.Set_int txns,
+        "N  cross-shard 2PC transactions per trial (default 4; 0 disables)" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N  trial parallelism (default: CAPRI_JOBS or the machine)" );
@@ -24,8 +28,9 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "usage: bench/service.exe [--shards N] [--ops N] [--crash N] [--jobs N]";
+    "usage: bench/service.exe [--shards N] [--ops N] [--crash N] [--txns N] \
+     [--jobs N]";
   let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
   print_string
     (Capri_bench.Service_bench.table ~jobs ~shards:(max 1 !shards)
-       ~ops:(max 1 !ops) ~crashes:(max 0 !crashes))
+       ~ops:(max 1 !ops) ~crashes:(max 0 !crashes) ~txns:(max 0 !txns))

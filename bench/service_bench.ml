@@ -1,6 +1,8 @@
-(* Serving-layer benchmark: throughput, latency percentiles and modeled
-   recovery time for the capri.service KV store across the five
-   persistence design points and the three YCSB-style mixes.
+(* Serving-layer benchmark: throughput, latency percentiles, modeled
+   recovery time and transaction outcomes for the capri.service KV store
+   across the five persistence design points and the three YCSB-style
+   mixes ([--txns] weaves cross-shard 2PC transactions into every
+   trial; the txC/txA column tallies their commits/aborts).
 
    Trials are seed-pure and fan out over the Pool in input order, so the
    rendered table is byte-identical at any --jobs count (enforced by
@@ -27,9 +29,9 @@ type row = {
   stats : Svc.Sla.stats;
 }
 
-let trial ~shards ~ops ~crashes (mode, mix) =
+let trial ~shards ~ops ~crashes ~txns (mode, mix) =
   let client =
-    { Svc.Client.default with Svc.Client.mix; ops_per_shard = ops }
+    { Svc.Client.default with Svc.Client.mix; ops_per_shard = ops; txns }
   in
   let t =
     Svc.Server.plan { Svc.Server.default_cfg with Svc.Server.shards; client; mode }
@@ -54,19 +56,19 @@ let trial ~shards ~ops ~crashes (mode, mix) =
          Svc.Sla.pp_violation v));
   { mode; mix; stats = Svc.Server.stats t outcome }
 
-let rows ~jobs ~shards ~ops ~crashes =
+let rows ~jobs ~shards ~ops ~crashes ~txns =
   let cells =
     List.concat_map (fun mode -> List.map (fun mix -> (mode, mix)) mixes) modes
   in
   Pool.with_pool ~jobs (fun pool ->
-      Pool.map_list pool (trial ~shards ~ops ~crashes) cells)
+      Pool.map_list pool (trial ~shards ~ops ~crashes ~txns) cells)
 
 let render rows =
   let t =
     Table.create
       ~header:
         [
-          "mode"; "mix"; "ops"; "tput/kcyc"; "p50"; "p99"; "recov";
+          "mode"; "mix"; "ops"; "txC/txA"; "tput/kcyc"; "p50"; "p99"; "recov";
           "mean recov cyc";
         ]
   in
@@ -79,7 +81,9 @@ let render rows =
       Table.add_row t
         [
           Arch.Persist.mode_name r.mode; Svc.Client.mix_name r.mix;
-          string_of_int s.Svc.Sla.ops; Table.fmt_f s.Svc.Sla.throughput;
+          string_of_int s.Svc.Sla.ops;
+          Printf.sprintf "%d/%d" s.Svc.Sla.txn_commits s.Svc.Sla.txn_aborts;
+          Table.fmt_f s.Svc.Sla.throughput;
           Table.fmt_f ~decimals:1 s.Svc.Sla.p50;
           Table.fmt_f ~decimals:1 s.Svc.Sla.p99;
           string_of_int s.Svc.Sla.recoveries;
@@ -88,5 +92,5 @@ let render rows =
     rows;
   Table.render t
 
-let table ~jobs ~shards ~ops ~crashes =
-  render (rows ~jobs ~shards ~ops ~crashes)
+let table ~jobs ~shards ~ops ~crashes ~txns =
+  render (rows ~jobs ~shards ~ops ~crashes ~txns)

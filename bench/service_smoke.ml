@@ -5,7 +5,7 @@
 
 let () =
   let table jobs =
-    Capri_bench.Service_bench.table ~jobs ~shards:2 ~ops:40 ~crashes:2
+    Capri_bench.Service_bench.table ~jobs ~shards:2 ~ops:40 ~crashes:2 ~txns:2
   in
   let seq = table 1 in
   let par = table 4 in

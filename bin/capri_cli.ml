@@ -354,10 +354,28 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
   in
-  let run shards mix ops crashes jobs () =
+  let txn_mix_arg =
+    let doc =
+      "Weave $(docv) x --ops cross-shard transactions (multi-get/put/cas \
+       under two-phase commit) into each run; 0 disables. Transactional \
+       stores bypass admission control."
+    in
+    Arg.(value & opt float 0.0 & info [ "txn-mix" ] ~docv:"FRAC" ~doc)
+  in
+  let txn_items_arg =
+    let doc = "Maximum items per participant shard in each transaction." in
+    Arg.(value & opt int 2 & info [ "txn-items" ] ~docv:"N" ~doc)
+  in
+  let run shards mix ops crashes jobs txn_mix txn_items () =
     let serve mode =
       let client =
-        { Svc.Client.default with Svc.Client.mix; ops_per_shard = ops }
+        {
+          Svc.Client.default with
+          Svc.Client.mix;
+          ops_per_shard = ops;
+          txns = int_of_float (max 0.0 txn_mix *. float_of_int ops);
+          txn_items = max 1 txn_items;
+        }
       in
       let t =
         Svc.Server.plan
@@ -396,12 +414,14 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve a key-value workload under every persistence mode, \
-          crashing mid-service, and report throughput, latency and \
-          recovery time under the acked-durability oracle")
+         "Serve a key-value workload — optionally with cross-shard \
+          transactions under two-phase commit — under every persistence \
+          mode, crashing mid-service, and report throughput, latency and \
+          recovery time under the serializability + acked-durability \
+          oracle")
     Term.(
       const run $ shards_arg $ mix_arg $ ops_arg $ crash_arg $ jobs_arg
-      $ engine_arg)
+      $ txn_mix_arg $ txn_items_arg $ engine_arg)
 
 let show_config_cmd =
   let run () = Format.printf "%a@." Config.pp_table Config.table1 in

@@ -18,10 +18,17 @@
      --max-cores N       trial core counts cycle in 1..N (default 3)
      --no-shrink    report failures without minimising them
      --service      fuzz the capri.service layer instead: crash the
-                    store mid-service and hold the acked-durability
-                    oracle over every crash image (--max-cores and
-                    --diff-combos do not apply; non-recoverable modes
-                    are skipped)
+                    store mid-service (crash points aimed at region
+                    boundaries, which on transactional stores bracket
+                    the 2PC phases) and hold the serializability +
+                    acked-durability oracle over every crash image
+                    (--max-cores and --diff-combos do not apply;
+                    non-recoverable modes are skipped)
+     --max-txns N   (--service) max multi-key txns per trial store
+                    (default 2; 0 disables transactions)
+     --min-txns N   (--service) floor for the per-trial txn draw
+                    (default 0); --min-txns 1 makes every trial a 2PC
+                    crash campaign
 
    The report goes to stdout; the exit status is 1 iff any oracle
    failed. Every failure line includes the exact --seed to reproduce it
@@ -33,7 +40,8 @@ module Service_fuzz = Capri_fuzz.Service_fuzz
 let usage =
   "usage: fuzz/main.exe [--seed N] [--budget N] [--jobs N] [--mode M]\n\
   \                     [--max-schedules N] [--diff-combos N]\n\
-  \                     [--max-cores N] [--no-shrink] [--service]\n"
+  \                     [--max-cores N] [--no-shrink] [--service]\n\
+  \                     [--max-txns N] [--min-txns N]\n"
 
 let bad msg =
   prerr_string (msg ^ "\n" ^ usage);
@@ -65,6 +73,8 @@ let () =
   let max_cores = ref Campaign.default_cfg.Campaign.max_cores in
   let shrink = ref true in
   let service = ref false in
+  let max_txns = ref Service_fuzz.default_cfg.Service_fuzz.max_txns in
+  let min_txns = ref Service_fuzz.default_cfg.Service_fuzz.min_txns in
   let split_eq a =
     (* accept --flag=value *)
     match String.index_opt a '=' with
@@ -98,6 +108,12 @@ let () =
     | "--max-cores" :: v :: rest ->
       max_cores := int_arg "--max-cores" v;
       parse rest
+    | "--max-txns" :: v :: rest ->
+      max_txns := int_arg "--max-txns" v;
+      parse rest
+    | "--min-txns" :: v :: rest ->
+      min_txns := int_arg "--min-txns" v;
+      parse rest
     | "--no-shrink" :: rest ->
       shrink := false;
       parse rest
@@ -121,6 +137,8 @@ let () =
         jobs;
         modes;
         max_schedules = max 1 !max_schedules;
+        max_txns = max 0 !max_txns;
+        min_txns = max 0 !min_txns;
         shrink = !shrink;
       }
     in

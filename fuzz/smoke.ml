@@ -9,8 +9,10 @@
      fan-out is a pure scheduling change.
 
    The same two properties are then held over the service campaign
-   (--service): the acked-durability oracle finds no violation at the
-   pinned seed, and its report is jobs-invariant too.
+   (--service): the serializability + acked-durability oracle finds no
+   violation at the pinned seed, and its report is jobs-invariant too —
+   and once more over a dedicated txn campaign (min_txns = 1, every
+   trial a cross-shard 2PC store crashed mid-protocol).
 
    Budget is deliberately small to keep runtest fast. *)
 
@@ -63,6 +65,34 @@ let () =
   print_string sseq;
   if s1.Service_fuzz.failures <> [] then begin
     prerr_endline "fuzz-smoke: service campaign reported failures";
+    exit 1
+  end;
+  let tcfg jobs =
+    {
+      Service_fuzz.default_cfg with
+      Service_fuzz.seed = 11;
+      budget = 25;
+      jobs;
+      max_schedules = 4;
+      min_txns = 1;
+      max_txns = 2;
+    }
+  in
+  let t1 = Service_fuzz.run (tcfg 1) in
+  let t2 = Service_fuzz.run (tcfg 2) in
+  let tseq = Service_fuzz.render t1 in
+  let tpar = Service_fuzz.render t2 in
+  if tseq <> tpar then begin
+    prerr_endline "fuzz-smoke: parallel txn report differs:";
+    prerr_endline "--- jobs=1 ---";
+    prerr_string tseq;
+    prerr_endline "--- jobs=2 ---";
+    prerr_string tpar;
+    exit 1
+  end;
+  print_string tseq;
+  if t1.Service_fuzz.failures <> [] then begin
+    prerr_endline "fuzz-smoke: txn campaign reported failures";
     exit 1
   end;
   print_endline "fuzz-smoke OK"

@@ -3,16 +3,25 @@
    Mirrors Campaign's structure — seed-pure trials fanned out over the
    Pool in waves, budget counted in oracle executions, reports identical
    at any job count — but the subject is capri.service: each trial plans
-   a small store from a seed-derived client workload, then drives random
-   crash schedules through Server.run in every requested recoverable
-   persistence mode, holding Sla.check (the acked-durability oracle)
-   over every crash image and the completed run. Violations shrink
-   twice: the crash schedule through the generic ddmin, then the request
-   streams (the oracle re-tested on each candidate subset). *)
+   a small store from a seed-derived client workload (optionally weaving
+   in multi-key transactions), then drives crash schedules through
+   Server.run in every requested recoverable persistence mode, holding
+   Sla.check (the serializability + acked-durability oracle) over every
+   crash image and the completed run. Crash points mix uniform draws
+   with points aimed at region boundaries harvested from a traced
+   reference run — on a transactional store those boundaries bracket the
+   2PC phases (after a vote record seals, between votes, after the
+   decision record, inside a participant's apply loop), so the campaign
+   lands crashes mid-protocol by construction. Violations shrink twice:
+   the crash schedule through the generic ddmin, then the workload at
+   whole-unit granularity (single requests, or entire transactions with
+   their markers; surviving tids are renumbered), the oracle re-tested
+   on each candidate subset. *)
 
 module Arch = Capri_arch
 module Pool = Capri_util.Pool
 module Rng = Capri_util.Rng
+module Runtime = Capri_runtime
 module Svc = Capri_service
 module Pipeline = Capri_compiler.Pipeline
 
@@ -25,6 +34,8 @@ type cfg = {
   max_shards : int;
   max_ops : int;  (* per shard *)
   max_schedules : int;  (* crash schedules per trial and mode *)
+  max_txns : int;
+  min_txns : int;
   shrink : bool;
 }
 
@@ -38,6 +49,8 @@ let default_cfg =
     max_shards = 2;
     max_ops = 24;
     max_schedules = 6;
+    max_txns = 2;
+    min_txns = 0;
     shrink = true;
   }
 
@@ -48,7 +61,7 @@ type failure = {
   reason : string;
   schedule : int list;
   shrunk_schedule : int list;
-  kept_requests : int list;  (* surviving request indices, [] = unshrunk *)
+  kept_requests : int list;  (* surviving workload units, [] = unshrunk *)
   repro : string;
 }
 
@@ -75,6 +88,9 @@ let service_cfg cfg seed ~mode =
   let rng = Rng.create (0x5eed + seed) in
   let shards = 1 + Rng.int rng (max 1 cfg.max_shards) in
   let ops = 6 + Rng.int rng (max 1 (cfg.max_ops - 5)) in
+  let lo = max 0 (min cfg.min_txns cfg.max_txns) in
+  let hi = max 0 cfg.max_txns in
+  let txns = if hi = 0 then 0 else lo + Rng.int rng (hi - lo + 1) in
   let client =
     {
       Svc.Client.mix = mixes.(Rng.int rng 3);
@@ -83,6 +99,8 @@ let service_cfg cfg seed ~mode =
       skew = float_of_int (Rng.int rng 120) /. 100.0;
       loop = Svc.Client.Closed;
       seed;
+      txns;
+      txn_items = 1 + Rng.int rng 2;
     }
   in
   {
@@ -95,12 +113,24 @@ let service_cfg cfg seed ~mode =
   }
 
 let service_string (c : Svc.Server.cfg) =
-  Printf.sprintf "shards=%d mix=%s ops=%d keys=%d skew=%.2f batch=%d"
+  Printf.sprintf "shards=%d mix=%s ops=%d keys=%d skew=%.2f batch=%d txns=%d"
     c.Svc.Server.shards
     (Svc.Client.mix_name c.Svc.Server.client.Svc.Client.mix)
     c.Svc.Server.client.Svc.Client.ops_per_shard
     c.Svc.Server.client.Svc.Client.key_space
     c.Svc.Server.client.Svc.Client.skew c.Svc.Server.batch
+    c.Svc.Server.client.Svc.Client.txns
+
+let repro_string cfg seed =
+  let txn_flags =
+    if
+      cfg.max_txns = default_cfg.max_txns
+      && cfg.min_txns = default_cfg.min_txns
+    then ""
+    else Printf.sprintf " --max-txns %d --min-txns %d" cfg.max_txns cfg.min_txns
+  in
+  Printf.sprintf "fuzz/main.exe --service --seed %d --budget 1%s" seed
+    txn_flags
 
 (* ---------------- oracle drive and shrinking ---------------- *)
 
@@ -112,47 +142,114 @@ let violates t schedule =
     | Error v -> Some (Format.asprintf "%a" Svc.Sla.pp_violation v))
   | exception e -> Some (Printexc.to_string e)
 
-(* Rebuild the service keeping only the request indices in [keep]
-   (indices run shard-major over the original streams). *)
-let restrict_requests (t : Svc.Server.t) keep =
-  let requests = t.Svc.Server.kv.Svc.Kvstore.requests in
-  let kept = Array.map (fun _ -> ref []) requests in
-  let base = ref 0 in
+(* Shrink units: one per single request (shard-major stream position)
+   followed by one per whole transaction. Dropping a txn unit removes
+   its markers from every stream and renumbers the surviving tids. *)
+type wunit = U_single of int * int | U_txn of int
+
+let workload_units (t : Svc.Server.t) =
+  let kv = t.Svc.Server.kv in
+  let singles = ref [] in
   Array.iteri
     (fun s reqs ->
       Array.iteri
-        (fun i r ->
-          if List.mem (!base + i) keep then
-            kept.(s) := r :: !(kept.(s)))
-        reqs;
-      base := !base + Array.length reqs)
-    requests;
-  let requests' = Array.map (fun l -> Array.of_list (List.rev !l)) kept in
-  let kv =
-    Svc.Kvstore.build ~batch:t.Svc.Server.kv.Svc.Kvstore.batch
-      ~key_space:t.Svc.Server.kv.Svc.Kvstore.key_space ~requests:requests' ()
+        (fun i (r : Svc.Wire.request) ->
+          if r.op <> Svc.Wire.Txn then singles := U_single (s, i) :: !singles)
+        reqs)
+    kv.Svc.Kvstore.requests;
+  List.rev !singles
+  @ List.map
+      (fun (tx : Svc.Wire.txn) -> U_txn tx.tid)
+      (Array.to_list kv.Svc.Kvstore.txns)
+
+(* Rebuild the service keeping only the units whose indices are in
+   [keep]. *)
+let restrict_requests (t : Svc.Server.t) units keep =
+  let kv = t.Svc.Server.kv in
+  let kept = List.filteri (fun i _ -> List.mem i keep) units in
+  let keep_single = Hashtbl.create 64 in
+  let keep_tid = Hashtbl.create 8 in
+  List.iter
+    (function
+      | U_single (s, i) -> Hashtbl.replace keep_single (s, i) ()
+      | U_txn tid -> Hashtbl.replace keep_tid tid ())
+    kept;
+  let kept_txns =
+    List.filter
+      (fun (tx : Svc.Wire.txn) -> Hashtbl.mem keep_tid tx.tid)
+      (Array.to_list kv.Svc.Kvstore.txns)
+  in
+  let tid_map = Hashtbl.create 8 in
+  List.iteri
+    (fun i (tx : Svc.Wire.txn) -> Hashtbl.replace tid_map tx.tid (i + 1))
+    kept_txns;
+  let txns' =
+    Array.of_list
+      (List.map
+         (fun (tx : Svc.Wire.txn) ->
+           { tx with Svc.Wire.tid = Hashtbl.find tid_map tx.tid })
+         kept_txns)
+  in
+  let requests' =
+    Array.mapi
+      (fun s reqs ->
+        let out = ref [] in
+        Array.iteri
+          (fun i (r : Svc.Wire.request) ->
+            if r.Svc.Wire.op = Svc.Wire.Txn then begin
+              match Hashtbl.find_opt tid_map r.Svc.Wire.key with
+              | Some tid -> out := { r with Svc.Wire.key = tid } :: !out
+              | None -> ()
+            end
+            else if Hashtbl.mem keep_single (s, i) then out := r :: !out)
+          reqs;
+        Array.of_list (List.rev !out))
+      kv.Svc.Kvstore.requests
+  in
+  let kv' =
+    Svc.Kvstore.build ~batch:kv.Svc.Kvstore.batch ~txns:txns'
+      ~key_space:kv.Svc.Kvstore.key_space ~requests:requests' ()
   in
   let compiled =
-    Pipeline.compile t.Svc.Server.cfg.Svc.Server.options kv.Svc.Kvstore.program
+    Pipeline.compile t.Svc.Server.cfg.Svc.Server.options kv'.Svc.Kvstore.program
   in
-  { t with Svc.Server.kv; compiled }
+  { t with Svc.Server.kv = kv'; compiled }
 
 let shrink_failure t schedule =
   let test s = violates t s <> None in
   let shrunk = Shrink.shrink_schedule ~test schedule in
-  let total =
-    Array.fold_left
-      (fun a reqs -> a + Array.length reqs)
-      0 t.Svc.Server.kv.Svc.Kvstore.requests
-  in
+  let units = workload_units t in
+  let total = List.length units in
   let all = List.init total Fun.id in
   let test_keep keep =
-    match restrict_requests t keep with
+    match restrict_requests t units keep with
     | t' -> violates t' shrunk <> None
     | exception _ -> false
   in
   let kept = Shrink.shrink_schedule ~test:test_keep all in
   (shrunk, if List.length kept < total then kept else [])
+
+(* ---------------- crash-point selection ---------------- *)
+
+(* Half the points are uniform over the dynamic instruction count; the
+   other half aim at region boundaries from the traced reference run —
+   the neighbourhood offsets land just before a boundary commits, on
+   it, and into the drain window after it. On a transactional store the
+   vote fence, decision fence, spin loops and apply loops all head
+   regions, so these are exactly the 2PC phase edges. *)
+let phase_offsets = [| -2; -1; 0; 1; 2; 4; 8 |]
+
+let pick_point rng ~total ~boundaries =
+  let uniform () = 1 + Rng.int rng (max 2 total - 1) in
+  match boundaries with
+  | [||] -> uniform ()
+  | bs ->
+    if Rng.bool rng then uniform ()
+    else begin
+      let b = bs.(Rng.int rng (Array.length bs)) in
+      let p = b + phase_offsets.(Rng.int rng (Array.length phase_offsets)) in
+      max 1 (min p (max 1 (total - 1)))
+    end
 
 (* ---------------- one trial ---------------- *)
 
@@ -179,15 +276,19 @@ let run_trial cfg k =
                 schedule = [];
                 shrunk_schedule = [];
                 kept_requests = [];
-                repro =
-                  Printf.sprintf "fuzz/main.exe --service --seed %d --budget 1"
-                    seed;
+                repro = repro_string cfg seed;
               }
         | t ->
           (* reference run doubles as the completion-oracle check *)
           incr checks;
           (match violates t [] with
           | Some reason ->
+            (* a crash-free violation: no schedule to shrink, but the
+               workload still minimizes (e.g. down to the one
+               transaction a broken commit path half-applies) *)
+            let _, kept =
+              if cfg.shrink then shrink_failure t [] else ([], [])
+            in
             failure :=
               Some
                 {
@@ -197,19 +298,21 @@ let run_trial cfg k =
                   reason;
                   schedule = [];
                   shrunk_schedule = [];
-                  kept_requests = [];
-                  repro =
-                    Printf.sprintf
-                      "fuzz/main.exe --service --seed %d --budget 1" seed;
+                  kept_requests = kept;
+                  repro = repro_string cfg seed;
                 }
           | None ->
+            let trace = Runtime.Trace.create () in
+            let reference = Svc.Server.run ~trace t in
             let total =
-              (Svc.Server.run t).Svc.Server.result
-                .Capri_runtime.Executor.instrs
+              reference.Svc.Server.result.Capri_runtime.Executor.instrs
+            in
+            let boundaries =
+              Array.of_list (Runtime.Trace.boundary_instrs trace)
             in
             let schedule () =
               let crashes = 1 + Rng.int rng 3 in
-              List.init crashes (fun _ -> 1 + Rng.int rng (max 2 total - 1))
+              List.init crashes (fun _ -> pick_point rng ~total ~boundaries)
             in
             for _ = 1 to cfg.max_schedules do
               if !failure = None then begin
@@ -232,9 +335,7 @@ let run_trial cfg k =
                         schedule = s;
                         shrunk_schedule = shrunk;
                         kept_requests = kept;
-                        repro =
-                          Printf.sprintf
-                            "fuzz/main.exe --service --seed %d --budget 1" seed;
+                        repro = repro_string cfg seed;
                       }
               end
             done)
@@ -292,11 +393,12 @@ let render r =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf
-       "service fuzz campaign: seed=%d budget=%d modes=%s\n\
+       "service fuzz campaign: seed=%d budget=%d modes=%s txns=%d..%d\n\
         trials=%d schedules=%d checks=%d\n"
        r.cfg.seed r.cfg.budget
        (String.concat "," (List.map Campaign.mode_name r.cfg.modes))
-       r.trials r.schedules r.checks);
+       (min r.cfg.min_txns r.cfg.max_txns)
+       r.cfg.max_txns r.trials r.schedules r.checks);
   if r.failures = [] then Buffer.add_string buf "failures: none\n"
   else begin
     Buffer.add_string buf
@@ -304,7 +406,8 @@ let render r =
     List.iteri
       (fun i f ->
         Buffer.add_string buf
-          (Printf.sprintf "failure #%d: acked-durability, trial seed %d, %s\n"
+          (Printf.sprintf
+             "failure #%d: serializability/durability, trial seed %d, %s\n"
              (i + 1) f.trial_seed
              (Campaign.mode_name f.mode));
         Buffer.add_string buf (Printf.sprintf "  service:  %s\n" f.service);
@@ -316,7 +419,7 @@ let render r =
                (String.concat "; " (List.map string_of_int f.shrunk_schedule)));
         if f.kept_requests <> [] then
           Buffer.add_string buf
-            (Printf.sprintf "  kept requests: %s\n"
+            (Printf.sprintf "  kept units: %s\n"
                (String.concat ","
                   (List.map string_of_int f.kept_requests)));
         Buffer.add_string buf (Printf.sprintf "  repro:    %s\n" f.repro))

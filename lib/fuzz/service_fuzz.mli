@@ -1,12 +1,19 @@
 (** Crash fuzzing of the serving layer ([fuzz/main.exe --service]).
 
-    Seed-pure trials plan a small {!Capri_service.Server} store, drive
-    random crash schedules through it in every requested recoverable
-    persistence mode, and hold the acked-durability oracle
+    Seed-pure trials plan a small {!Capri_service.Server} store —
+    optionally carrying multi-key transactions — and drive crash
+    schedules through it in every requested recoverable persistence
+    mode, holding the serializability + acked-durability oracle
     ({!Capri_service.Sla.check}) over each crash image plus the
-    completed run. Violations are shrunk twice: the crash schedule, then
-    the request streams, both through {!Shrink.shrink_schedule}'s ddmin.
-    Reports are byte-identical at any [jobs] count. *)
+    completed run. Crash points mix uniform draws with points aimed at
+    region boundaries harvested from a traced reference run, which on a
+    transactional store bracket the 2PC phases (after prepare, between
+    votes, after the decision, during a participant's apply). Violations
+    are shrunk twice: the crash schedule, then the workload at
+    whole-unit granularity (single requests or entire transactions,
+    surviving tids renumbered), both through
+    {!Shrink.shrink_schedule}'s ddmin. Reports are byte-identical at
+    any [jobs] count. *)
 
 module Arch = Capri_arch
 
@@ -19,6 +26,8 @@ type cfg = {
   max_shards : int;
   max_ops : int;  (** per shard *)
   max_schedules : int;  (** crash schedules per trial and mode *)
+  max_txns : int;  (** txns per trial store; 0 disables txns *)
+  min_txns : int;  (** floor for the per-trial txn draw *)
   shrink : bool;
 }
 
@@ -32,6 +41,8 @@ type failure = {
   schedule : int list;
   shrunk_schedule : int list;
   kept_requests : int list;
+      (** surviving workload-unit indices (singles shard-major, then
+          whole txns), [] = unshrunk *)
   repro : string;
 }
 

@@ -27,6 +27,8 @@ type cfg = {
   skew : float;
   loop : loop;
   seed : int;
+  txns : int;
+  txn_items : int;
 }
 
 let default =
@@ -37,7 +39,11 @@ let default =
     skew = 0.99;
     loop = Closed;
     seed = 1;
+    txns = 0;
+    txn_items = 2;
   }
+
+type workload = { requests : Wire.request array array; txns : Wire.txn array }
 
 let pick_op rng mix =
   let g, p, d, _c = fractions mix in
@@ -63,18 +69,109 @@ let generate_shard rng cfg dist =
       | Wire.Put -> model.(key) <- value
       | Wire.Delete -> model.(key) <- -1
       | Wire.Cas -> if model.(key) = expected then model.(key) <- value
-      | Wire.Get -> ());
+      | Wire.Get | Wire.Txn -> ());
       { Wire.op; key; value; expected })
+
+(* One transaction: 2..min(shards,3) participant shards (1 on a 1-shard
+   store), each holding 1..txn_items get/put/cas items. Cas expectations
+   are random words, which almost never match the pre-transaction state:
+   a participant holding a Cas nearly always votes no, one without votes
+   yes, so both decisions and mixed votes occur constantly under
+   fuzzing. (The deterministic yes-vote-with-winning-Cas path is covered
+   by scripted tests.) The protocol replay in Sla decides the real
+   outcome. *)
+let generate_txn rng cfg ~shards ~tid =
+  let nparts =
+    if shards = 1 then 1 else 2 + Rng.int rng (min shards 3 - 1)
+  in
+  let order = Array.init shards Fun.id in
+  Rng.shuffle rng order;
+  let parts = Array.sub order 0 nparts in
+  Array.sort compare parts;
+  let items = ref [] in
+  Array.iter
+    (fun shard ->
+      let count = 1 + Rng.int rng (max 1 cfg.txn_items) in
+      for _ = 1 to count do
+        let key = 1 + Rng.int rng cfg.key_space in
+        let value = Rng.int rng Wire.payload_limit in
+        let roll = Rng.float rng 1.0 in
+        let op =
+          if roll < 0.3 then Wire.Get
+          else if roll < 0.75 then Wire.Put
+          else Wire.Cas
+        in
+        let expected = Rng.int rng Wire.payload_limit in
+        items := (shard, { Wire.op; key; value; expected }) :: !items
+      done)
+    parts;
+  { Wire.tid; items = Array.of_list (List.rev !items) }
+
+(* Insert each participant's marker at a random point of its single-op
+   stream. The protocol requires every stream to carry its markers in
+   tid order (the coordinator resolves transactions in tid order), so
+   the drawn insertion points are sorted per shard and assigned to the
+   markers in tid order. *)
+let weave_markers rng singles txns =
+  let shards = Array.length singles in
+  let marks = Array.make shards [] in
+  Array.iter
+    (fun (t : Wire.txn) ->
+      let local = Array.make shards 0 in
+      Array.iter (fun (shard, _) -> local.(shard) <- local.(shard) + 1) t.items;
+      Array.iteri
+        (fun shard count ->
+          if count > 0 then
+            let pos = Rng.int rng (Array.length singles.(shard) + 1) in
+            let marker =
+              { Wire.op = Wire.Txn; key = t.tid; value = count; expected = 0 }
+            in
+            marks.(shard) <- (pos, marker) :: marks.(shard))
+        local)
+    txns;
+  Array.mapi
+    (fun shard reqs ->
+      let in_tid_order = List.rev marks.(shard) in
+      let points = List.sort compare (List.map fst in_tid_order) in
+      let ms = List.map2 (fun p (_, m) -> (p, m)) points in_tid_order in
+      let out = ref [] in
+      let rec emit i ms =
+        match ms with
+        | (pos, m) :: rest when pos <= i -> out := m :: !out; emit i rest
+        | _ ->
+          if i < Array.length reqs then begin
+            out := reqs.(i) :: !out;
+            emit (i + 1) ms
+          end
+          else assert (ms = [])
+      in
+      emit 0 ms;
+      Array.of_list (List.rev !out))
+    singles
 
 let generate cfg ~shards =
   if shards < 1 then invalid_arg "Client.generate: shards must be positive";
   if cfg.ops_per_shard < 0 then
     invalid_arg "Client.generate: negative ops_per_shard";
+  if cfg.txns < 0 then invalid_arg "Client.generate: negative txns";
   let dist = Rng.Zipf.create ~n:cfg.key_space ~skew:cfg.skew in
   let master = Rng.create cfg.seed in
-  Array.init shards (fun _ ->
-      let rng = Rng.split master in
-      generate_shard rng cfg dist)
+  let singles =
+    Array.init shards (fun _ ->
+        let rng = Rng.split master in
+        generate_shard rng cfg dist)
+  in
+  if cfg.txns = 0 then { requests = singles; txns = [||] }
+  else begin
+    (* the txn rng splits after the per-shard splits, so the single-op
+       streams are byte-identical to the txns = 0 workload *)
+    let trng = Rng.split master in
+    let txns =
+      Array.init cfg.txns (fun t ->
+          generate_txn trng cfg ~shards ~tid:(t + 1))
+    in
+    { requests = weave_markers trng singles txns; txns }
+  end
 
 let arrival cfg ~index =
   match cfg.loop with Closed -> 0 | Open { period } -> index * period

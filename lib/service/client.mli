@@ -1,5 +1,6 @@
 (** Deterministic workload generator: YCSB-style mixes over a bounded
-    zipfian key popularity ({!Capri_util.Rng.zipf}).
+    zipfian key popularity ({!Capri_util.Rng.zipf}), plus optional
+    multi-key transactions.
 
     [Closed] loop means each client issues its next request only after
     the previous acknowledgement — request latency is the inter-ack gap.
@@ -23,14 +24,23 @@ type cfg = {
   skew : float;  (** zipfian skew; 0 = uniform, 0.99 = YCSB default *)
   loop : loop;
   seed : int;
+  txns : int;  (** multi-key transactions woven into the streams *)
+  txn_items : int;  (** max items per participant shard (>= 1) *)
 }
 
 val default : cfg
-(** Mix A, 64 keys, 200 ops/shard, skew 0.99, closed loop, seed 1. *)
+(** Mix A, 64 keys, 200 ops/shard, skew 0.99, closed loop, seed 1, no
+    transactions. *)
 
-val generate : cfg -> shards:int -> Wire.request array array
-(** Per-shard request streams; equal [cfg] and [shards] give equal
-    streams. *)
+type workload = { requests : Wire.request array array; txns : Wire.txn array }
+(** Per-shard request streams (singles plus, when [txns > 0], one [Txn]
+    marker per participant shard woven in at a random point, markers in
+    tid order within each stream) and the transactions themselves. *)
+
+val generate : cfg -> shards:int -> workload
+(** Equal [cfg] and [shards] give equal workloads; the single-op streams
+    with [txns = 0] are byte-identical to the same cfg's streams with
+    markers stripped. *)
 
 val arrival : cfg -> index:int -> int
 (** Cycle at which a shard's [index]-th request arrives (0 under a

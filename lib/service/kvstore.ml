@@ -4,14 +4,26 @@ module Runtime = Capri_runtime
 
 type t = {
   shards : int;
+  cores : int;
   key_space : int;
   capacity : int;
   batch : int;
   requests : Wire.request array array;
+  txns : Wire.txn array;
   program : Program.t;
   mailboxes : int array;
   tables : int array;
+  items : int array;
+  ctrl : int;
+  txn_stride : int;
 }
+
+(* Oracle-sensitivity knob: when set, the emitted participant path skips
+   the spin on the coordinator's decision record and treats its own vote
+   as the decision — a shard that voted yes then applies its items even
+   when the transaction globally aborts. The fuzz campaign's
+   serializability oracle must catch this. *)
+let fault_skip_decision = Atomic.make false
 
 let r = Reg.of_int
 let rg i = Builder.reg (r i)
@@ -20,9 +32,38 @@ let im = Builder.imm
 (* Register convention for the [shard] handler (set via thread_spec):
      r0 = mailbox cursor   r1 = remaining requests
      r2 = table base       r3 = capacity
-   Scratch: r4..r13; r12 is the batch countdown. *)
+   and, when the store carries transactions:
+     r14 = 2PC ctrl base   r15 = 1 + shard (vote-word offset)
+     r16 = item-area cursor
+   Scratch: r4..r13 (r12 is the batch countdown) plus r17..r23 on the
+   transaction path. *)
 
-let emit_shard b ~batch =
+(* Open-addressing probe; keys are never removed (deletion leaves the
+   key with a -1 value sentinel), so with capacity > distinct keys the
+   scan always terminates at the key or an empty slot. The caller leaves
+   its block open with r8 = key mod capacity; this closes it with a jump
+   into the probe loop, which exits with r9 = slot address, r10 = slot
+   key at [found] (key present) or [empty] (r10 = 0). *)
+let emit_probe f ~prefix ~found ~empty =
+  let probe = Builder.block f (prefix ^ "probe") in
+  let chk = Builder.block f (prefix ^ "chk") in
+  let nxt = Builder.block f (prefix ^ "next") in
+  Builder.jump f probe;
+  Builder.switch f probe;
+  Builder.mul f (r 9) (rg 8) (im 2);
+  Builder.add f (r 9) (rg 9) (rg 2);
+  Builder.load f (r 10) ~base:(r 9) ~off:0 ();
+  Builder.binop f Instr.Eq (r 13) (rg 10) (rg 5);
+  Builder.branch f (rg 13) found chk;
+  Builder.switch f chk;
+  Builder.binop f Instr.Eq (r 13) (rg 10) (im 0);
+  Builder.branch f (rg 13) empty nxt;
+  Builder.switch f nxt;
+  Builder.add f (r 8) (rg 8) (im 1);
+  Builder.binop f Instr.Rem (r 8) (rg 8) (rg 3);
+  Builder.jump f probe
+
+let emit_shard b ~batch ~txn =
   let f = Builder.func b "shard" in
   let reqloop = Builder.block f "reqloop" in
   let probe = Builder.block f "probe" in
@@ -57,11 +98,154 @@ let emit_shard b ~batch =
   Builder.load f (r 5) ~base:(r 0) ~off:1 ();
   Builder.load f (r 6) ~base:(r 0) ~off:2 ();
   Builder.load f (r 7) ~base:(r 0) ~off:3 ();
-  Builder.binop f Instr.Rem (r 8) (rg 5) (rg 3);
-  Builder.jump f probe;
-  (* open-addressing probe; keys are never removed (deletion leaves the
-     key with a -1 value sentinel), so with capacity > distinct keys the
-     scan always terminates at the key or an empty slot *)
+  (match txn with
+  | None ->
+    Builder.binop f Instr.Rem (r 8) (rg 5) (rg 3);
+    Builder.jump f probe
+  | Some stride ->
+    let single = Builder.block f "single" in
+    let t_begin = Builder.block f "t_begin" in
+    let vloop = Builder.block f "vloop" in
+    let vitem = Builder.block f "vitem" in
+    let vcas = Builder.block f "vcas" in
+    let vfound = Builder.block f "vfound" in
+    let vlive = Builder.block f "vlive" in
+    let vno = Builder.block f "vno" in
+    let vnext = Builder.block f "vnext" in
+    let vdone = Builder.block f "vdone" in
+    let spin = Builder.block f "spin" in
+    let decide = Builder.block f "decide" in
+    let t_apply = Builder.block f "t_apply" in
+    let aloop = Builder.block f "aloop" in
+    let aitem = Builder.block f "aitem" in
+    let afound = Builder.block f "afound" in
+    let ag = Builder.block f "ag" in
+    let ahit = Builder.block f "ahit" in
+    let aset = Builder.block f "aset" in
+    let aempty = Builder.block f "aempty" in
+    let ains = Builder.block f "ains" in
+    let amiss = Builder.block f "amiss" in
+    let anext = Builder.block f "anext" in
+    let t_abort = Builder.block f "t_abort" in
+    let t_adv = Builder.block f "t_adv" in
+    Builder.binop f Instr.Eq (r 13) (rg 4) (im (Wire.op_code Wire.Txn));
+    Builder.branch f (rg 13) t_begin single;
+    Builder.switch f single;
+    Builder.binop f Instr.Rem (r 8) (rg 5) (rg 3);
+    Builder.jump f probe;
+    (* ---- transaction marker: prepare (vote) phase ---- *)
+    Builder.switch f t_begin;
+    Builder.mv f (r 23) (r 5);  (* tid *)
+    Builder.mv f (r 19) (r 6);  (* local item count *)
+    Builder.sub f (r 17) (rg 5) (im 1);
+    Builder.mul f (r 17) (rg 17) (im stride);
+    Builder.add f (r 17) (rg 17) (rg 14);  (* ctrl block of this txn *)
+    Builder.li f (r 20) 1;  (* vote yes until a cas item disagrees *)
+    Builder.mv f (r 18) (r 16);
+    Builder.jump f vloop;
+    Builder.switch f vloop;
+    Builder.binop f Instr.Eq (r 13) (rg 19) (im 0);
+    Builder.branch f (rg 13) vdone vitem;
+    Builder.switch f vitem;
+    Builder.load f (r 4) ~base:(r 18) ~off:0 ();
+    Builder.load f (r 5) ~base:(r 18) ~off:1 ();
+    Builder.load f (r 7) ~base:(r 18) ~off:3 ();
+    Builder.binop f Instr.Eq (r 13) (rg 4) (im (Wire.op_code Wire.Cas));
+    Builder.branch f (rg 13) vcas vnext;
+    Builder.switch f vcas;
+    Builder.binop f Instr.Rem (r 8) (rg 5) (rg 3);
+    emit_probe f ~prefix:"v" ~found:vfound ~empty:vno;
+    Builder.switch f vfound;
+    Builder.load f (r 11) ~base:(r 9) ~off:1 ();
+    Builder.binop f Instr.Eq (r 13) (rg 11) (im (-1));
+    Builder.branch f (rg 13) vno vlive;
+    Builder.switch f vlive;
+    Builder.binop f Instr.Eq (r 13) (rg 11) (rg 7);
+    Builder.branch f (rg 13) vnext vno;
+    Builder.switch f vno;
+    Builder.li f (r 20) 2;  (* vote no *)
+    Builder.jump f vnext;
+    Builder.switch f vnext;
+    Builder.add f (r 18) (rg 18) (im 4);
+    Builder.sub f (r 19) (rg 19) (im 1);
+    Builder.jump f vloop;
+    (* vote record: own word of the ctrl block, sealed in its own
+       region by the fence before the decision spin *)
+    Builder.switch f vdone;
+    Builder.add f (r 13) (rg 17) (rg 15);
+    Builder.store f ~base:(r 13) ~off:0 (rg 20);
+    Builder.fence f;
+    if Atomic.get fault_skip_decision then begin
+      (* injected bug: take our own vote for the global decision *)
+      Builder.mv f (r 22) (r 20);
+      Builder.jump f decide
+    end
+    else Builder.jump f spin;
+    Builder.switch f spin;
+    Builder.load f (r 22) ~base:(r 17) ~off:0 ();
+    Builder.binop f Instr.Eq (r 13) (rg 22) (im 0);
+    Builder.branch f (rg 13) spin decide;
+    Builder.switch f decide;
+    Builder.binop f Instr.Eq (r 13) (rg 22) (im 1);
+    Builder.branch f (rg 13) t_apply t_abort;
+    (* ---- commit: apply items in order, one response each ---- *)
+    Builder.switch f t_apply;
+    Builder.load f (r 19) ~base:(r 0) ~off:2 ();  (* reload item count *)
+    Builder.mv f (r 18) (r 16);
+    Builder.jump f aloop;
+    Builder.switch f aloop;
+    Builder.binop f Instr.Eq (r 13) (rg 19) (im 0);
+    Builder.branch f (rg 13) t_adv aitem;
+    Builder.switch f aitem;
+    Builder.load f (r 4) ~base:(r 18) ~off:0 ();
+    Builder.load f (r 5) ~base:(r 18) ~off:1 ();
+    Builder.load f (r 6) ~base:(r 18) ~off:2 ();
+    Builder.binop f Instr.Rem (r 8) (rg 5) (rg 3);
+    emit_probe f ~prefix:"a" ~found:afound ~empty:aempty;
+    Builder.switch f afound;
+    Builder.load f (r 11) ~base:(r 9) ~off:1 ();
+    Builder.binop f Instr.Eq (r 13) (rg 4) (im (Wire.op_code Wire.Get));
+    Builder.branch f (rg 13) ag aset;
+    Builder.switch f ag;
+    Builder.binop f Instr.Eq (r 13) (rg 11) (im (-1));
+    Builder.branch f (rg 13) amiss ahit;
+    Builder.switch f ahit;
+    Builder.out f (rg 11);
+    Builder.jump f anext;
+    Builder.switch f aset;
+    (* put or prepare-validated cas: store unconditionally *)
+    Builder.store f ~base:(r 9) ~off:1 (rg 6);
+    Builder.out f (rg 6);
+    Builder.jump f anext;
+    Builder.switch f aempty;
+    Builder.binop f Instr.Eq (r 13) (rg 4) (im (Wire.op_code Wire.Get));
+    Builder.branch f (rg 13) amiss ains;
+    Builder.switch f ains;
+    (* value before key, as on the single-op path *)
+    Builder.store f ~base:(r 9) ~off:1 (rg 6);
+    Builder.store f ~base:(r 9) ~off:0 (rg 5);
+    Builder.out f (rg 6);
+    Builder.jump f anext;
+    Builder.switch f amiss;
+    Builder.out f (im Wire.response_miss);
+    Builder.jump f anext;
+    Builder.switch f anext;
+    Builder.add f (r 18) (rg 18) (im 4);
+    Builder.sub f (r 19) (rg 19) (im 1);
+    Builder.jump f aloop;
+    (* ---- abort: one response carrying the tid ---- *)
+    Builder.switch f t_abort;
+    Builder.add f (r 13) (rg 23)
+      (im (Wire.response ~status:Wire.Aborted ~payload:0));
+    Builder.out f (rg 13);
+    Builder.jump f t_adv;
+    (* skip this txn's item area and rejoin the request loop *)
+    Builder.switch f t_adv;
+    Builder.load f (r 13) ~base:(r 0) ~off:2 ();
+    Builder.mul f (r 13) (rg 13) (im Wire.words_per_request);
+    Builder.add f (r 16) (rg 16) (rg 13);
+    Builder.jump f next_req);
+  (* open-addressing probe of the single-op path *)
   Builder.switch f probe;
   Builder.mul f (r 9) (rg 8) (im 2);
   Builder.add f (r 9) (rg 9) (rg 2);
@@ -149,18 +333,119 @@ let emit_shard b ~batch =
   Builder.switch f fin;
   Builder.halt f
 
+(* The 2PC coordinator, one core for the whole store: for each txn in
+   tid order, spin until every vote word of its ctrl block is nonzero
+   (non-participants are pre-initialized to yes), decide commit iff all
+   are yes, store the decision word, ack the outcome, and fence so the
+   decision record and its acknowledgement commit atomically. *)
+let emit_coord b ~shards ~stride =
+  let f = Builder.func b "coord" in
+  let cloop = Builder.block f "cloop" in
+  let ctxn = Builder.block f "ctxn" in
+  let cscan = Builder.block f "cscan" in
+  let crd = Builder.block f "crd" in
+  let cvote = Builder.block f "cvote" in
+  let cdecide = Builder.block f "cdecide" in
+  let cfin = Builder.block f "cfin" in
+  (* entry: r1 = txn count, r2 = ctrl base; r4 = txn index *)
+  Builder.li f (r 4) 0;
+  Builder.jump f cloop;
+  Builder.switch f cloop;
+  Builder.binop f Instr.Lt (r 13) (rg 4) (rg 1);
+  Builder.branch f (rg 13) ctxn cfin;
+  Builder.switch f ctxn;
+  Builder.mul f (r 5) (rg 4) (im stride);
+  Builder.add f (r 5) (rg 5) (rg 2);
+  Builder.li f (r 6) 1;
+  Builder.li f (r 7) 1;
+  Builder.jump f cscan;
+  Builder.switch f cscan;
+  Builder.binop f Instr.Le (r 13) (rg 7) (im shards);
+  Builder.branch f (rg 13) crd cdecide;
+  Builder.switch f crd;
+  Builder.add f (r 8) (rg 5) (rg 7);
+  Builder.load f (r 9) ~base:(r 8) ~off:0 ();
+  Builder.binop f Instr.Eq (r 13) (rg 9) (im 0);
+  Builder.branch f (rg 13) crd cvote;
+  Builder.switch f cvote;
+  Builder.binop f Instr.Ne (r 13) (rg 9) (im 2);
+  Builder.binop f Instr.And (r 6) (rg 6) (rg 13);
+  Builder.add f (r 7) (rg 7) (im 1);
+  Builder.jump f cscan;
+  Builder.switch f cdecide;
+  Builder.sub f (r 8) (im 2) (rg 6);  (* 1 = commit, 2 = abort *)
+  Builder.store f ~base:(r 5) ~off:0 (rg 8);
+  Builder.add f (r 9) (rg 8) (im 2);  (* Committed = 3, Aborted = 4 *)
+  Builder.mul f (r 9) (rg 9) (im Wire.payload_limit);
+  Builder.add f (r 9) (rg 9) (rg 4);
+  Builder.add f (r 9) (rg 9) (im 1);
+  Builder.out f (rg 9);
+  Builder.fence f;
+  Builder.add f (r 4) (rg 4) (im 1);
+  Builder.jump f cloop;
+  Builder.switch f cfin;
+  Builder.halt f
+
 let capacity_for key_space = max 8 (2 * key_space)
 
-let build ?(batch = 8) ~key_space ~requests () =
+let round_line n = (n + 7) / 8 * 8
+let stride_for ~shards = round_line (1 + shards)
+
+let local_counts ~shards (t : Wire.txn) =
+  let local = Array.make shards 0 in
+  Array.iter (fun (s, _) -> local.(s) <- local.(s) + 1) t.items;
+  local
+
+let check_txns ~shards ~requests ~txns =
+  Array.iteri
+    (fun i (t : Wire.txn) ->
+      if t.tid <> i + 1 then
+        invalid_arg "Kvstore: txn ids must be 1..n in array order";
+      Wire.check_txn ~shards t)
+    txns;
+  let expect = Array.map (local_counts ~shards) txns in
+  Array.iteri
+    (fun s reqs ->
+      let last = ref 0 in
+      let seen = Array.make (Array.length txns) false in
+      Array.iter
+        (fun (req : Wire.request) ->
+          if req.op = Wire.Txn then begin
+            let tid = req.key in
+            if tid > Array.length txns then
+              invalid_arg "Kvstore: marker for an unknown txn";
+            if tid <= !last then
+              invalid_arg "Kvstore: txn markers out of tid order";
+            if expect.(tid - 1).(s) = 0 then
+              invalid_arg "Kvstore: marker on a non-participant shard";
+            if req.value <> expect.(tid - 1).(s) then
+              invalid_arg "Kvstore: marker item count mismatch";
+            seen.(tid - 1) <- true;
+            last := tid
+          end)
+        reqs;
+      Array.iteri
+        (fun ti local ->
+          if local.(s) > 0 && not seen.(ti) then
+            invalid_arg "Kvstore: participant shard missing its txn marker")
+        expect)
+    requests
+
+let build ?(batch = 8) ?(txns = [||]) ~key_space ~requests () =
   let shards = Array.length requests in
   if shards = 0 then invalid_arg "Kvstore.build: no shards";
   if key_space < 1 then invalid_arg "Kvstore.build: key_space must be positive";
   if batch < 1 then invalid_arg "Kvstore.build: batch must be positive";
-  Capri_runtime.Layout.check_cores shards;
+  let ntxn = Array.length txns in
+  let cores = shards + if ntxn > 0 then 1 else 0 in
+  Capri_runtime.Layout.check_cores cores;
   Array.iter (fun reqs -> Array.iter Wire.check_request reqs) requests;
+  check_txns ~shards ~requests ~txns;
   let capacity = capacity_for key_space in
+  let stride = stride_for ~shards in
   let b = Builder.create () in
-  emit_shard b ~batch;
+  emit_shard b ~batch ~txn:(if ntxn = 0 then None else Some stride);
+  if ntxn > 0 then emit_coord b ~shards ~stride;
   let mailboxes =
     Array.map
       (fun reqs ->
@@ -175,21 +460,80 @@ let build ?(batch = 8) ~key_space ~requests () =
   let tables =
     Array.init shards (fun _ -> Builder.alloc b ~words:(capacity * 2))
   in
+  let ctrl =
+    if ntxn = 0 then 0
+    else begin
+      let base = Builder.alloc b ~words:(ntxn * stride) in
+      (* non-participant vote words start at yes so the coordinator
+         needs no participant mask; decision words start at 0 *)
+      Array.iteri
+        (fun ti t ->
+          let local = local_counts ~shards t in
+          Array.iteri
+            (fun s c ->
+              if c = 0 then
+                Builder.init_word b ~addr:(base + (ti * stride) + 1 + s) 1)
+            local)
+        txns;
+      base
+    end
+  in
+  let items =
+    if ntxn = 0 then Array.make shards 0
+    else
+      Array.init shards (fun s ->
+          let words =
+            Array.concat
+              (List.concat_map
+                 (fun (t : Wire.txn) ->
+                   List.filter_map
+                     (fun (shard, item) ->
+                       if shard = s then Some (Wire.encode_request item)
+                       else None)
+                     (Array.to_list t.items))
+                 (Array.to_list txns))
+          in
+          let words = if Array.length words = 0 then [| 0 |] else words in
+          Builder.alloc_init b words)
+  in
   let program = Builder.finish b ~main:"shard" in
-  { shards; key_space; capacity; batch; requests; program; mailboxes; tables }
+  {
+    shards;
+    cores;
+    key_space;
+    capacity;
+    batch;
+    requests;
+    txns;
+    program;
+    mailboxes;
+    tables;
+    items;
+    ctrl;
+    txn_stride = stride;
+  }
 
 let thread_specs t =
-  List.init t.shards (fun s ->
-      {
-        Runtime.Executor.func = "shard";
-        args =
-          [
-            (r 0, t.mailboxes.(s));
-            (r 1, Array.length t.requests.(s));
-            (r 2, t.tables.(s));
-            (r 3, t.capacity);
-          ];
-      })
+  let ntxn = Array.length t.txns in
+  let shard_threads =
+    List.init t.shards (fun s ->
+        {
+          Runtime.Executor.func = "shard";
+          args =
+            [
+              (r 0, t.mailboxes.(s));
+              (r 1, Array.length t.requests.(s));
+              (r 2, t.tables.(s));
+              (r 3, t.capacity);
+            ]
+            @ (if ntxn = 0 then []
+               else [ (r 14, t.ctrl); (r 15, 1 + s); (r 16, t.items.(s)) ]);
+        })
+  in
+  if ntxn = 0 then shard_threads
+  else
+    shard_threads
+    @ [ { Runtime.Executor.func = "coord"; args = [ (r 1, ntxn); (r 2, t.ctrl) ] } ]
 
 let lookup t mem ~shard ~key =
   let table = t.tables.(shard) in
@@ -205,3 +549,9 @@ let lookup t mem ~shard ~key =
       else go ((slot + 1) mod cap) (steps + 1)
   in
   go (key mod cap) 0
+
+let ctrl_decision t mem ~tid =
+  Arch.Memory.read mem (t.ctrl + ((tid - 1) * t.txn_stride))
+
+let ctrl_vote t mem ~tid ~shard =
+  Arch.Memory.read mem (t.ctrl + ((tid - 1) * t.txn_stride) + 1 + shard)

@@ -8,6 +8,22 @@
     [batch] requests bounds how long a region (and therefore an
     acknowledgement) can stay open.
 
+    When the workload carries transactions, [build] additionally emits a
+    [coord] function (one extra core) and gives each shard a 2PC
+    participant path: a [Txn] marker in the mailbox makes the shard
+    compute a vote over its local items (every [Cas] must match the
+    pre-transaction state), store it in its own word of the
+    transaction's {e ctrl block}, fence — sealing the vote record in its
+    own failure-atomic region — and then spin on the block's decision
+    word. The coordinator waits for all vote words (non-participants are
+    pre-initialized to yes), stores the decision and acks the outcome in
+    one fenced region. On commit the shard applies its items in order,
+    one response each; on abort it answers a single [Aborted] response.
+    Inter-core persist ordering (the word-granular conflict fence) plus
+    deterministic re-execution after resume make the protocol
+    crash-consistent: a crash at any cycle either fully applies or fully
+    discards a transaction after recovery.
+
     The handler contains no persistence-aware code: no logging, no
     flushes, no recovery paths. Compiling it through the Capri pipeline
     and running it under the persistence engine is what makes the store
@@ -17,27 +33,63 @@
 
 type t = {
   shards : int;
+  cores : int;  (** shards, plus the coordinator core when txns exist *)
   key_space : int;  (** client keys are [1..key_space] *)
   capacity : int;  (** slots per shard table *)
   batch : int;
   requests : Wire.request array array;  (** per shard, mailbox order *)
+  txns : Wire.txn array;  (** tid [i+1] at index [i] *)
   program : Capri_ir.Program.t;
   mailboxes : int array;  (** per shard: mailbox base address *)
   tables : int array;  (** per shard: table base address *)
+  items : int array;
+      (** per shard: txn item area base (items of that shard in tid then
+          item order, {!Wire.words_per_request} words each; 0 when the
+          store has no txns) *)
+  ctrl : int;  (** 2PC ctrl area base (0 when no txns) *)
+  txn_stride : int;
+      (** words per ctrl block: \[decision; vote_shard0; ...\] padded to
+          a cache line *)
 }
+
+val fault_skip_decision : bool Atomic.t
+(** Oracle-sensitivity knob, read at [build] time: the participant path
+    skips the decision spin and treats its own vote as the global
+    decision — a yes-voting shard applies its items even when the
+    transaction aborts. The fuzz campaign's serializability oracle must
+    catch this. Default [false]. *)
 
 val capacity_for : int -> int
 (** Table slots used for a given key space (2x, minimum 8). *)
 
+val stride_for : shards:int -> int
+(** Ctrl-block stride for a store with this many shards. *)
+
 val build :
-  ?batch:int -> key_space:int -> requests:Wire.request array array -> unit -> t
+  ?batch:int ->
+  ?txns:Wire.txn array ->
+  key_space:int ->
+  requests:Wire.request array array ->
+  unit ->
+  t
 (** One shard per element of [requests]. Raises [Invalid_argument] on an
-    empty shard list, a non-positive key space or batch, more shards than
-    {!Capri_runtime.Layout.max_cores}, or an out-of-range request. *)
+    empty shard list, a non-positive key space or batch, more cores than
+    {!Capri_runtime.Layout.max_cores}, an out-of-range request, or an
+    inconsistent transaction set (tids not [1..n], markers missing, out
+    of tid order, on non-participant shards, or with wrong item
+    counts). *)
 
 val thread_specs : t -> Capri_runtime.Executor.thread_spec list
-(** One thread per shard, parameterized via argument registers. *)
+(** One thread per shard plus, when txns exist, the coordinator thread
+    on core [shards], parameterized via argument registers. *)
 
 val lookup : t -> Capri_arch.Memory.t -> shard:int -> key:int -> int option
 (** Host-side probe of a shard's table in a memory image (used by the
     durability oracle against recovered NVM). *)
+
+val ctrl_decision : t -> Capri_arch.Memory.t -> tid:int -> int
+(** The txn's durable decision word: 0 undecided, 1 commit, 2 abort. *)
+
+val ctrl_vote : t -> Capri_arch.Memory.t -> tid:int -> shard:int -> int
+(** A shard's durable vote word: 0 unvoted, 1 yes, 2 no
+    (non-participants read 1 from the initial image). *)

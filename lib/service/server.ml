@@ -52,10 +52,15 @@ let calibrate cfg =
       skew = 0.0;
       loop = Client.Closed;
       seed = 7;
+      txns = 0;
+      txn_items = 2;
     }
   in
-  let requests = Client.generate probe_client ~shards:1 in
-  let kv = Kvstore.build ~batch:cfg.batch ~key_space:16 ~requests () in
+  let workload = Client.generate probe_client ~shards:1 in
+  let kv =
+    Kvstore.build ~batch:cfg.batch ~key_space:16
+      ~requests:workload.Client.requests ()
+  in
   let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
   let session =
     Executor.start ~config:cfg.config ~mode:cfg.mode ~journal_io:true
@@ -99,16 +104,20 @@ let admit ~period ~depth ~svc requests =
 
 let plan cfg =
   if cfg.shards < 1 then invalid_arg "Server.plan: shards must be positive";
-  let requests = Client.generate cfg.client ~shards:cfg.shards in
+  let workload = Client.generate cfg.client ~shards:cfg.shards in
+  let requests = workload.Client.requests in
+  (* admission control would have to drop whole transactions to stay
+     protocol-consistent; with txns present it is disabled *)
   let requests, rejected =
     match (cfg.client.Client.loop, cfg.admit_depth) with
-    | Client.Open { period }, Some depth when depth >= 0 ->
+    | Client.Open { period }, Some depth
+      when depth >= 0 && Array.length workload.Client.txns = 0 ->
       admit ~period ~depth ~svc:(calibrate cfg) requests
     | _ -> (requests, 0)
   in
   let kv =
-    Kvstore.build ~batch:cfg.batch ~key_space:cfg.client.Client.key_space
-      ~requests ()
+    Kvstore.build ~batch:cfg.batch ~txns:workload.Client.txns
+      ~key_space:cfg.client.Client.key_space ~requests ()
   in
   let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
   { cfg; kv; compiled; rejected }
@@ -127,44 +136,70 @@ type outcome = {
 let instrument obs t outcome =
   if Obs.enabled obs then begin
     let m = obs.Obs.metrics in
+    let shards = t.kv.Kvstore.shards in
     Metrics.Counter.add
       (Metrics.counter m "service_rejected")
       t.rejected;
     Metrics.Counter.add (Metrics.counter m "service_recoveries")
       outcome.recoveries;
+    if Array.length t.kv.Kvstore.txns > 0 then begin
+      let commits, aborts = Sla.txn_outcomes t.kv in
+      (* prepares = votes cast = participants summed over transactions *)
+      let prepares =
+        Array.fold_left
+          (fun acc (tx : Wire.txn) ->
+            let seen = Hashtbl.create 4 in
+            Array.iter (fun (s, _) -> Hashtbl.replace seen s ()) tx.Wire.items;
+            acc + Hashtbl.length seen)
+          0 t.kv.Kvstore.txns
+      in
+      Metrics.Counter.add (Metrics.counter m "service_txn_prepared") prepares;
+      Metrics.Counter.add (Metrics.counter m "service_txn_committed") commits;
+      Metrics.Counter.add (Metrics.counter m "service_txn_aborted") aborts
+    end;
     let lat_hist = Metrics.log2_histogram m "service_latency_cycles" ~buckets:24 in
     Array.iteri
-      (fun shard shard_acks ->
-        let labels = [ ("shard", string_of_int shard) ] in
+      (fun core core_acks ->
+        let labels = [ ("core", string_of_int core) ] in
         Metrics.Counter.add
           (Metrics.counter ~labels m "service_acked")
-          (List.length shard_acks);
+          (List.length core_acks);
         let lats =
-          Sla.request_latencies ~loop:t.cfg.client.Client.loop shard_acks
+          Sla.request_latencies ~loop:t.cfg.client.Client.loop core_acks
         in
         List.iter (Metrics.Histogram.observe lat_hist) lats;
         List.iteri
           (fun i (resp, cycle) ->
+            (* the coordinator core's acks are 2PC outcomes; shards ack
+               requests and txn item/abort responses *)
+            let name =
+              if core >= shards then
+                match Wire.decode_response resp with
+                | Wire.Committed, _ -> "txn_commit"
+                | Wire.Aborted, _ -> "txn_abort"
+                | _ -> "ack"
+              else "ack"
+            in
             Tracer.instant obs.Obs.tracer
-              ~track:(Tracer.Core shard)
-              ~name:"ack" ~ts:cycle
+              ~track:(Tracer.Core core)
+              ~name ~ts:cycle
               ~args:
                 [
                   ("request", string_of_int i); ("response", string_of_int resp);
                 ])
-          shard_acks)
+          core_acks)
       outcome.acks
   end
 
-let run ?(obs = Obs.null) ?(crash_at = []) t =
+let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
   let cfg = t.cfg in
   if cfg.mode = Arch.Persist.Volatile && crash_at <> [] then
     invalid_arg "Server.run: a volatile store cannot recover from a crash";
   let threads = Kvstore.thread_specs t.kv in
-  let shards = t.kv.Kvstore.shards in
+  let cores = t.kv.Kvstore.cores in
   let threshold = cfg.options.Comp.Options.threshold in
-  let seen = Array.make shards 0 in
-  let acks = Array.make shards [] in  (* reversed accumulation *)
+  let seen = Array.make cores 0 in
+  let acks = Array.make cores [] in  (* reversed accumulation *)
   let images = ref [] in
   let recoveries = ref 0 in
   let blocks_total = ref 0 in
@@ -203,14 +238,14 @@ let run ?(obs = Obs.null) ?(crash_at = []) t =
         base := !base + at_cycle + penalty;
         let session =
           Executor.resume ~config:cfg.config ~mode:cfg.mode ~journal_io:true
-            ~obs ~check_threshold:threshold ~compiled:t.compiled ~image
+            ?trace ~obs ~check_threshold:threshold ~compiled:t.compiled ~image
             ~threads ()
         in
         go session rest)
   in
   let session =
-    Executor.start ~config:cfg.config ~mode:cfg.mode ~journal_io:true ~obs
-      ~check_threshold:threshold
+    Executor.start ~config:cfg.config ~mode:cfg.mode ~journal_io:true ?trace
+      ~obs ~check_threshold:threshold
       ~program:t.compiled.Comp.Compiled.program ~threads ()
   in
   let result = go session crash_at in
@@ -233,6 +268,10 @@ let check t outcome =
   Sla.check ~kv:t.kv ~images:outcome.images ~final:outcome.final
 
 let stats t outcome =
-  Sla.stats ~loop:t.cfg.client.Client.loop ~acks:outcome.acks
+  let txns =
+    if Array.length t.kv.Kvstore.txns = 0 then (0, 0)
+    else Sla.txn_outcomes t.kv
+  in
+  Sla.stats ~txns ~loop:t.cfg.client.Client.loop ~acks:outcome.acks
     ~cycles:outcome.cycles ~rejected:t.rejected ~recoveries:outcome.recoveries
-    ~recovery_cycles:outcome.recovery_cycles
+    ~recovery_cycles:outcome.recovery_cycles ()

@@ -45,8 +45,9 @@ val plan : cfg -> t
 
 type outcome = {
   acks : (int * int) list array;
-      (** per shard: [(response, ack cycle)] in request order; cycles are
-          absolute across crash segments and recovery penalties *)
+      (** per core (coordinator last when the store has transactions):
+          [(response, ack cycle)] in response order; cycles are absolute
+          across crash segments and recovery penalties *)
   final : int list array;  (** complete response streams at completion *)
   images : Capri_arch.Persist.image list;  (** one per crash, in order *)
   cycles : int;  (** total elapsed, modeled recovery time included *)
@@ -57,15 +58,24 @@ type outcome = {
 }
 
 val run :
-  ?obs:Capri_obs.Obs.t -> ?crash_at:int list -> t -> outcome
+  ?obs:Capri_obs.Obs.t ->
+  ?trace:Capri_runtime.Trace.t ->
+  ?crash_at:int list ->
+  t ->
+  outcome
 (** Each [crash_at] entry is a dynamic-instruction crash point within its
     own segment (first entry in the fresh run, second after the first
     recovery, ...), as in {!Capri_runtime.Verify.run_with_crashes}. The
     run always completes: after the schedule is exhausted the final
-    segment drains every remaining request. With an enabled [obs], per-
-    request ack instants land on each shard's trace track and the
-    metrics registry gains [service_acked]/[service_rejected]/
-    [service_recoveries] counters plus a latency histogram.
+    segment drains every remaining request. [trace] records region
+    boundary events across every segment (the fuzz campaign uses a
+    crash-free traced run to aim crash points at 2PC phases). With an
+    enabled [obs], per-request ack instants land on each core's trace
+    track ([txn_commit]/[txn_abort] instants on the coordinator's) and
+    the metrics registry gains [service_acked]/[service_rejected]/
+    [service_recoveries] counters — plus [service_txn_prepared]/
+    [service_txn_committed]/[service_txn_aborted] when the store carries
+    transactions — and a latency histogram.
 
     Raises [Invalid_argument] for a non-empty schedule in [Volatile]
     mode — a volatile store cannot recover. *)

@@ -1,11 +1,17 @@
-(** Service-level accounting and the acked-durability oracle.
+(** Service-level accounting and the serializability + durability
+    oracle.
 
-    The contract the serving layer sells: once a request is acknowledged
-    — its response's region committed at the back-end proxy — a power
-    failure at {e any} point leaves the store with that request's effect
-    durable, and the response stream is never lost, duplicated or
-    reordered. [check] enforces it against every crash image of a run
-    plus the completed run's full response streams. *)
+    The contract the serving layer sells: once a request — or a
+    transaction outcome — is acknowledged, a power failure at {e any}
+    point leaves the store with that effect durable, and the response
+    stream is never lost, duplicated or reordered. Transactions commit
+    or abort atomically across shards: the oracle replays the whole 2PC
+    protocol deterministically on the host (votes against each
+    participant's pre-transaction state, decisions in tid order) and
+    requires every acked response, every durable table and every durable
+    vote/decision record to agree with that unique serializable
+    history. [check] enforces all of it against every crash image of a
+    run plus the completed run's full response streams. *)
 
 (** Host-side reference model of one shard's table. *)
 module Model : sig
@@ -14,20 +20,44 @@ module Model : sig
   val create : key_space:int -> t
   val copy : t -> t
   val get : t -> int -> int option
+
   val apply : t -> Wire.request -> int
   (** Mutates the model; returns the response word the shard handler
-      must emit for this request. *)
+      must emit for this request. Raises on a [Txn] marker — those
+      expand through the protocol replay. *)
+
+  val apply_item : t -> Wire.request -> int
+  (** Commit-time application of a transaction item: [Cas] was
+      validated at prepare, so put/cas store unconditionally; get reads
+      the current state. *)
 end
 
 val expected_responses : key_space:int -> Wire.request array -> int array
+(** Single-op streams only (no markers). *)
+
+type protocol
+(** The replayed 2PC history of a store: per-core expected response
+    streams, per-txn votes and decisions, per-shard micro-op
+    expansions. *)
+
+val replay : Kvstore.t -> protocol
+
+val expected_streams : protocol -> int array array
+(** Per core, coordinator last when the store has transactions. *)
+
+val decisions : protocol -> bool array
+
+val txn_outcomes : Kvstore.t -> int * int
+(** [(commits, aborts)] of the store's transactions under the replay. *)
 
 val durable_slack : int
-(** Requests the durable table may run ahead of the acked count (a
+(** Micro-ops the durable table may run ahead of the acked count (a
     mutation's region can commit while the response's region is still
     open). *)
 
 type violation = { shard : int; crash_index : int; detail : string }
-(** [crash_index = -1] marks a completion check failure. *)
+(** [shard] is a core index (the coordinator is core [shards]);
+    [crash_index = -1] marks a completion check failure. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -36,14 +66,17 @@ val check :
   images:Capri_arch.Persist.image list ->
   final:int list array ->
   (unit, violation) result
-(** For every crash image: each shard's acked responses must be a prefix
-    of the model's answers, and the recovered table must equal the model
-    replayed to some point in [\[acked, acked + durable_slack\]]. For the
-    completed run: the response streams must equal the model's answers
+(** For every crash image: each core's acked responses must be a prefix
+    of the protocol's answers; each recovered table must equal the
+    protocol replayed to some point in [\[acked, acked+durable_slack\]]
+    micro-ops; each durable vote/decision word must be 0 or the
+    protocol's value, and must be the protocol's value once its owner
+    acked past the record's sealing point. For the completed run: the
+    response streams of every core must equal the protocol's answers
     exactly (exactly-once delivery). *)
 
 type stats = {
-  ops : int;  (** acknowledged requests *)
+  ops : int;  (** acknowledged responses (txn item/outcome acks included) *)
   rejected : int;  (** refused by admission control *)
   cycles : int;  (** wall-clock including modeled recovery time *)
   throughput : float;  (** acked ops per kilocycle *)
@@ -51,20 +84,25 @@ type stats = {
   p99 : float;  (** request latency percentiles, cycles *)
   recoveries : int;
   mean_recovery : float;  (** modeled cycles per recovery *)
+  txn_commits : int;
+  txn_aborts : int;
 }
 
 val request_latencies : loop:Client.loop -> (int * int) list -> int list
-(** Per-request latency of one shard's [(response, ack cycle)] stream. *)
+(** Per-request latency of one core's [(response, ack cycle)] stream. *)
 
 val stats :
+  ?txns:int * int ->
   loop:Client.loop ->
   acks:(int * int) list array ->
   cycles:int ->
   rejected:int ->
   recoveries:int ->
   recovery_cycles:int ->
+  unit ->
   stats
 (** Closed-loop latency is the inter-ack gap; open-loop latency is ack
-    minus nominal arrival (clamped to 1). *)
+    minus nominal arrival (clamped to 1). [txns] is the store's
+    [(commits, aborts)] tally, default [(0, 0)]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

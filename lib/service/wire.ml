@@ -1,9 +1,15 @@
-type op = Get | Put | Delete | Cas
+type op = Get | Put | Delete | Cas | Txn
 
 type request = { op : op; key : int; value : int; expected : int }
 
-let op_code = function Get -> 0 | Put -> 1 | Delete -> 2 | Cas -> 3
-let op_name = function Get -> "get" | Put -> "put" | Delete -> "del" | Cas -> "cas"
+let op_code = function Get -> 0 | Put -> 1 | Delete -> 2 | Cas -> 3 | Txn -> 4
+
+let op_name = function
+  | Get -> "get"
+  | Put -> "put"
+  | Delete -> "del"
+  | Cas -> "cas"
+  | Txn -> "txn"
 
 let words_per_request = 4
 
@@ -11,7 +17,15 @@ let payload_bits = 20
 let payload_limit = 1 lsl payload_bits
 
 let check_request r =
-  if r.key < 1 then invalid_arg "Wire: keys start at 1 (0 is the empty slot)";
+  (match r.op with
+  | Txn ->
+    if r.key < 1 then invalid_arg "Wire: txn ids start at 1";
+    if r.value < 1 then
+      invalid_arg "Wire: a txn marker must carry at least one local item";
+    if r.expected <> 0 then
+      invalid_arg "Wire: a txn marker's expected field must be 0"
+  | Get | Put | Delete | Cas ->
+    if r.key < 1 then invalid_arg "Wire: keys start at 1 (0 is the empty slot)");
   if r.value < 0 || r.value >= payload_limit then
     invalid_arg "Wire: value outside the payload range";
   if r.expected < 0 || r.expected >= payload_limit then
@@ -21,10 +35,37 @@ let encode_request r =
   check_request r;
   [| op_code r.op; r.key; r.value; r.expected |]
 
-type status = Ok | Miss | Cas_fail
+type txn = { tid : int; items : (int * request) array }
 
-let status_code = function Ok -> 0 | Miss -> 1 | Cas_fail -> 2
-let status_name = function Ok -> "ok" | Miss -> "miss" | Cas_fail -> "casfail"
+let check_txn ~shards t =
+  if t.tid < 1 then invalid_arg "Wire: txn ids start at 1";
+  if Array.length t.items = 0 then invalid_arg "Wire: empty transaction";
+  Array.iter
+    (fun (shard, r) ->
+      if shard < 0 || shard >= shards then
+        invalid_arg "Wire: txn item targets a shard out of range";
+      (match r.op with
+      | Get | Put | Cas -> ()
+      | Delete | Txn ->
+        invalid_arg "Wire: txn items are get/put/cas only");
+      check_request r)
+    t.items
+
+type status = Ok | Miss | Cas_fail | Committed | Aborted
+
+let status_code = function
+  | Ok -> 0
+  | Miss -> 1
+  | Cas_fail -> 2
+  | Committed -> 3
+  | Aborted -> 4
+
+let status_name = function
+  | Ok -> "ok"
+  | Miss -> "miss"
+  | Cas_fail -> "casfail"
+  | Committed -> "committed"
+  | Aborted -> "aborted"
 
 let response ~status ~payload = (status_code status * payload_limit) + payload
 let response_miss = response ~status:Miss ~payload:0
@@ -35,6 +76,8 @@ let decode_response w =
     | 0 -> Ok
     | 1 -> Miss
     | 2 -> Cas_fail
+    | 3 -> Committed
+    | 4 -> Aborted
     | _ -> invalid_arg (Printf.sprintf "Wire.decode_response: %d" w)
   in
   (status, w mod payload_limit)
@@ -45,6 +88,25 @@ let pp_request ppf r =
   | Put -> Format.fprintf ppf "put k%d=%d" r.key r.value
   | Delete -> Format.fprintf ppf "del k%d" r.key
   | Cas -> Format.fprintf ppf "cas k%d %d->%d" r.key r.expected r.value
+  | Txn -> Format.fprintf ppf "txn t%d (%d items)" r.key r.value
+
+let pp_txn ppf t =
+  Format.fprintf ppf "t%d:[%s]" t.tid
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun (shard, r) ->
+               Format.asprintf "s%d %a" shard
+                 (fun ppf r ->
+                   match r.op with
+                   | Get -> Format.fprintf ppf "get k%d" r.key
+                   | Put -> Format.fprintf ppf "put k%d=%d" r.key r.value
+                   | Cas ->
+                     Format.fprintf ppf "cas k%d %d->%d" r.key r.expected
+                       r.value
+                   | _ -> Format.fprintf ppf "?")
+                 r)
+             t.items)))
 
 let pp_response ppf w =
   let status, payload = decode_response w in

@@ -6,13 +6,25 @@
     handler answers every request with exactly one [Out] whose word packs
     a status and a payload as [status * 2^20 + payload]; under journaled
     I/O that output becomes client-visible only when its region commits
-    at the back-end proxy — the acknowledgement point. *)
+    at the back-end proxy — the acknowledgement point.
 
-type op = Get | Put | Delete | Cas
+    Multi-key transactions ride the same mailboxes: a [Txn] {e marker}
+    request ([op = Txn; key = tid; value = local item count]) appears in
+    every participant shard's stream, in tid order, and the items
+    themselves live in a separate per-shard item area laid out by
+    {!Kvstore}. A committed marker answers one response per local item;
+    an aborted marker answers a single [Aborted] response carrying the
+    tid. The 2PC coordinator answers one [Committed]/[Aborted] response
+    per transaction, in tid order. *)
+
+type op = Get | Put | Delete | Cas | Txn
 
 type request = { op : op; key : int; value : int; expected : int }
 (** [key >= 1] (0 marks an empty table slot); [value]/[expected] in
-    [\[0, payload_limit)]. [expected] only matters for [Cas]. *)
+    [\[0, payload_limit)]. [expected] only matters for [Cas]. For a
+    [Txn] marker, [key] is the tid (>= 1), [value] the number of the
+    transaction's items local to this shard (>= 1) and [expected] must
+    be 0. *)
 
 val op_code : op -> int
 val op_name : op -> string
@@ -28,7 +40,18 @@ val check_request : request -> unit
 val encode_request : request -> int array
 (** The {!words_per_request} mailbox words. *)
 
-type status = Ok | Miss | Cas_fail
+type txn = { tid : int; items : (int * request) array }
+(** A multi-key transaction: [(shard, item)] pairs applied in array
+    order on commit. Item ops are [Get]/[Put]/[Cas] only; [Cas] items
+    are validated at prepare against the pre-transaction state and
+    applied unconditionally on commit. *)
+
+val check_txn : shards:int -> txn -> unit
+(** Raises [Invalid_argument] on a bad tid, an empty item list, an item
+    shard out of range, a [Delete]/[Txn] item, or an out-of-range item
+    request. *)
+
+type status = Ok | Miss | Cas_fail | Committed | Aborted
 
 val status_name : status -> string
 val response : status:status -> payload:int -> int
@@ -36,4 +59,5 @@ val response_miss : int
 val decode_response : int -> status * int
 
 val pp_request : Format.formatter -> request -> unit
+val pp_txn : Format.formatter -> txn -> unit
 val pp_response : Format.formatter -> int -> unit

@@ -301,6 +301,77 @@ let test_livelock_structured () =
   in
   ignore (finished "solo main" solo)
 
+(* The transactional serving layer: a cross-shard 2PC store must be
+   engine-invariant end to end — acks, response streams, crash images
+   and recovered tables — both crash-free and through a crash schedule
+   that lands mid-protocol. *)
+let test_txn_service_differential () =
+  let module Svc = Capri_service in
+  let cfg =
+    {
+      Svc.Server.default_cfg with
+      Svc.Server.shards = 2;
+      client =
+        {
+          Svc.Client.default with
+          Svc.Client.ops_per_shard = 16;
+          key_space = 16;
+          seed = 9;
+          txns = 3;
+          txn_items = 2;
+        };
+    }
+  in
+  let with_engine engine f =
+    let saved = !Executor.default_engine in
+    Executor.default_engine := engine;
+    Fun.protect ~finally:(fun () -> Executor.default_engine := saved) f
+  in
+  let t = Svc.Server.plan cfg in
+  let run ?crash_at engine =
+    with_engine engine (fun () -> Svc.Server.run ?crash_at t)
+  in
+  let a = run Executor.Interp and b = run Executor.Compiled in
+  Alcotest.(check bool) "crash-free acks" true
+    (a.Svc.Server.acks = b.Svc.Server.acks);
+  Alcotest.(check bool) "crash-free streams" true
+    (a.Svc.Server.final = b.Svc.Server.final);
+  Alcotest.(check int) "crash-free cycles" a.Svc.Server.cycles
+    b.Svc.Server.cycles;
+  let total = a.Svc.Server.result.Executor.instrs in
+  let schedule = [ total / 3; total / 4 ] in
+  let ca = run ~crash_at:schedule Executor.Interp in
+  let cb = run ~crash_at:schedule Executor.Compiled in
+  Alcotest.(check bool) "acks" true (ca.Svc.Server.acks = cb.Svc.Server.acks);
+  Alcotest.(check bool) "streams" true
+    (ca.Svc.Server.final = cb.Svc.Server.final);
+  Alcotest.(check int) "recoveries" ca.Svc.Server.recoveries
+    cb.Svc.Server.recoveries;
+  Alcotest.(check int) "images" 2 (List.length ca.Svc.Server.images);
+  List.iter2
+    (fun (ia : Persist.image) (ib : Persist.image) ->
+      Alcotest.(check bool) "image.resume" true
+        (ia.Persist.resume = ib.Persist.resume);
+      Alcotest.(check bool) "image.slots" true
+        (ia.Persist.slots = ib.Persist.slots);
+      Alcotest.(check bool) "image.journal" true
+        (ia.Persist.journal = ib.Persist.journal);
+      Alcotest.(check bool) "image.acked" true
+        (ia.Persist.acked = ib.Persist.acked);
+      Alcotest.(check bool) "image.nvm" true
+        (Memory.equal ia.Persist.nvm ib.Persist.nvm))
+    ca.Svc.Server.images cb.Svc.Server.images;
+  (* both engines' recovered stores satisfy the serializability +
+     durability oracle and agree with the crash-free streams *)
+  List.iter
+    (fun (name, o) ->
+      match Svc.Server.check t o with
+      | Ok () -> ()
+      | Error v -> Alcotest.failf "%s: %a" name Svc.Sla.pp_violation v)
+    [ ("interp", ca); ("compiled", cb) ];
+  Alcotest.(check bool) "crashed streams = crash-free streams" true
+    (ca.Svc.Server.final = a.Svc.Server.final)
+
 (* Engine selection plumbing. *)
 let test_engine_of_string () =
   Alcotest.(check bool)
@@ -413,6 +484,8 @@ let suite =
       test_crash_recovery_identity;
     Alcotest.test_case "livelock: per-thread budget, structured error" `Quick
       test_livelock_structured;
+    Alcotest.test_case "txn service: engines identical" `Quick
+      test_txn_service_differential;
     Alcotest.test_case "engine selection plumbing" `Quick test_engine_of_string;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_engines_agree ]

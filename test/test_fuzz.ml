@@ -240,6 +240,64 @@ let test_oracle_catches_dropped_undo () =
     Alcotest.(check int) "clean once undo is applied again" 0
       (List.length fixed.Fz.Campaign.t_failures)
 
+(* The 2PC analogue of the dropped-undo check: with
+   Kvstore.fault_skip_decision armed, a participant treats its own vote
+   as the global decision — a yes-voting shard applies its items even
+   when the coordinator aborts the transaction. The service campaign's
+   serializability oracle must catch the half-applied transaction,
+   shrink the workload to a minimal unit subset, and the reported trial
+   seed must reproduce it (and run clean once the knob is off). *)
+let txn_sensitivity_cfg =
+  {
+    Fz.Service_fuzz.default_cfg with
+    Fz.Service_fuzz.seed = 21;
+    budget = 40;
+    jobs = 1;
+    modes = [ Persist.Capri ];
+    max_shards = 2;
+    max_ops = 10;
+    max_schedules = 3;
+    min_txns = 1;
+    max_txns = 3;
+  }
+
+let test_oracle_catches_skipped_decision () =
+  let module Svc = Capri_service in
+  let armed f =
+    Atomic.set Svc.Kvstore.fault_skip_decision true;
+    Fun.protect
+      ~finally:(fun () -> Atomic.set Svc.Kvstore.fault_skip_decision false)
+      f
+  in
+  (* sanity: the same campaign is clean without the fault *)
+  let clean = Fz.Service_fuzz.run txn_sensitivity_cfg in
+  Alcotest.(check int) "clean without fault" 0
+    (List.length clean.Fz.Service_fuzz.failures);
+  let report = armed (fun () -> Fz.Service_fuzz.run txn_sensitivity_cfg) in
+  match report.Fz.Service_fuzz.failures with
+  | [] -> Alcotest.fail "fuzzer failed to catch the skipped 2PC decision"
+  | f :: _ ->
+    Alcotest.(check bool) "workload shrunk to a unit subset" true
+      (f.Fz.Service_fuzz.kept_requests <> []);
+    (* the reported trial seed reproduces in isolation, fault armed *)
+    let trial_cfg =
+      {
+        txn_sensitivity_cfg with
+        Fz.Service_fuzz.seed = f.Fz.Service_fuzz.trial_seed;
+        shrink = false;
+      }
+    in
+    let repro = armed (fun () -> Fz.Service_fuzz.run_trial trial_cfg 0) in
+    (match repro.Fz.Service_fuzz.t_failures with
+    | [] -> Alcotest.fail "trial seed did not reproduce the failure"
+    | rf :: _ ->
+      Alcotest.(check int) "same trial seed" f.Fz.Service_fuzz.trial_seed
+        rf.Fz.Service_fuzz.trial_seed);
+    (* honouring the decision again makes the same trial pass *)
+    let fixed = Fz.Service_fuzz.run_trial trial_cfg 0 in
+    Alcotest.(check int) "clean once the decision is honoured" 0
+      (List.length fixed.Fz.Service_fuzz.t_failures)
+
 let suite =
   [
     Alcotest.test_case "schedule: observe" `Quick test_schedule_observe;
@@ -254,4 +312,6 @@ let suite =
       test_differential_option_matrix;
     Alcotest.test_case "oracle catches dropped undo" `Quick
       test_oracle_catches_dropped_undo;
+    Alcotest.test_case "oracle catches skipped 2PC decision" `Quick
+      test_oracle_catches_skipped_decision;
   ]

@@ -7,9 +7,19 @@ module Arch = Capri_arch
 open Capri_service
 
 let mk ?(shards = 2) ?(ops = 60) ?(mix = Client.A) ?(mode = Arch.Persist.Capri)
-    ?(seed = 11) ?(loop = Client.Closed) ?admit ?(batch = 8) () =
+    ?(seed = 11) ?(loop = Client.Closed) ?admit ?(batch = 8) ?(txns = 0)
+    ?(txn_items = 2) () =
   let client =
-    { Client.default with mix; ops_per_shard = ops; key_space = 24; seed; loop }
+    {
+      Client.default with
+      mix;
+      ops_per_shard = ops;
+      key_space = 24;
+      seed;
+      loop;
+      txns;
+      txn_items;
+    }
   in
   { Server.default_cfg with shards; client; mode; admit_depth = admit; batch }
 
@@ -27,7 +37,7 @@ let test_wire_round_trip () =
       Alcotest.(check int) "payload" payload payload')
     [
       (Wire.Ok, 0); (Wire.Ok, Wire.payload_limit - 1); (Wire.Miss, 0);
-      (Wire.Cas_fail, 12345);
+      (Wire.Cas_fail, 12345); (Wire.Committed, 1); (Wire.Aborted, 7);
     ];
   Alcotest.check_raises "key 0 rejected"
     (Invalid_argument "Wire: keys start at 1 (0 is the empty slot)")
@@ -83,6 +93,137 @@ let test_handler_paths () =
     Sla.expected_responses ~key_space:24 reqs.(0) |> Array.to_list
   in
   Alcotest.(check (list int)) "responses" expected outcome.Server.final.(0)
+
+(* Scripted 2PC: a transaction that commits (every participant votes
+   yes) and one that aborts (a failing compare-and-swap votes no), with
+   no single-key traffic in between. Checks the response streams against
+   the protocol replay, the replay's decisions, the durable
+   vote/decision records and the final tables. *)
+let test_txn_commit_and_abort () =
+  let marker tid count =
+    { Wire.op = Wire.Txn; key = tid; value = count; expected = 0 }
+  in
+  let requests =
+    [|
+      [|
+        { Wire.op = Wire.Put; key = 5; value = 3; expected = 0 };
+        marker 1 1; marker 2 1;
+      |];
+      [| marker 1 2; marker 2 1 |];
+    |]
+  in
+  let txns =
+    [|
+      {
+        Wire.tid = 1;
+        items =
+          [|
+            (* the single-key put above runs first, so this Cas matches
+               the pre-transaction state: shard 0 votes yes *)
+            (0, { Wire.op = Wire.Cas; key = 5; value = 8; expected = 3 });
+            (1, { Wire.op = Wire.Put; key = 4; value = 9; expected = 0 });
+            (1, { Wire.op = Wire.Get; key = 4; value = 0; expected = 0 });
+          |];
+      };
+      {
+        Wire.tid = 2;
+        items =
+          [|
+            (* pre-txn value of key 5 is now 8 (txn 1 committed), so
+               this vote is no and the whole transaction aborts *)
+            (0, { Wire.op = Wire.Cas; key = 5; value = 1; expected = 999 });
+            (1, { Wire.op = Wire.Put; key = 4; value = 11; expected = 0 });
+          |];
+      };
+    |]
+  in
+  let kv = Kvstore.build ~txns ~key_space:24 ~requests () in
+  let compiled =
+    Capri_compiler.Pipeline.compile Capri_compiler.Options.default
+      kv.Kvstore.program
+  in
+  let t = { Server.cfg = mk ~shards:2 (); kv; compiled; rejected = 0 } in
+  let outcome = Server.run t in
+  check_ok t outcome;
+  (* the host replay agrees on the outcomes *)
+  let p = Sla.replay kv in
+  Alcotest.(check (list bool)) "decisions" [ true; false ]
+    (Array.to_list (Sla.decisions p));
+  let commits, aborts = Sla.txn_outcomes kv in
+  Alcotest.(check int) "commits" 1 commits;
+  Alcotest.(check int) "aborts" 1 aborts;
+  (* response streams: shard 0 = single-put ack, txn-1 cas ack, then
+     Aborted; shard 1 = two item acks then Aborted; coordinator = one
+     outcome per txn *)
+  Alcotest.(check int) "shard 0 stream" 3
+    (List.length outcome.Server.final.(0));
+  Alcotest.(check int) "shard 1 stream" 3
+    (List.length outcome.Server.final.(1));
+  Alcotest.(check (list int)) "coordinator stream"
+    [
+      Wire.response ~status:Wire.Committed ~payload:1;
+      Wire.response ~status:Wire.Aborted ~payload:2;
+    ]
+    outcome.Server.final.(2);
+  (match List.rev outcome.Server.final.(0) with
+  | aborted :: _ ->
+    Alcotest.(check bool) "shard 0 answered Aborted for txn 2" true
+      (Wire.decode_response aborted = (Wire.Aborted, 2))
+  | [] -> Alcotest.fail "empty shard 0 stream");
+  (* durable 2PC records and tables in the final memory *)
+  let mem = outcome.Server.result.Capri_runtime.Executor.memory in
+  Alcotest.(check int) "txn 1 decision committed" 1
+    (Kvstore.ctrl_decision kv mem ~tid:1);
+  Alcotest.(check int) "txn 2 decision aborted" 2
+    (Kvstore.ctrl_decision kv mem ~tid:2);
+  Alcotest.(check int) "txn 2 shard 0 voted no" 2
+    (Kvstore.ctrl_vote kv mem ~tid:2 ~shard:0);
+  Alcotest.(check int) "txn 2 shard 1 voted yes" 1
+    (Kvstore.ctrl_vote kv mem ~tid:2 ~shard:1);
+  Alcotest.(check int) "txn 1 shard 0 voted yes (winning cas)" 1
+    (Kvstore.ctrl_vote kv mem ~tid:1 ~shard:0);
+  Alcotest.(check bool) "txn 1 effects applied" true
+    (Kvstore.lookup kv mem ~shard:0 ~key:5 = Some 8
+    && Kvstore.lookup kv mem ~shard:1 ~key:4 = Some 9);
+  Alcotest.(check bool) "txn 2 effects discarded" true
+    (Kvstore.lookup kv mem ~shard:1 ~key:4 <> Some 11)
+
+(* Weaving transactions into a generated workload must not perturb the
+   single-key streams: same seed, txns on/off, identical singles. *)
+let test_txn_weave_preserves_singles () =
+  let base = { Client.default with ops_per_shard = 30; key_space = 16; seed = 4 } in
+  let w0 = Client.generate base ~shards:2 in
+  let w2 = Client.generate { base with Client.txns = 2 } ~shards:2 in
+  Alcotest.(check int) "txns generated" 2 (Array.length w2.Client.txns);
+  Array.iteri
+    (fun s reqs ->
+      let singles =
+        List.filter
+          (fun r -> r.Wire.op <> Wire.Txn)
+          (Array.to_list w2.Client.requests.(s))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d singles preserved" s)
+        true
+        (singles = Array.to_list reqs))
+    w0.Client.requests
+
+let test_txn_oracle_under_crashes_all_modes () =
+  List.iter
+    (fun mode ->
+      let t = Server.plan (mk ~mode ~ops:20 ~txns:3 ()) in
+      let reference = Server.run t in
+      let total = reference.Server.result.Capri_runtime.Executor.instrs in
+      let schedule = [ total / 4; total / 3; total / 5 ] in
+      let outcome = Server.run ~crash_at:schedule t in
+      check_ok t outcome;
+      Alcotest.(check int) "recoveries" 3 outcome.Server.recoveries;
+      Alcotest.(check bool) "streams equal" true
+        (outcome.Server.final = reference.Server.final))
+    [
+      Arch.Persist.Capri; Arch.Persist.Naive_sync; Arch.Persist.Undo_sync;
+      Arch.Persist.Redo_nowb;
+    ]
 
 let test_oracle_under_crashes_all_modes () =
   List.iter
@@ -233,15 +374,49 @@ let test_service_fuzz_trial_deterministic () =
   Alcotest.(check bool) "ran schedules" true (t1.SF.t_schedules > 0)
 
 let test_zipf_skews_requests () =
-  let reqs =
+  let workload =
     Client.generate
       { Client.default with key_space = 32; ops_per_shard = 4000; skew = 0.99 }
       ~shards:1
   in
   let counts = Array.make 33 0 in
-  Array.iter (fun r -> counts.(r.Wire.key) <- counts.(r.Wire.key) + 1) reqs.(0);
+  Array.iter
+    (fun r -> counts.(r.Wire.key) <- counts.(r.Wire.key) + 1)
+    workload.Client.requests.(0);
   Alcotest.(check bool) "hot key dominates" true
     (counts.(1) > 3 * counts.(16))
+
+(* Property: random multi-key txn batches satisfy the serializability
+   oracle in all five persistence modes, crash-free — the sanity floor
+   under the crash-schedule fuzzing. *)
+let prop_txn_batches_serializable =
+  let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000) in
+  QCheck.Test.make ~count:10
+    ~name:"txn batches serializable (all modes, crash-free)" seed_gen
+    (fun seed ->
+      let cfg0 =
+        mk
+          ~shards:(1 + (seed mod 3))
+          ~ops:(6 + (seed mod 8))
+          ~seed:(seed + 1)
+          ~txns:(1 + (seed mod 3))
+          ~txn_items:(1 + (seed mod 2))
+          ()
+      in
+      List.for_all
+        (fun mode ->
+          let t = Server.plan { cfg0 with Server.mode } in
+          let outcome = Server.run t in
+          match Server.check t outcome with
+          | Ok () -> true
+          | Error v ->
+            QCheck.Test.fail_reportf "seed %d mode %s: %s" seed
+              (Arch.Persist.mode_name mode)
+              (Format.asprintf "%a" Sla.pp_violation v))
+        [
+          Arch.Persist.Capri; Arch.Persist.Naive_sync; Arch.Persist.Undo_sync;
+          Arch.Persist.Redo_nowb; Arch.Persist.Volatile;
+        ])
 
 let suite =
   [
@@ -261,4 +436,11 @@ let suite =
     Alcotest.test_case "service fuzz trial deterministic" `Quick
       test_service_fuzz_trial_deterministic;
     Alcotest.test_case "zipfian request skew" `Quick test_zipf_skews_requests;
+    Alcotest.test_case "txn: scripted commit and abort" `Quick
+      test_txn_commit_and_abort;
+    Alcotest.test_case "txn: weave preserves singles" `Quick
+      test_txn_weave_preserves_singles;
+    Alcotest.test_case "txn: oracle under crashes, all modes" `Quick
+      test_txn_oracle_under_crashes_all_modes;
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_txn_batches_serializable ]
