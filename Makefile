@@ -3,7 +3,7 @@
 # determinism smokes (bench, fuzz, service bench, perf) that
 # `dune runtest` wires in via the runtest alias.
 
-.PHONY: all build check test bench perfsmoke fuzz fuzz-txn clean
+.PHONY: all build check test bench slo perfsmoke fuzz fuzz-txn clean
 
 all: build
 
@@ -17,6 +17,13 @@ test: check
 
 bench:
 	dune exec bench/service.exe -- --shards 2 --ops 120 --crash 2
+
+# Rolling-crash availability scenario: an open-loop client keeps
+# offering load while power failures land mid-run; reports availability,
+# downtime windows and p99 in vs out of recovery per recoverable mode,
+# plus the windowed timeline for capri.
+slo:
+	dune exec bench/service.exe -- --rolling --shards 2 --ops 120 --crash 3 --period 8
 
 # Engine-equivalence gate: tiny-scale micro shapes + a kernel + a
 # generated multi-core program, interp vs compiled, all five modes.

@@ -10,6 +10,8 @@ let () =
   let crashes = ref 2 in
   let txns = ref 4 in
   let jobs = ref 0 in
+  let rolling = ref false in
+  let period = ref 8 in
   let spec =
     [
       ("--shards", Arg.Set_int shards, "N  shard cores (default 2)");
@@ -21,6 +23,15 @@ let () =
       ( "--txns",
         Arg.Set_int txns,
         "N  cross-shard 2PC transactions per trial (default 4; 0 disables)" );
+      ( "--rolling",
+        Arg.Set rolling,
+        "  rolling-crash availability scenario: crashes land while an \
+         open-loop client keeps offering load; reports measured \
+         unavailability windows, p99 during vs. outside recovery, and the \
+         Capri run's windowed timeline" );
+      ( "--period",
+        Arg.Set_int period,
+        "N  open-loop arrival period in cycles for --rolling (default 8)" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N  trial parallelism (default: CAPRI_JOBS or the machine)" );
@@ -29,8 +40,13 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "usage: bench/service.exe [--shards N] [--ops N] [--crash N] [--txns N] \
-     [--jobs N]";
+     [--rolling] [--period N] [--jobs N]";
   let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
-  print_string
-    (Capri_bench.Service_bench.table ~jobs ~shards:(max 1 !shards)
-       ~ops:(max 1 !ops) ~crashes:(max 0 !crashes) ~txns:(max 0 !txns))
+  if !rolling then
+    print_string
+      (Capri_bench.Service_bench.rolling_table ~jobs ~shards:(max 1 !shards)
+         ~ops:(max 1 !ops) ~crashes:(max 0 !crashes) ~period:(max 1 !period))
+  else
+    print_string
+      (Capri_bench.Service_bench.table ~jobs ~shards:(max 1 !shards)
+         ~ops:(max 1 !ops) ~crashes:(max 0 !crashes) ~txns:(max 0 !txns))

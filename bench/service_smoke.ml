@@ -1,23 +1,49 @@
 (* service-smoke: the serving benchmark must be a pure scheduling change
    under parallelism. Render a small mode x mix table sequentially and
-   under a 4-domain pool and require the output byte-identical. Runs as
-   part of `dune runtest`. *)
+   under a 4-domain pool and require the output byte-identical; same for
+   the rolling-crash availability scenario (its table embeds the
+   windowed SLO timeline, so timeline and report determinism ride
+   along). Runs as part of `dune runtest`. *)
+
+module Slo = Capri_service.Slo
+
+let check_identical what seq par =
+  if seq <> par then begin
+    Printf.eprintf "service-smoke: parallel %s differs from sequential:\n" what;
+    prerr_endline "--- jobs=1 ---";
+    prerr_string seq;
+    prerr_endline "--- jobs=4 ---";
+    prerr_string par;
+    exit 1
+  end
 
 let () =
   let table jobs =
     Capri_bench.Service_bench.table ~jobs ~shards:2 ~ops:40 ~crashes:2 ~txns:2
   in
   let seq = table 1 in
-  let par = table 4 in
-  if seq <> par then begin
-    prerr_endline "service-smoke: parallel table differs from sequential:";
-    prerr_endline "--- jobs=1 ---";
-    prerr_string seq;
-    prerr_endline "--- jobs=4 ---";
-    prerr_string par;
-    exit 1
-  end;
+  check_identical "table" seq (table 4);
   (* Sanity: all fifteen mode x mix rows rendered. *)
   let lines = String.split_on_char '\n' seq in
   assert (List.length (List.filter (fun l -> l <> "") lines) >= 15);
-  print_endline "service-smoke: jobs=4 matches sequential"
+  (* Rolling-crash scenario: byte-identical at any --jobs, and every
+     recoverable mode must report at least one measured unavailability
+     window with its p99-during-recovery split. *)
+  let rolling jobs =
+    Capri_bench.Service_bench.rolling_table ~jobs ~shards:2 ~ops:40 ~crashes:2
+      ~period:8
+  in
+  check_identical "rolling table" (rolling 1) (rolling 4);
+  let rows =
+    Capri_bench.Service_bench.rolling_rows ~jobs:1 ~shards:2 ~ops:40 ~crashes:2
+      ~period:8
+  in
+  List.iter
+    (fun r ->
+      let rep = r.Capri_bench.Service_bench.report in
+      assert (List.length rep.Slo.windows >= 1);
+      assert (rep.Slo.down_cycles > 0);
+      assert (rep.Slo.availability < 1.0);
+      assert (rep.Slo.in_recovery = 0 || rep.Slo.p99_in > 0.0))
+    rows;
+  print_endline "service-smoke: jobs=4 matches sequential (table + rolling)"

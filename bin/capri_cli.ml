@@ -366,31 +366,84 @@ let serve_cmd =
     let doc = "Maximum items per participant shard in each transaction." in
     Arg.(value & opt int 2 & info [ "txn-items" ] ~docv:"N" ~doc)
   in
-  let run shards mix ops crashes jobs txn_mix txn_items () =
+  let mode_enum =
+    List.map (fun m -> (Persist.mode_name m, m)) Profile.all_modes
+  in
+  let focus_arg =
+    let doc =
+      "Persistence mode of the focus run that the observability flags \
+       ($(b,--perfetto), $(b,--timeline), $(b,--slo)) report on."
+    in
+    Arg.(value & opt (enum mode_enum) Persist.Capri & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let perfetto_arg =
+    let doc =
+      "Write a Perfetto / chrome://tracing trace of the focus run to \
+       $(docv): region spans per core, request-lifecycle spans per core, \
+       crash instants. The trace is validated (balanced, monotone per \
+       track) before writing."
+    in
+    Arg.(value & opt (some string) None & info [ "perfetto" ] ~docv:"FILE" ~doc)
+  in
+  let timeline_arg =
+    let doc =
+      "Print the windowed service timeline of the focus run: per-window \
+       throughput, latency percentiles, in-flight depth, rejects, \
+       downtime and recoveries."
+    in
+    Arg.(value & flag & info [ "timeline" ] ~doc)
+  in
+  let slo_arg =
+    let doc =
+      "Print the SLO/availability report of the focus run: unavailability \
+       windows, availability %, p99 inside vs. outside recovery, replay \
+       cost per recovery."
+    in
+    Arg.(value & flag & info [ "slo" ] ~doc)
+  in
+  let slo_p99_arg =
+    let doc =
+      "p99 latency target in cycles; the SLO report grades the focus run \
+       against it and the command fails when it is missed."
+    in
+    Arg.(value & opt (some int) None & info [ "slo-p99" ] ~docv:"CYCLES" ~doc)
+  in
+  let slo_avail_arg =
+    let doc =
+      "Availability target as a fraction (e.g. 0.999); graded like \
+       $(b,--slo-p99)."
+    in
+    Arg.(value & opt (some float) None & info [ "slo-avail" ] ~docv:"FRAC" ~doc)
+  in
+  let window_arg =
+    let doc = "Timeline window width in cycles (default: run/24)." in
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"CYCLES" ~doc)
+  in
+  let run shards mix ops crashes jobs txn_mix txn_items focus perfetto
+      timeline slo slo_p99 slo_avail window () =
+    let client =
+      {
+        Svc.Client.default with
+        Svc.Client.mix;
+        ops_per_shard = ops;
+        txns = int_of_float (max 0.0 txn_mix *. float_of_int ops);
+        txn_items = max 1 txn_items;
+      }
+    in
+    let plan_for mode =
+      Svc.Server.plan
+        { Svc.Server.default_cfg with Svc.Server.shards; client; mode }
+    in
+    let schedule_for t mode =
+      if crashes <= 0 || mode = Persist.Volatile then []
+      else begin
+        let total = (Svc.Server.run t).Svc.Server.result.Executor.instrs in
+        List.init crashes (fun _ -> max 1 (total / (crashes + 1)))
+      end
+    in
     let serve mode =
-      let client =
-        {
-          Svc.Client.default with
-          Svc.Client.mix;
-          ops_per_shard = ops;
-          txns = int_of_float (max 0.0 txn_mix *. float_of_int ops);
-          txn_items = max 1 txn_items;
-        }
-      in
-      let t =
-        Svc.Server.plan
-          { Svc.Server.default_cfg with Svc.Server.shards; client; mode }
-      in
-      let schedule =
-        if crashes <= 0 || mode = Persist.Volatile then []
-        else begin
-          let total =
-            (Svc.Server.run t).Svc.Server.result.Executor.instrs
-          in
-          List.init crashes (fun _ -> max 1 (total / (crashes + 1)))
-        end
-      in
-      let outcome = Svc.Server.run ~crash_at:schedule t in
+      let t = plan_for mode in
+      let outcome = Svc.Server.run ~crash_at:(schedule_for t mode) t in
       (mode, Svc.Server.check t outcome, Svc.Server.stats t outcome)
     in
     let results =
@@ -409,6 +462,56 @@ let serve_cmd =
           Format.printf "%-12s ORACLE VIOLATION: %a@." (Persist.mode_name mode)
             Svc.Sla.pp_violation v)
       results;
+    (* Focus run with observability on: one instrumented pass through the
+       selected mode, reported through the requested lenses. *)
+    let want_report = slo || slo_p99 <> None || slo_avail <> None in
+    if perfetto <> None || timeline || want_report then begin
+      let t = plan_for focus in
+      let obs = Capri_obs.Obs.create () in
+      let outcome = Svc.Server.run ~obs ~crash_at:(schedule_for t focus) t in
+      (match Svc.Server.check t outcome with
+      | Ok () -> ()
+      | Error v ->
+        failed := true;
+        Format.printf "%-12s ORACLE VIOLATION: %a@." (Persist.mode_name focus)
+          Svc.Sla.pp_violation v);
+      (match Capri_obs.Tracer.validate obs.Capri_obs.Obs.tracer with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "trace of %s run is malformed: %s\n"
+          (Persist.mode_name focus) e;
+        failed := true);
+      (match perfetto with
+      | Some file ->
+        let oc = open_out file in
+        output_string oc
+          (Capri_obs.Tracer.to_chrome_json obs.Capri_obs.Obs.tracer);
+        close_out oc;
+        Printf.printf "wrote %s (%d events, %s mode)\n" file
+          (Capri_obs.Tracer.count obs.Capri_obs.Obs.tracer)
+          (Persist.mode_name focus)
+      | None -> ());
+      if timeline then
+        print_string
+          (Svc.Slo.render_timeline (Svc.Slo.timeline ?width:window ~t outcome));
+      if want_report then begin
+        let r =
+          Svc.Slo.report ?slo_p99 ?slo_avail:(Option.map (fun a -> a) slo_avail)
+            ~t outcome
+        in
+        Format.printf "%a" Svc.Slo.pp_report r;
+        let missed =
+          (match (r.Svc.Slo.slo_p99, r.Svc.Slo.p99_burn) with
+          | Some _, Some burn -> burn > 1.0
+          | _ -> false)
+          ||
+          match r.Svc.Slo.slo_avail with
+          | Some target -> r.Svc.Slo.availability < target
+          | None -> false
+        in
+        if missed then failed := true
+      end
+    end;
     if !failed then exit 1
   in
   Cmd.v
@@ -418,10 +521,14 @@ let serve_cmd =
           transactions under two-phase commit — under every persistence \
           mode, crashing mid-service, and report throughput, latency and \
           recovery time under the serializability + acked-durability \
-          oracle")
+          oracle. With $(b,--perfetto), $(b,--timeline) or $(b,--slo), an \
+          instrumented focus run additionally exports request-lifecycle \
+          traces, a windowed service timeline and an SLO/availability \
+          report")
     Term.(
       const run $ shards_arg $ mix_arg $ ops_arg $ crash_arg $ jobs_arg
-      $ txn_mix_arg $ txn_items_arg $ engine_arg)
+      $ txn_mix_arg $ txn_items_arg $ focus_arg $ perfetto_arg $ timeline_arg
+      $ slo_arg $ slo_p99_arg $ slo_avail_arg $ window_arg $ engine_arg)
 
 let show_config_cmd =
   let run () = Format.printf "%a@." Config.pp_table Config.table1 in

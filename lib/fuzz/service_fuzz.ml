@@ -135,10 +135,20 @@ let repro_string cfg seed =
 (* ---------------- oracle drive and shrinking ---------------- *)
 
 let violates t schedule =
-  match Svc.Server.run ~crash_at:schedule t with
+  (* Each run gets a fresh obs bundle: trace well-formedness across the
+     crash schedule is itself an oracle — a dangling span at a crash
+     point or a non-monotone stitch across a recovery boundary is
+     reported like any other violation. (Fresh because origin stitching
+     is per-run state; sharing a tracer across runs would interleave
+     timelines.) *)
+  let obs = Capri_obs.Obs.create () in
+  match Svc.Server.run ~obs ~crash_at:schedule t with
   | outcome -> (
     match Svc.Server.check t outcome with
-    | Ok () -> None
+    | Ok () -> (
+      match Capri_obs.Tracer.validate obs.Capri_obs.Obs.tracer with
+      | Ok () -> None
+      | Error msg -> Some ("trace invalid: " ^ msg))
     | Error v -> Some (Format.asprintf "%a" Svc.Sla.pp_violation v))
   | exception e -> Some (Printexc.to_string e)
 

@@ -83,6 +83,26 @@ module Histogram = struct
   let count t = t.count
   let sum t = t.sum
 
+  (* Nearest-rank quantile estimate from the bucket counts: the upper
+     bound of the bucket holding the q-th ranked observation, capped at
+     the observed maximum (so the overflow bucket answers [vmax] rather
+     than infinity). Integer in, integer out — deterministic. *)
+  let quantile t q =
+    if t.count = 0 then 0
+    else begin
+      let rank =
+        max 1 (min t.count (int_of_float (ceil (q /. 100.0 *. float_of_int t.count))))
+      in
+      let n = Array.length t.bounds in
+      let rec find i cum =
+        if i >= n then t.vmax
+        else
+          let cum = cum + t.counts.(i) in
+          if cum >= rank then min t.bounds.(i) t.vmax else find (i + 1) cum
+      in
+      max t.vmin (find 0 0)
+    end
+
   let merge_into ~dst src =
     if dst.bounds <> src.bounds then
       invalid_arg "Metrics.Histogram.merge_into: bucket shapes differ";

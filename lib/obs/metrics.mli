@@ -54,6 +54,12 @@ module Histogram : sig
   val count : t -> int
   val sum : t -> int
 
+  val quantile : t -> float -> int
+  (** [quantile h q] with [q] in [\[0,100\]]: nearest-rank estimate from
+      the bucket counts — the upper bound of the bucket holding the
+      ranked observation, clamped into [\[min, max\]] of the observed
+      values. 0 on an empty histogram. Deterministic. *)
+
   val merge_into : dst:t -> t -> unit
   (** Bucket-wise sum; raises [Invalid_argument] on shape mismatch. *)
 end

@@ -1,0 +1,156 @@
+(* Windowed time series over simulated cycles: fixed-width windows, each
+   accumulating named counters and log2 latency histograms. The service
+   layer uses it to turn end-of-run aggregates (one p99, one throughput
+   number) into per-window series — throughput, tail latency, queue
+   depth and reject rate as functions of simulated time, which is what
+   makes an unavailability window visible as a hole in the timeline
+   rather than a blip in a run-total mean.
+
+   Determinism contract (mirrors Metrics): cells are keyed by
+   (window index, series name); [to_json] and [fold] order rows by
+   (window, name) and print integers only, so equal observation
+   histories render byte-identical documents regardless of insertion
+   order. [merge_into] adds counters and histograms bucket-wise, which
+   makes it commutative and associative — per-task series fold to the
+   same document under any --jobs schedule (the qcheck property in
+   test/test_qcheck.ml holds it to that). *)
+
+type cell = Cnt of int ref | Hist of Metrics.Histogram.t
+
+type t = {
+  width : int;  (* cycles per window *)
+  buckets : int;  (* log2 histogram bucket count, uniform per series *)
+  cells : (int * string, cell) Hashtbl.t;
+}
+
+let default_buckets = 28
+
+let create ?(buckets = default_buckets) ~width () =
+  if width <= 0 then invalid_arg "Series.create: width must be positive";
+  if buckets < 1 then invalid_arg "Series.create: buckets must be positive";
+  { width; buckets; cells = Hashtbl.create 64 }
+
+let width t = t.width
+
+let window_of t ~ts = max 0 ts / t.width
+
+let counter_cell t w name =
+  match Hashtbl.find_opt t.cells (w, name) with
+  | Some (Cnt c) -> c
+  | Some (Hist _) ->
+    invalid_arg (Printf.sprintf "Series: %s is not a counter" name)
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace t.cells (w, name) (Cnt c);
+    c
+
+let hist_cell t w name =
+  match Hashtbl.find_opt t.cells (w, name) with
+  | Some (Hist h) -> h
+  | Some (Cnt _) ->
+    invalid_arg (Printf.sprintf "Series: %s is not a histogram" name)
+  | None ->
+    let h = Metrics.Histogram.log2 ~buckets:t.buckets in
+    Hashtbl.replace t.cells (w, name) (Hist h);
+    h
+
+let add t ~ts name n =
+  let c = counter_cell t (window_of t ~ts) name in
+  c := !c + n
+
+let inc t ~ts name = add t ~ts name 1
+
+let observe t ~ts name v =
+  Metrics.Histogram.observe (hist_cell t (window_of t ~ts) name) v
+
+(* ---------------- queries ---------------- *)
+
+let counter t ~window name =
+  match Hashtbl.find_opt t.cells (window, name) with
+  | Some (Cnt c) -> !c
+  | Some (Hist _) | None -> 0
+
+let histogram t ~window name =
+  match Hashtbl.find_opt t.cells (window, name) with
+  | Some (Hist h) -> Some h
+  | Some (Cnt _) | None -> None
+
+let quantile t ~window name q =
+  match histogram t ~window name with
+  | Some h -> Metrics.Histogram.quantile h q
+  | None -> 0
+
+let last_window t =
+  Hashtbl.fold (fun (w, _) _ acc -> max w acc) t.cells (-1)
+
+let names t =
+  Hashtbl.fold (fun (_, n) _ acc -> n :: acc) t.cells []
+  |> List.sort_uniq String.compare
+
+let cells_sorted t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cells []
+  |> List.sort (fun ((w1, n1), _) ((w2, n2), _) ->
+         match Int.compare w1 w2 with
+         | 0 -> String.compare n1 n2
+         | c -> c)
+
+let fold t f acc =
+  List.fold_left
+    (fun acc (((w : int), name), cell) -> f acc ~window:w ~name cell)
+    acc (cells_sorted t)
+
+(* ---------------- merge ---------------- *)
+
+let merge_into ~dst src =
+  if dst.width <> src.width then
+    invalid_arg "Series.merge_into: window widths differ";
+  if dst.buckets <> src.buckets then
+    invalid_arg "Series.merge_into: histogram shapes differ";
+  List.iter
+    (fun ((w, name), cell) ->
+      match cell with
+      | Cnt c ->
+        let d = counter_cell dst w name in
+        d := !d + !c
+      | Hist h -> Metrics.Histogram.merge_into ~dst:(hist_cell dst w name) h)
+    (cells_sorted src)
+
+(* ---------------- export ---------------- *)
+
+(* One JSON object per populated window, windows ascending, series names
+   sorted inside; histograms carry count/sum/min/max/p50/p99 plus the
+   non-empty buckets, all integers. *)
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"width\": %d,\n  \"windows\": [" t.width);
+  let windows =
+    List.sort_uniq Int.compare
+      (Hashtbl.fold (fun (w, _) _ acc -> w :: acc) t.cells [])
+  in
+  List.iteri
+    (fun i w ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"window\":%d,\"from\":%d,\"to\":%d" w
+           (w * t.width)
+           (((w + 1) * t.width) - 1));
+      List.iter
+        (fun ((w', name), cell) ->
+          if w' = w then
+            match cell with
+            | Cnt c ->
+              Buffer.add_string buf
+                (Printf.sprintf ",\"%s\":%d" (Metrics.json_escape name) !c)
+            | Hist h ->
+              let open Metrics.Histogram in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   ",\"%s\":{\"count\":%d,\"sum\":%d,\"p50\":%d,\"p99\":%d}"
+                   (Metrics.json_escape name) (count h) (sum h)
+                   (quantile h 50.0) (quantile h 99.0)))
+        (cells_sorted t);
+      Buffer.add_string buf "}")
+    windows;
+  Buffer.add_string buf (if windows = [] then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents buf

@@ -10,7 +10,7 @@
    deterministic); the exporter does not re-sort. Perfetto sorts on
    load, and the {!validate} well-formedness check is per-track. *)
 
-type track = Core of int | Proxy
+type track = Core of int | Proxy | Request of int
 
 type phase = B | E | I
 
@@ -26,29 +26,84 @@ type t = {
   enabled : bool;
   mutable rev_events : event list;
   mutable count : int;
+  mutable origin : int;
+  mutable max_ts : int;
 }
 
-let create () = { enabled = true; rev_events = []; count = 0 }
-let null = { enabled = false; rev_events = []; count = 0 }
+let create () =
+  { enabled = true; rev_events = []; count = 0; origin = 0; max_ts = min_int }
+
+let null =
+  { enabled = false; rev_events = []; count = 0; origin = 0; max_ts = min_int }
+
 let enabled t = t.enabled
 
 let record t e =
   if t.enabled then begin
     t.rev_events <- e :: t.rev_events;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    (match e.phase with
+     | B | E -> if e.ts > t.max_ts then t.max_ts <- e.ts
+     | I -> ())
   end
 
+let set_origin t n = if t.enabled then t.origin <- n
+let origin t = t.origin
+let max_ts t = t.max_ts
+
 let begin_span ?(args = []) t ~track ~name ~ts =
-  record t { track; phase = B; name; ts; args }
+  record t { track; phase = B; name; ts = ts + t.origin; args }
 
 let end_span ?(args = []) t ~track ~ts =
-  record t { track; phase = E; name = ""; ts; args }
+  record t { track; phase = E; name = ""; ts = ts + t.origin; args }
 
 let instant ?(args = []) t ~track ~name ~ts =
-  record t { track; phase = I; name; ts; args }
+  record t { track; phase = I; name; ts = ts + t.origin; args }
 
 let events t = List.rev t.rev_events
 let count t = t.count
+
+(* Close every span left open at a crash instant. A crash tears the
+   machine down mid-region, which would otherwise leave dangling B
+   events on the core tracks (and non-balanced traces that fail
+   {!validate}). Each open span is closed at the later of the crash
+   timestamp and the track's own last B/E timestamp, so the synthetic E
+   events stay monotone even on tracks whose clock had already advanced
+   past the crashing thread's cycle. Tracks are visited in tid order —
+   deterministic output for the --jobs smokes. *)
+let close_open t ~ts =
+  if t.enabled then begin
+    let ts = ts + t.origin in
+    let tracks = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let depth, last =
+          match Hashtbl.find_opt tracks e.track with
+          | Some s -> s
+          | None -> (0, min_int)
+        in
+        match e.phase with
+        | B -> Hashtbl.replace tracks e.track (depth + 1, max last e.ts)
+        | E -> Hashtbl.replace tracks e.track (depth - 1, max last e.ts)
+        | I -> ())
+      (events t);
+    let open_tracks =
+      Hashtbl.fold
+        (fun tr (depth, last) acc ->
+          if depth > 0 then (tr, depth, last) :: acc else acc)
+        tracks []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    in
+    List.iter
+      (fun (track, depth, last) ->
+        let close_ts = max ts last in
+        for _ = 1 to depth do
+          record t
+            { track; phase = E; name = ""; ts = close_ts;
+              args = [ ("closed_by", "crash") ] }
+        done)
+      open_tracks
+  end
 
 (* ---------------- validation ---------------- *)
 
@@ -70,6 +125,7 @@ let validate t =
   let track_name = function
     | Core c -> Printf.sprintf "core %d" c
     | Proxy -> "proxy"
+    | Request c -> Printf.sprintf "core %d requests" c
   in
   let err = ref None in
   List.iter
@@ -120,10 +176,11 @@ let validate t =
 (* ---------------- Chrome trace-event export ---------------- *)
 
 (* tid layout: cores at their own index, the proxy path on a high tid so
-   it sorts last; thread_name metadata labels both. *)
+   it sorts after them, request-lifecycle tracks higher still;
+   thread_name metadata labels all three. *)
 let proxy_tid = 1000
 
-let tid = function Core c -> c | Proxy -> proxy_tid
+let tid = function Core c -> c | Proxy -> proxy_tid | Request c -> 2000 + c
 
 let args_json args =
   "{"
@@ -156,7 +213,10 @@ let to_chrome_json t =
   List.iter
     (fun tr ->
       let name =
-        match tr with Core c -> Printf.sprintf "core %d" c | Proxy -> "proxy path"
+        match tr with
+        | Core c -> Printf.sprintf "core %d" c
+        | Proxy -> "proxy path"
+        | Request c -> Printf.sprintf "core %d requests" c
       in
       emit
         (Printf.sprintf

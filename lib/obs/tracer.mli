@@ -1,12 +1,15 @@
 (** Span tracing over simulated time, exportable as Chrome trace-event
     JSON (loadable in Perfetto or chrome://tracing).
 
-    Events live on tracks — one per core plus one for the proxy path —
-    and are timestamped in simulator cycles, so traces of deterministic
-    runs are deterministic. The {!null} tracer drops everything behind a
-    single branch. *)
+    Events live on tracks — one per core, one for the proxy path, and
+    one request-lifecycle track per core — and are timestamped in
+    simulator cycles, so traces of deterministic runs are deterministic.
+    The {!null} tracer drops everything behind a single branch. *)
 
-type track = Core of int | Proxy
+type track = Core of int | Proxy | Request of int
+(** [Request c] is the request-lifecycle track for core [c]: one span
+    per served request (admission to ack), synthesized by the serving
+    layer. *)
 
 type phase = B | E | I
 
@@ -41,6 +44,25 @@ val events : t -> event list
 (** All recorded events in recording order. *)
 
 val count : t -> int
+
+val set_origin : t -> int -> unit
+(** Trace-time offset added to every subsequently recorded timestamp.
+    Crash/recovery segments restart their thread clocks at zero; setting
+    the origin to the absolute resume cycle stitches the segments into
+    one monotone timeline. Affects the trace only — never the
+    simulation. *)
+
+val origin : t -> int
+
+val max_ts : t -> int
+(** Largest B/E timestamp recorded so far (after origin adjustment);
+    [min_int] when no span event has been recorded. *)
+
+val close_open : t -> ts:int -> unit
+(** Close every span still open, as of crash cycle [ts]: emits the
+    matching [E] events (tagged [closed_by=crash]) at the later of [ts]
+    and the track's own last span timestamp, keeping each track balanced
+    and monotone across a crash boundary. *)
 
 val validate : t -> (unit, string) result
 (** Well-formedness: every [E] closes an open [B] on its track, no span

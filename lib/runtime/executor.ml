@@ -1046,10 +1046,14 @@ let fire_crash s crashed (th : thread) =
   (match s.trace with
    | Some tr -> Trace.record tr (Trace.Crashed { cycle = th.cycle })
    | None -> ());
-  if Tracer.enabled s.obs.Obs.tracer then
+  if Tracer.enabled s.obs.Obs.tracer then begin
     Tracer.instant s.obs.Obs.tracer ~track:Tracer.Proxy ~name:"crash"
       ~ts:th.cycle
       ~args:[ ("instr", string_of_int s.instr_count) ];
+    (* The crash tears down mid-region: close the spans it interrupted
+       so the trace stays balanced across the boundary. *)
+    Tracer.close_open s.obs.Obs.tracer ~ts:th.cycle
+  end;
   let image = Persist.crash_recover s.persist ~cycle:th.cycle in
   Hierarchy.drop_all s.hier;
   crashed :=

@@ -32,6 +32,7 @@ type t = {
   kv : Kvstore.t;
   compiled : Comp.Compiled.t;
   rejected : int;
+  rejected_at : int list;
 }
 
 (* Modeled recovery time: a fixed power-cycle cost (proxy drain, redo of
@@ -73,7 +74,7 @@ let calibrate cfg =
   | Executor.Crashed _ -> assert false
 
 let admit ~period ~depth ~svc requests =
-  let rejected = ref 0 in
+  let rejected = ref [] in  (* arrival cycles, reversed *)
   let admitted =
     Array.map
       (fun shard_reqs ->
@@ -89,7 +90,8 @@ let admit ~period ~depth ~svc requests =
               | f :: rest when f > arrival -> in_flight (n + 1) rest
               | _ -> n
             in
-            if in_flight 0 !finishes >= depth then incr rejected
+            if in_flight 0 !finishes >= depth then
+              rejected := arrival :: !rejected
             else begin
               let f = max arrival !last_finish + svc in
               last_finish := f;
@@ -100,7 +102,7 @@ let admit ~period ~depth ~svc requests =
         Array.of_list (List.rev !kept))
       requests
   in
-  (admitted, !rejected)
+  (admitted, List.sort Int.compare !rejected)
 
 let plan cfg =
   if cfg.shards < 1 then invalid_arg "Server.plan: shards must be positive";
@@ -108,19 +110,19 @@ let plan cfg =
   let requests = workload.Client.requests in
   (* admission control would have to drop whole transactions to stay
      protocol-consistent; with txns present it is disabled *)
-  let requests, rejected =
+  let requests, rejected_at =
     match (cfg.client.Client.loop, cfg.admit_depth) with
     | Client.Open { period }, Some depth
       when depth >= 0 && Array.length workload.Client.txns = 0 ->
       admit ~period ~depth ~svc:(calibrate cfg) requests
-    | _ -> (requests, 0)
+    | _ -> (requests, [])
   in
   let kv =
     Kvstore.build ~batch:cfg.batch ~txns:workload.Client.txns
       ~key_space:cfg.client.Client.key_space ~requests ()
   in
   let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
-  { cfg; kv; compiled; rejected }
+  { cfg; kv; compiled; rejected = List.length rejected_at; rejected_at }
 
 type outcome = {
   acks : (int * int) list array;
@@ -130,6 +132,9 @@ type outcome = {
   recoveries : int;
   recovery_blocks : int;
   recovery_cycles : int;
+  downtime : (int * int * int) list;
+      (* per recovery: (crash cycle, service-restored cycle, blocks) in
+         absolute cycles *)
   result : Executor.result;
 }
 
@@ -157,17 +162,36 @@ let instrument obs t outcome =
       Metrics.Counter.add (Metrics.counter m "service_txn_committed") commits;
       Metrics.Counter.add (Metrics.counter m "service_txn_aborted") aborts
     end;
-    let lat_hist = Metrics.log2_histogram m "service_latency_cycles" ~buckets:24 in
+    let tr = obs.Obs.tracer in
+    let loop = t.cfg.client.Client.loop in
+    (* Protocol replay gives each expected response an op kind and
+       owning transaction; a run that passed [check] acked a prefix of
+       exactly that stream, so index i of a core's acks classifies by
+       index i of its replayed metadata. *)
+    let meta = Sla.response_meta (Sla.replay t.kv) in
+    let meta_of core i =
+      if core < Array.length meta && i < Array.length meta.(core) then
+        meta.(core).(i)
+      else { Sla.kind = "unknown"; tid = -1 }
+    in
     Array.iteri
       (fun core core_acks ->
         let labels = [ ("core", string_of_int core) ] in
         Metrics.Counter.add
           (Metrics.counter ~labels m "service_acked")
           (List.length core_acks);
-        let lats =
-          Sla.request_latencies ~loop:t.cfg.client.Client.loop core_acks
-        in
-        List.iter (Metrics.Histogram.observe lat_hist) lats;
+        let intervals = Sla.request_intervals ~loop core_acks in
+        (* Latency histograms split by op kind: txn tail latency must not
+           hide inside (or inflate) the point-op distribution. *)
+        List.iteri
+          (fun i (_, _, lat) ->
+            let h =
+              Metrics.log2_histogram m "service_latency_cycles"
+                ~labels:[ ("op", (meta_of core i).Sla.kind) ]
+                ~buckets:24
+            in
+            Metrics.Histogram.observe h lat)
+          intervals;
         List.iteri
           (fun i (resp, cycle) ->
             (* the coordinator core's acks are 2PC outcomes; shards ack
@@ -180,14 +204,59 @@ let instrument obs t outcome =
                 | _ -> "ack"
               else "ack"
             in
-            Tracer.instant obs.Obs.tracer
+            Tracer.instant tr
               ~track:(Tracer.Core core)
               ~name ~ts:cycle
               ~args:
                 [
                   ("request", string_of_int i); ("response", string_of_int resp);
                 ])
-          core_acks)
+          core_acks;
+        (* Request-lifecycle spans, one per served request on the core's
+           [Request] track: admission -> batch enqueue -> shard
+           execution -> proxy commit -> ack. Span begin is clamped into
+           [prev ack, ack] so the track stays monotone under open-loop
+           queueing; the nominal arrival rides along as an arg. The
+           coordinator's spans are the 2PC outcome windows, linked to
+           the shard-side item spans by the tid arg. *)
+        if Tracer.enabled tr then begin
+          let prev_ack = ref 0 in
+          List.iteri
+            (fun i ((start, ack, _), (resp, _)) ->
+              let md = meta_of core i in
+              let b_ts = min ack (max start !prev_ack) in
+              let tid_args =
+                if md.Sla.tid >= 0 then
+                  [ ("tid", string_of_int md.Sla.tid) ]
+                else []
+              in
+              let track = Tracer.Request core in
+              Tracer.begin_span tr ~track ~name:md.Sla.kind ~ts:b_ts
+                ~args:
+                  (( "request", string_of_int i )
+                   :: ("arrival", string_of_int start)
+                   :: tid_args);
+              Tracer.instant tr ~track ~name:"admitted" ~ts:b_ts ~args:tid_args;
+              Tracer.instant tr ~track ~name:"enqueued" ~ts:b_ts
+                ~args:
+                  (("batch", string_of_int (i / t.cfg.batch)) :: tid_args);
+              if core >= shards then begin
+                (* coordinator: the span brackets prepare -> decision *)
+                Tracer.instant tr ~track ~name:"prepare" ~ts:b_ts ~args:tid_args;
+                Tracer.instant tr ~track ~name:"decision" ~ts:ack
+                  ~args:
+                    (( "committed",
+                       match Wire.decode_response resp with
+                       | Wire.Committed, _ -> "true"
+                       | _ -> "false" )
+                     :: tid_args)
+              end;
+              Tracer.instant tr ~track ~name:"proxy_commit" ~ts:ack
+                ~args:tid_args;
+              Tracer.end_span tr ~track ~ts:ack;
+              prev_ack := ack)
+            (List.combine intervals core_acks)
+        end)
       outcome.acks
   end
 
@@ -204,7 +273,9 @@ let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
   let recoveries = ref 0 in
   let blocks_total = ref 0 in
   let rec_cycles = ref 0 in
+  let downtime = ref [] in  (* reversed *)
   let base = ref 0 in
+  Tracer.set_origin obs.Obs.tracer 0;
   let absorb per_core =
     Array.iteri
       (fun s entries ->
@@ -235,7 +306,15 @@ let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
         blocks_total := !blocks_total + blocks;
         let penalty = power_cycle_cycles + (blocks * recovery_block_cycles) in
         rec_cycles := !rec_cycles + penalty;
+        let down_from = !base + at_cycle in
         base := !base + at_cycle + penalty;
+        downtime := (down_from, !base, blocks) :: !downtime;
+        (* Resumed segments restart their thread clocks at zero; shift
+           the tracer's origin to the absolute restart cycle (or past
+           the last recorded span, whichever is later) so the stitched
+           trace stays monotone. Trace-only: ack cycles use [base]. *)
+        Tracer.set_origin obs.Obs.tracer
+          (max !base (Tracer.max_ts obs.Obs.tracer));
         let session =
           Executor.resume ~config:cfg.config ~mode:cfg.mode ~journal_io:true
             ?trace ~obs ~check_threshold:threshold ~compiled:t.compiled ~image
@@ -258,9 +337,12 @@ let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
       recoveries = !recoveries;
       recovery_blocks = !blocks_total;
       recovery_cycles = !rec_cycles;
+      downtime = List.rev !downtime;
       result;
     }
   in
+  (* post-run instrumentation speaks absolute cycles already *)
+  Tracer.set_origin obs.Obs.tracer 0;
   instrument obs t outcome;
   outcome
 

@@ -37,6 +37,9 @@ type t = {
   kv : Kvstore.t;
   compiled : Capri_compiler.Compiled.t;
   rejected : int;  (** requests refused by admission control *)
+  rejected_at : int list;
+      (** arrival cycles of the rejected requests, ascending — the SLO
+          timeline bins these into its per-window reject counts *)
 }
 
 val plan : cfg -> t
@@ -54,6 +57,9 @@ type outcome = {
   recoveries : int;
   recovery_blocks : int;
   recovery_cycles : int;
+  downtime : (int * int * int) list;
+      (** one [(crash cycle, service-restored cycle, recovery blocks)]
+          window per recovery, in absolute cycles, in crash order *)
   result : Capri_runtime.Executor.result;
 }
 
@@ -71,11 +77,18 @@ val run :
     boundary events across every segment (the fuzz campaign uses a
     crash-free traced run to aim crash points at 2PC phases). With an
     enabled [obs], per-request ack instants land on each core's trace
-    track ([txn_commit]/[txn_abort] instants on the coordinator's) and
-    the metrics registry gains [service_acked]/[service_rejected]/
-    [service_recoveries] counters — plus [service_txn_prepared]/
-    [service_txn_committed]/[service_txn_aborted] when the store carries
-    transactions — and a latency histogram.
+    track ([txn_commit]/[txn_abort] instants on the coordinator's), each
+    served request gets a lifecycle span (admission, batch enqueue,
+    proxy commit, ack; 2PC outcomes carry prepare/decision instants and
+    link to their item spans by tid) on the core's
+    {!Capri_obs.Tracer.track.Request} track, and the metrics registry
+    gains [service_acked]/[service_rejected]/[service_recoveries]
+    counters — plus [service_txn_prepared]/[service_txn_committed]/
+    [service_txn_aborted] when the store carries transactions — and a
+    latency histogram labeled by op kind. Crash segments are stitched
+    into one monotone trace timeline (the tracer origin shifts at each
+    resume; spans open at a crash close at the crash cycle), so
+    {!Capri_obs.Tracer.validate} holds across any crash schedule.
 
     Raises [Invalid_argument] for a non-empty schedule in [Volatile]
     mode — a volatile store cannot recover. *)

@@ -67,8 +67,11 @@ let expected_responses ~key_space reqs =
 
 type micro = M_single of Wire.request | M_item of Wire.request | M_abort of int
 
+type resp_meta = { kind : string; tid : int }
+
 type protocol = {
   expected : int array array;  (* per core; coordinator last when txns *)
+  meta : resp_meta array array;  (* aligned with [expected] *)
   micro : micro array array;  (* per shard *)
   votes : int array array;  (* per txn, per shard: 1 yes / 2 no *)
   decisions : bool array;  (* per txn: committed? *)
@@ -85,6 +88,18 @@ let local_items (t : Wire.txn) s =
 let participants (t : Wire.txn) =
   List.sort_uniq compare (List.map fst (Array.to_list t.items))
 
+(* Op-kind classification for the latency-by-kind breakdown. Must look
+   at the model BEFORE the request applies: a Put lands as "insert" on
+   an absent key and "update" on a present one. Everything touched by
+   the 2PC path — items, abort acknowledgements, coordinator outcomes —
+   is "txn". *)
+let kind_of_single m (r : Wire.request) =
+  match r.op with
+  | Wire.Get -> "read"
+  | Wire.Put -> if Model.get m r.key = None then "insert" else "update"
+  | Wire.Delete | Wire.Cas -> "update"
+  | Wire.Txn -> invalid_arg "Sla.kind_of_single: txn marker"
+
 let replay (kv : Kvstore.t) =
   let shards = kv.shards in
   let txns = kv.txns in
@@ -94,15 +109,18 @@ let replay (kv : Kvstore.t) =
   in
   let micro = Array.make shards [] in  (* reversed *)
   let resp = Array.make shards [] in  (* reversed *)
+  let metas = Array.make shards [] in  (* reversed, aligned with resp *)
   let cursor = Array.make shards 0 in
   let coord = ref [] in
+  let coord_meta = ref [] in
   let votes = Array.init ntxn (fun _ -> Array.make shards 0) in
   let decisions = Array.make ntxn false in
   let marker_at = Array.init ntxn (fun _ -> Array.make shards (-1)) in
   let count = Array.make shards 0 in  (* micro count per shard *)
-  let push s m w =
+  let push s m meta w =
     micro.(s) <- m :: micro.(s);
     resp.(s) <- w :: resp.(s);
+    metas.(s) <- meta :: metas.(s);
     count.(s) <- count.(s) + 1
   in
   let advance_singles s =
@@ -111,7 +129,8 @@ let replay (kv : Kvstore.t) =
       cursor.(s) < Array.length reqs && reqs.(cursor.(s)).Wire.op <> Wire.Txn
     do
       let r = reqs.(cursor.(s)) in
-      push s (M_single r) (Model.apply models.(s) r);
+      let meta = { kind = kind_of_single models.(s) r; tid = -1 } in
+      push s (M_single r) meta (Model.apply models.(s) r);
       cursor.(s) <- cursor.(s) + 1
     done
   in
@@ -143,20 +162,22 @@ let replay (kv : Kvstore.t) =
         (fun s ->
           cursor.(s) <- cursor.(s) + 1;
           marker_at.(ti).(s) <- count.(s);
+          let meta = { kind = "txn"; tid = t.tid } in
           if decision then
             List.iter
               (fun item ->
-                push s (M_item item) (Model.apply_item models.(s) item))
+                push s (M_item item) meta (Model.apply_item models.(s) item))
               (local_items t s)
           else
-            push s (M_abort t.tid)
+            push s (M_abort t.tid) meta
               (Wire.response ~status:Wire.Aborted ~payload:t.tid))
         parts;
       coord :=
         Wire.response
           ~status:(if decision then Wire.Committed else Wire.Aborted)
           ~payload:t.tid
-        :: !coord)
+        :: !coord;
+      coord_meta := { kind = "txn"; tid = t.tid } :: !coord_meta)
     txns;
   for s = 0 to shards - 1 do
     advance_singles s;
@@ -165,14 +186,21 @@ let replay (kv : Kvstore.t) =
   let shard_expected =
     Array.map (fun l -> Array.of_list (List.rev l)) resp
   in
+  let shard_meta = Array.map (fun l -> Array.of_list (List.rev l)) metas in
   let expected =
     if ntxn = 0 then shard_expected
     else
       Array.append shard_expected
         [| Array.of_list (List.rev !coord) |]
   in
+  let meta =
+    if ntxn = 0 then shard_meta
+    else
+      Array.append shard_meta [| Array.of_list (List.rev !coord_meta) |]
+  in
   {
     expected;
+    meta;
     micro = Array.map (fun l -> Array.of_list (List.rev l)) micro;
     votes;
     decisions;
@@ -180,6 +208,7 @@ let replay (kv : Kvstore.t) =
   }
 
 let expected_streams p = p.expected
+let response_meta p = p.meta
 let decisions p = p.decisions
 
 let txn_outcomes kv =
@@ -401,6 +430,7 @@ type stats = {
   p99 : float;
   recoveries : int;
   mean_recovery : float;
+  availability : float;
   txn_commits : int;
   txn_aborts : int;
 }
@@ -416,6 +446,27 @@ let request_latencies ~loop shard_acks =
       in
       prev := cycle;
       max 1 l)
+    shard_acks
+
+(* Same latency accounting as [request_latencies], but keeping the
+   request's service interval: [start] is where its service began
+   (previous ack for a closed loop, nominal arrival for an open one,
+   clamped so start <= ack), [ack] the cycle the response was
+   acknowledged. The SLO layer buckets latency into time windows at the
+   ack and classifies requests by overlap with unavailability
+   windows. *)
+let request_intervals ~loop shard_acks =
+  let prev = ref 0 in
+  List.mapi
+    (fun i (_, cycle) ->
+      let nominal =
+        match loop with
+        | Client.Closed -> !prev
+        | Client.Open { period } -> i * period
+      in
+      let start = min nominal cycle in
+      prev := cycle;
+      (start, cycle, max 1 (cycle - nominal)))
     shard_acks
 
 let latencies ~loop acks =
@@ -445,6 +496,10 @@ let stats ?(txns = (0, 0)) ~loop ~acks ~cycles ~rejected ~recoveries
     mean_recovery =
       (if recoveries = 0 then 0.0
        else float_of_int recovery_cycles /. float_of_int recoveries);
+    availability =
+      (if cycles = 0 then 1.0
+       else
+         1.0 -. (float_of_int recovery_cycles /. float_of_int cycles));
     txn_commits;
     txn_aborts;
   }
@@ -452,9 +507,10 @@ let stats ?(txns = (0, 0)) ~loop ~acks ~cycles ~rejected ~recoveries
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d ops (%d rejected) in %d cycles: %.2f ops/kcycle, latency p50 %.0f \
-     p99 %.0f, %d recoveries (mean %.0f cycles)"
+     p99 %.0f, %d recoveries (mean %.0f cycles), availability %.3f%%"
     s.ops s.rejected s.cycles s.throughput s.p50 s.p99 s.recoveries
-    s.mean_recovery;
+    s.mean_recovery
+    (100.0 *. s.availability);
   if s.txn_commits + s.txn_aborts > 0 then
     Format.fprintf ppf ", %d txns committed / %d aborted" s.txn_commits
       s.txn_aborts

@@ -45,6 +45,15 @@ val replay : Kvstore.t -> protocol
 val expected_streams : protocol -> int array array
 (** Per core, coordinator last when the store has transactions. *)
 
+type resp_meta = { kind : string; tid : int }
+(** Classification of one expected response: [kind] is ["read"],
+    ["update"], ["insert"] (a put on an absent key) or ["txn"] (items,
+    abort acknowledgements and coordinator outcomes); [tid] is the
+    owning transaction id, [-1] for singles. *)
+
+val response_meta : protocol -> resp_meta array array
+(** Aligned index-for-index with {!expected_streams}. *)
+
 val decisions : protocol -> bool array
 
 val txn_outcomes : Kvstore.t -> int * int
@@ -84,12 +93,20 @@ type stats = {
   p99 : float;  (** request latency percentiles, cycles *)
   recoveries : int;
   mean_recovery : float;  (** modeled cycles per recovery *)
+  availability : float;
+      (** fraction of the run outside modeled recovery time, in [0,1] *)
   txn_commits : int;
   txn_aborts : int;
 }
 
 val request_latencies : loop:Client.loop -> (int * int) list -> int list
 (** Per-request latency of one core's [(response, ack cycle)] stream. *)
+
+val request_intervals : loop:Client.loop -> (int * int) list -> (int * int * int) list
+(** Per-request [(start, ack, latency)] of one core's stream: [start]
+    is the previous ack (closed loop) or the nominal arrival (open
+    loop), clamped so [start <= ack]; [latency] agrees with
+    {!request_latencies}. *)
 
 val stats :
   ?txns:int * int ->

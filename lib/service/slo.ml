@@ -1,0 +1,210 @@
+(* SLO accounting over a serving run: turns the crash/recovery instants
+   of a {!Server.outcome} into explicit unavailability windows and a
+   report — availability, per-recovery replay cost, tail latency inside
+   versus outside the recovery windows, and burn against explicit p99 /
+   availability targets — plus a windowed {!Capri_obs.Series} timeline
+   (throughput, latency percentiles, in-flight depth, rejects, downtime)
+   that makes each outage visible as a hole in the series rather than a
+   blip in a run-total mean.
+
+   Everything here is a pure function of the outcome (ack streams,
+   downtime windows, rejected arrivals), so reports and timelines of a
+   deterministic run are byte-identical under any --jobs fan-out. *)
+
+module Series = Capri_obs.Series
+module Table = Capri_util.Table
+module Stat = Capri_util.Stat
+
+type window = { start : int; finish : int; blocks : int }
+
+type report = {
+  cycles : int;
+  served : int;
+  down_cycles : int;
+  availability : float;
+  windows : window list;
+  in_recovery : int;
+  p99 : float;
+  p99_in : float;
+  p99_out : float;
+  mean_replay_blocks : float;
+  mean_replay_cycles : float;
+  slo_p99 : int option;
+  slo_avail : float option;
+  p99_burn : float option;
+  avail_burn : float option;
+}
+
+let windows_of (outcome : Server.outcome) =
+  List.map
+    (fun (start, finish, blocks) -> { start; finish; blocks })
+    outcome.Server.downtime
+
+(* A request counts as "in recovery" when its service interval
+   [start, ack] overlaps any unavailability window — it was either cut
+   down mid-flight by the crash or served into the replay backlog. *)
+let overlaps windows ~start ~ack =
+  List.exists (fun w -> start < w.finish && ack > w.start) windows
+
+let intervals (t : Server.t) (outcome : Server.outcome) =
+  let loop = t.Server.cfg.Server.client.Client.loop in
+  Array.fold_left
+    (fun acc core_acks ->
+      List.rev_append (Sla.request_intervals ~loop core_acks) acc)
+    [] outcome.Server.acks
+
+let report ?slo_p99 ?slo_avail ~(t : Server.t) (outcome : Server.outcome) =
+  let windows = windows_of outcome in
+  let reqs = intervals t outcome in
+  let served = List.length reqs in
+  let lat_in, lat_out =
+    List.partition_map
+      (fun (start, ack, lat) ->
+        if overlaps windows ~start ~ack then Left (float_of_int lat)
+        else Right (float_of_int lat))
+      reqs
+  in
+  let pct l = if l = [] then 0.0 else Stat.percentile 99.0 l in
+  let down_cycles =
+    List.fold_left (fun acc w -> acc + (w.finish - w.start)) 0 windows
+  in
+  let cycles = outcome.Server.cycles in
+  let availability =
+    if cycles = 0 then 1.0
+    else 1.0 -. (float_of_int down_cycles /. float_of_int cycles)
+  in
+  let recoveries = outcome.Server.recoveries in
+  let p99 = pct (lat_in @ lat_out) in
+  {
+    cycles;
+    served;
+    down_cycles;
+    availability;
+    windows;
+    in_recovery = List.length lat_in;
+    p99;
+    p99_in = pct lat_in;
+    p99_out = pct lat_out;
+    mean_replay_blocks =
+      (if recoveries = 0 then 0.0
+       else float_of_int outcome.Server.recovery_blocks /. float_of_int recoveries);
+    mean_replay_cycles =
+      (if recoveries = 0 then 0.0
+       else float_of_int outcome.Server.recovery_cycles /. float_of_int recoveries);
+    slo_p99;
+    slo_avail;
+    p99_burn =
+      Option.map
+        (fun target -> p99 /. float_of_int (max 1 target))
+        slo_p99;
+    avail_burn =
+      Option.map
+        (fun target ->
+          (* error-budget burn: observed unavailability over allowed *)
+          let budget = 1.0 -. target in
+          let burnt = 1.0 -. availability in
+          if budget <= 0.0 then if burnt <= 0.0 then 0.0 else infinity
+          else burnt /. budget)
+        slo_avail;
+  }
+
+(* ------------------- timeline ------------------- *)
+
+(* Window width: an explicit [width], or the run split into ~24 windows
+   (floored at 256 cycles) — a function of the outcome only, so the
+   default is as deterministic as the run. *)
+let default_windows = 24
+let min_width = 256
+
+let timeline ?width ~(t : Server.t) (outcome : Server.outcome) =
+  let width =
+    match width with
+    | Some w -> w
+    | None -> max min_width (outcome.Server.cycles / default_windows)
+  in
+  let s = Series.create ~width () in
+  List.iter
+    (fun (start, ack, lat) ->
+      Series.inc s ~ts:ack "ops";
+      Series.observe s ~ts:ack "latency_cycles" lat;
+      (* every window the service interval touches counts one in-flight
+         request — a windowed queue-depth proxy *)
+      let w0 = Series.window_of s ~ts:start in
+      let w1 = Series.window_of s ~ts:ack in
+      for w = w0 to w1 do
+        Series.add s ~ts:(w * width) "inflight" 1
+      done)
+    (intervals t outcome);
+  List.iter (fun ts -> Series.inc s ~ts "rejected") t.Server.rejected_at;
+  List.iter
+    (fun w ->
+      Series.inc s ~ts:w.start "recoveries";
+      (* charge each window its overlap with the outage *)
+      let w0 = Series.window_of s ~ts:w.start in
+      let w1 = Series.window_of s ~ts:(w.finish - 1) in
+      for i = w0 to w1 do
+        let lo = max w.start (i * width) in
+        let hi = min w.finish ((i + 1) * width) in
+        if hi > lo then Series.add s ~ts:(i * width) "down_cycles" (hi - lo)
+      done)
+    (windows_of outcome);
+  s
+
+let render_timeline s =
+  let width = Series.width s in
+  let tbl =
+    Table.create
+      ~header:
+        [ "win"; "from"; "ops"; "tput/kcyc"; "p50"; "p99"; "inflight";
+          "rej"; "down"; "recov" ]
+  in
+  for w = 0 to Series.last_window s do
+    let ops = Series.counter s ~window:w "ops" in
+    let tput = 1000.0 *. float_of_int ops /. float_of_int width in
+    Table.add_row tbl
+      [
+        string_of_int w;
+        string_of_int (w * width);
+        string_of_int ops;
+        Table.fmt_f tput;
+        string_of_int (Series.quantile s ~window:w "latency_cycles" 50.0);
+        string_of_int (Series.quantile s ~window:w "latency_cycles" 99.0);
+        string_of_int (Series.counter s ~window:w "inflight");
+        string_of_int (Series.counter s ~window:w "rejected");
+        string_of_int (Series.counter s ~window:w "down_cycles");
+        string_of_int (Series.counter s ~window:w "recoveries");
+      ]
+  done;
+  Table.render tbl
+
+(* ------------------- rendering ------------------- *)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d served in %d cycles, %d recovery window(s) totalling %d cycles:@\n"
+    r.served r.cycles (List.length r.windows) r.down_cycles;
+  Format.fprintf ppf "  availability %.4f%%, p99 %.0f cycles"
+    (100.0 *. r.availability) r.p99;
+  Format.fprintf ppf " (%.0f during recovery over %d reqs, %.0f outside)@\n"
+    r.p99_in r.in_recovery r.p99_out;
+  List.iteri
+    (fun i w ->
+      Format.fprintf ppf "  outage %d: cycles %d..%d (%d down, %d blocks replayed)@\n"
+        i w.start w.finish (w.finish - w.start) w.blocks)
+    r.windows;
+  if r.windows <> [] then
+    Format.fprintf ppf "  mean replay per recovery: %.1f blocks, %.0f cycles@\n"
+      r.mean_replay_blocks r.mean_replay_cycles;
+  (match (r.slo_p99, r.p99_burn) with
+  | Some target, Some burn ->
+    Format.fprintf ppf "  SLO p99 <= %d: %s (burn %.2fx)@\n" target
+      (if burn <= 1.0 then "met" else "MISSED")
+      burn
+  | _ -> ());
+  match (r.slo_avail, r.avail_burn) with
+  | Some target, Some burn ->
+    Format.fprintf ppf "  SLO availability >= %.4f%%: %s (error budget burn %.2fx)@\n"
+      (100.0 *. target)
+      (if r.availability >= target then "met" else "MISSED")
+      burn
+  | _ -> ()

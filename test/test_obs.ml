@@ -8,6 +8,7 @@ open Helpers
 module Metrics = Capri_obs.Metrics
 module Tracer = Capri_obs.Tracer
 module Profiler = Capri_obs.Profiler
+module Series = Capri_obs.Series
 module Obs = Capri_obs.Obs
 module Gen = Capri_workloads.Gen
 
@@ -127,6 +128,118 @@ let test_tracer_chrome_json_shape () =
   Alcotest.(check bool) "names threads" true (contains "thread_name");
   Alcotest.(check bool) "escapes names" true (contains "r\\\"1");
   Alcotest.(check bool) "instant scope" true (contains "\"s\":\"t\"")
+
+let test_tracer_origin_stitching () =
+  (* Crash segments restart thread clocks at zero; the origin stitches
+     them into one monotone timeline, and close_open balances the spans
+     a crash interrupted. *)
+  let tr = Tracer.create () in
+  Tracer.begin_span tr ~track:(Tracer.Core 0) ~name:"r0" ~ts:0;
+  Tracer.begin_span tr ~track:(Tracer.Core 1) ~name:"r1" ~ts:4;
+  Tracer.end_span tr ~track:(Tracer.Core 1) ~ts:9;
+  (* crash at cycle 6: core 0's span is dangling, core 1's track has
+     already advanced to 9 — the synthetic E must not go backwards *)
+  Tracer.close_open tr ~ts:6;
+  Alcotest.(check int) "max_ts tracks span events" 9 (Tracer.max_ts tr);
+  (match Tracer.validate tr with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "crash-closed trace rejected: %s" m);
+  (* resume: new segment restarts at ts 0, origin jumps past everything *)
+  Tracer.set_origin tr 100;
+  Alcotest.(check int) "origin set" 100 (Tracer.origin tr);
+  Tracer.begin_span tr ~track:(Tracer.Core 0) ~name:"r2" ~ts:0;
+  Tracer.end_span tr ~track:(Tracer.Core 0) ~ts:5;
+  (match Tracer.validate tr with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "stitched trace rejected: %s" m);
+  Alcotest.(check int) "resumed span lands at origin" 105 (Tracer.max_ts tr);
+  (* the close_open E carries its provenance *)
+  let closed =
+    List.filter
+      (fun e ->
+        e.Tracer.phase = Tracer.E
+        && List.mem_assoc "closed_by" e.Tracer.args)
+      (Tracer.events tr)
+  in
+  Alcotest.(check int) "one synthetic close" 1 (List.length closed)
+
+let test_tracer_request_track () =
+  let tr = Tracer.create () in
+  Tracer.begin_span tr ~track:(Tracer.Request 1) ~name:"read" ~ts:2;
+  Tracer.end_span tr ~track:(Tracer.Request 1) ~ts:8;
+  (match Tracer.validate tr with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "request track rejected: %s" m);
+  let json = Tracer.to_chrome_json tr in
+  let contains needle =
+    let n = String.length json and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub json i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "request tid namespace" true (contains "\"tid\":2001");
+  Alcotest.(check bool) "request thread name" true (contains "core 1 requests")
+
+(* ---------------- windowed series ---------------- *)
+
+let test_series_windows () =
+  let s = Series.create ~width:100 () in
+  Alcotest.(check int) "empty" (-1) (Series.last_window s);
+  Series.inc s ~ts:0 "ops";
+  Series.inc s ~ts:99 "ops";
+  Series.inc s ~ts:100 "ops";
+  Series.add s ~ts:250 "ops" 3;
+  Series.observe s ~ts:50 "lat" 7;
+  Series.observe s ~ts:50 "lat" 100;
+  Alcotest.(check int) "window 0" 2 (Series.counter s ~window:0 "ops");
+  Alcotest.(check int) "window 1" 1 (Series.counter s ~window:1 "ops");
+  Alcotest.(check int) "window 2" 3 (Series.counter s ~window:2 "ops");
+  Alcotest.(check int) "absent cell" 0 (Series.counter s ~window:5 "ops");
+  Alcotest.(check int) "negative ts clamps" 0 (Series.window_of s ~ts:(-7));
+  Alcotest.(check int) "last window" 2 (Series.last_window s);
+  Alcotest.(check (list string)) "names sorted" [ "lat"; "ops" ]
+    (Series.names s);
+  Alcotest.(check int) "p50 in bucket bounds" 8
+    (Series.quantile s ~window:0 "lat" 50.0);
+  Alcotest.(check int) "p99 capped at max" 100
+    (Series.quantile s ~window:0 "lat" 99.0);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Series: ops is not a histogram") (fun () ->
+      Series.observe s ~ts:0 "ops" 1);
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Series.create: width must be positive") (fun () ->
+      ignore (Series.create ~width:0 ()))
+
+let test_series_merge_and_json () =
+  let mk obs =
+    let s = Series.create ~width:10 () in
+    List.iter
+      (fun (ts, name, v) ->
+        if name = "lat" then Series.observe s ~ts name v
+        else Series.add s ~ts name v)
+      obs;
+    s
+  in
+  let oa = [ (0, "ops", 1); (5, "lat", 3); (25, "ops", 2) ] in
+  let ob = [ (3, "ops", 4); (25, "lat", 9); (5, "lat", 40) ] in
+  let ab = mk oa in
+  Series.merge_into ~dst:ab (mk ob);
+  let ba = mk ob in
+  Series.merge_into ~dst:ba (mk oa);
+  Alcotest.(check string) "merge commutes (json)" (Series.to_json ab)
+    (Series.to_json ba);
+  let whole = mk (oa @ ob) in
+  Alcotest.(check string) "split == whole" (Series.to_json whole)
+    (Series.to_json ab);
+  Alcotest.(check int) "merged counter" 5 (Series.counter ab ~window:0 "ops");
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Series.merge_into: window widths differ") (fun () ->
+      Series.merge_into ~dst:(Series.create ~width:7 ()) ab);
+  let json = Series.to_json whole in
+  let count_char c =
+    String.fold_left (fun n x -> if x = c then n + 1 else n) 0 json
+  in
+  Alcotest.(check int) "balanced braces" (count_char '{') (count_char '}');
+  Alcotest.(check int) "balanced brackets" (count_char '[') (count_char ']')
 
 (* ---------------- profiler ---------------- *)
 
@@ -253,6 +366,11 @@ let suite =
     Alcotest.test_case "tracer validation" `Quick test_tracer_validate;
     Alcotest.test_case "chrome json shape" `Quick
       test_tracer_chrome_json_shape;
+    Alcotest.test_case "tracer origin stitching" `Quick
+      test_tracer_origin_stitching;
+    Alcotest.test_case "request track" `Quick test_tracer_request_track;
+    Alcotest.test_case "series windows" `Quick test_series_windows;
+    Alcotest.test_case "series merge + json" `Quick test_series_merge_and_json;
     Alcotest.test_case "profiler joins" `Quick test_profiler_joins;
     Alcotest.test_case "nvm write invariant (fuzz, all modes)" `Quick
       test_nvm_write_invariant_fuzz;

@@ -289,10 +289,79 @@ let prop_parser_round_trip =
           e.Capri_ir.Parser.line e.Capri_ir.Parser.message
       | Ok p2 -> Capri_ir.Parser.to_string p2 = text)
 
+(* Obs.Series merge laws: per-task series folded in any order must
+   render the same timeline, which is what makes the windowed SLO
+   accounting safe to compute under parallel fan-out. *)
+module Series = Capri_obs.Series
+
+type obs_op = Inc of int * string | Add of int * string * int | Obs of int * string * int
+
+let obs_gen =
+  let open QCheck.Gen in
+  let name = oneofl [ "ops"; "rejected"; "down" ] in
+  let hname = oneofl [ "lat"; "replay" ] in
+  let ts = int_bound 4_000 in
+  let op =
+    oneof
+      [
+        map2 (fun t n -> Inc (t, n)) ts name;
+        map3 (fun t n v -> Add (t, n, v)) ts name (int_bound 50);
+        map3 (fun t n v -> Obs (t, "h_" ^ n, v)) ts hname (int_bound 10_000);
+      ]
+  in
+  list_size (int_bound 80) op
+
+let print_obs ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Inc (t, n) -> Printf.sprintf "inc %d %s" t n
+         | Add (t, n, v) -> Printf.sprintf "add %d %s %d" t n v
+         | Obs (t, n, v) -> Printf.sprintf "obs %d %s %d" t n v)
+       ops)
+
+let obs_arb = QCheck.make ~print:print_obs obs_gen
+
+let replay_ops width ops =
+  let s = Series.create ~width () in
+  List.iter
+    (function
+      | Inc (ts, n) -> Series.inc s ~ts n
+      | Add (ts, n, v) -> Series.add s ~ts n v
+      | Obs (ts, n, v) -> Series.observe s ~ts n v)
+    ops;
+  s
+
+let prop_series_merge_laws =
+  QCheck.Test.make ~count:100
+    ~name:"series: merge commutes/associates; split run == whole run"
+    QCheck.(pair obs_arb obs_arb)
+    (fun (xs, ys) ->
+      let width = 128 in
+      let json s = Series.to_json s in
+      (* commutativity: xs <- ys  ==  ys <- xs *)
+      let ab = replay_ops width xs in
+      Series.merge_into ~dst:ab (replay_ops width ys);
+      let ba = replay_ops width ys in
+      Series.merge_into ~dst:ba (replay_ops width xs);
+      (* associativity: ((xs <- ys) <- xs)  ==  (xs <- (ys <- xs)) *)
+      let left = replay_ops width xs in
+      Series.merge_into ~dst:left (replay_ops width ys);
+      Series.merge_into ~dst:left (replay_ops width xs);
+      let inner = replay_ops width ys in
+      Series.merge_into ~dst:inner (replay_ops width xs);
+      let right = replay_ops width xs in
+      Series.merge_into ~dst:right inner;
+      (* split run: first half and second half merged == whole run *)
+      let whole = replay_ops width (xs @ ys) in
+      let halves = replay_ops width xs in
+      Series.merge_into ~dst:halves (replay_ops width ys);
+      json ab = json ba && json left = json right && json halves = json whole)
+
 let suite =
   suite
   @ List.map QCheck_alcotest.to_alcotest
       [
         prop_journal_exactly_once; prop_pgo_preserves; prop_memory_model;
-        prop_parser_round_trip;
+        prop_parser_round_trip; prop_series_merge_laws;
       ]

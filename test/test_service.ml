@@ -85,7 +85,7 @@ let test_handler_paths () =
       kv.Kvstore.program
   in
   let t =
-    { Server.cfg = mk ~shards:1 (); kv; compiled; rejected = 0 }
+    { Server.cfg = mk ~shards:1 (); kv; compiled; rejected = 0; rejected_at = [] }
   in
   let outcome = Server.run t in
   check_ok t outcome;
@@ -142,7 +142,7 @@ let test_txn_commit_and_abort () =
     Capri_compiler.Pipeline.compile Capri_compiler.Options.default
       kv.Kvstore.program
   in
-  let t = { Server.cfg = mk ~shards:2 (); kv; compiled; rejected = 0 } in
+  let t = { Server.cfg = mk ~shards:2 (); kv; compiled; rejected = 0; rejected_at = [] } in
   let outcome = Server.run t in
   check_ok t outcome;
   (* the host replay agrees on the outcomes *)
@@ -322,6 +322,123 @@ let test_obs_instrumentation () =
   in
   Alcotest.(check int) "one ack instant per request" acked instants
 
+(* Regression: a crash used to leave dangling B events on the core
+   tracks and each resumed segment restarted its clock at zero, so any
+   traced crash run failed Tracer.validate. The trace must now stay
+   balanced and monotone across every crash + recovery boundary, in
+   every recoverable mode, txns included. *)
+let test_trace_valid_across_crashes () =
+  List.iter
+    (fun mode ->
+      let t = Server.plan (mk ~mode ~ops:20 ~txns:2 ()) in
+      let reference = Server.run t in
+      let total = reference.Server.result.Capri_runtime.Executor.instrs in
+      let schedule = [ total / 4; total / 3; total / 5 ] in
+      let obs = Capri_obs.Obs.create () in
+      let outcome = Server.run ~obs ~crash_at:schedule t in
+      check_ok t outcome;
+      (match Capri_obs.Tracer.validate obs.Capri_obs.Obs.tracer with
+      | Ok () -> ()
+      | Error m ->
+        Alcotest.failf "%s: trace invalid across crashes: %s"
+          (Arch.Persist.mode_name mode) m);
+      (* the crashes really did interrupt open spans *)
+      let closed_by_crash =
+        List.filter
+          (fun (e : Capri_obs.Tracer.event) ->
+            List.mem_assoc "closed_by" e.Capri_obs.Tracer.args)
+          (Capri_obs.Tracer.events obs.Capri_obs.Obs.tracer)
+      in
+      Alcotest.(check bool)
+        (Arch.Persist.mode_name mode ^ ": crash closed spans")
+        true
+        (List.length closed_by_crash > 0);
+      Alcotest.(check int)
+        (Arch.Persist.mode_name mode ^ ": one downtime window per recovery")
+        outcome.Server.recoveries
+        (List.length outcome.Server.downtime))
+    [
+      Arch.Persist.Capri; Arch.Persist.Naive_sync; Arch.Persist.Undo_sync;
+      Arch.Persist.Redo_nowb;
+    ]
+
+let test_slo_report_and_timeline () =
+  let t = Server.plan (mk ~ops:40 ()) in
+  let reference = Server.run t in
+  let total = reference.Server.result.Capri_runtime.Executor.instrs in
+  let outcome = Server.run ~crash_at:[ total / 3; total / 2 ] t in
+  check_ok t outcome;
+  let r = Slo.report ~slo_p99:1_000_000 ~slo_avail:0.5 ~t outcome in
+  Alcotest.(check int) "one window per recovery" outcome.Server.recoveries
+    (List.length r.Slo.windows);
+  Alcotest.(check int) "down cycles = modeled recovery time"
+    outcome.Server.recovery_cycles r.Slo.down_cycles;
+  Alcotest.(check bool) "availability in (0,1)" true
+    (r.Slo.availability > 0.0 && r.Slo.availability < 1.0);
+  Alcotest.(check bool) "windows ordered and positive" true
+    (List.for_all (fun w -> w.Slo.finish > w.Slo.start) r.Slo.windows);
+  let served =
+    Array.fold_left (fun a l -> a + List.length l) 0 outcome.Server.acks
+  in
+  Alcotest.(check int) "served = acked" served r.Slo.served;
+  (* generous targets are met; burn ratios populated *)
+  Alcotest.(check bool) "p99 target met" true
+    (match r.Slo.p99_burn with Some b -> b <= 1.0 | None -> false);
+  Alcotest.(check bool) "avail target met" true
+    (r.Slo.availability >= 0.5);
+  (* the timeline conserves ops and downtime *)
+  let series = Slo.timeline ~t outcome in
+  let module Series = Capri_obs.Series in
+  let sum name =
+    Series.fold series
+      (fun acc ~window:_ ~name:n cell ->
+        match cell with
+        | Series.Cnt c when n = name -> acc + !c
+        | _ -> acc)
+      0
+  in
+  Alcotest.(check int) "timeline ops conserved" served (sum "ops");
+  Alcotest.(check int) "timeline downtime conserved" r.Slo.down_cycles
+    (sum "down_cycles");
+  Alcotest.(check int) "timeline recoveries conserved"
+    outcome.Server.recoveries (sum "recoveries")
+
+let test_latency_labeled_by_op_kind () =
+  let obs = Capri_obs.Obs.create () in
+  let t = Server.plan (mk ~ops:30 ~txns:2 ()) in
+  let outcome = Server.run ~obs t in
+  check_ok t outcome;
+  let served =
+    Array.fold_left (fun a l -> a + List.length l) 0 outcome.Server.acks
+  in
+  let module Metrics = Capri_obs.Metrics in
+  let m = obs.Capri_obs.Obs.metrics in
+  let count kind =
+    Metrics.Histogram.count
+      (Metrics.log2_histogram m "service_latency_cycles"
+         ~labels:[ ("op", kind) ] ~buckets:24)
+  in
+  let kinds = [ "read"; "update"; "insert"; "txn" ] in
+  Alcotest.(check int) "kinds partition the acks" served
+    (List.fold_left (fun a k -> a + count k) 0 kinds);
+  (* mix A reads and writes over a fresh store: every kind but the
+     2PC-free ones must appear, and the txn traffic is all "txn" *)
+  Alcotest.(check bool) "reads observed" true (count "read" > 0);
+  Alcotest.(check bool) "inserts observed" true (count "insert" > 0);
+  Alcotest.(check bool) "txn acks observed" true (count "txn" > 0);
+  (* request-lifecycle spans: one balanced span per served request *)
+  let spans =
+    List.filter
+      (fun (e : Capri_obs.Tracer.event) ->
+        match e.Capri_obs.Tracer.track with
+        | Capri_obs.Tracer.Request _ ->
+          e.Capri_obs.Tracer.phase = Capri_obs.Tracer.B
+        | _ -> false)
+      (Capri_obs.Tracer.events obs.Capri_obs.Obs.tracer)
+  in
+  Alcotest.(check int) "one lifecycle span per request" served
+    (List.length spans)
+
 let test_oracle_detects_corruption () =
   let t = Server.plan (mk ~ops:30 ()) in
   let reference = Server.run t in
@@ -442,5 +559,11 @@ let suite =
       test_txn_weave_preserves_singles;
     Alcotest.test_case "txn: oracle under crashes, all modes" `Quick
       test_txn_oracle_under_crashes_all_modes;
+    Alcotest.test_case "trace valid across crashes, all modes" `Quick
+      test_trace_valid_across_crashes;
+    Alcotest.test_case "slo report and timeline" `Quick
+      test_slo_report_and_timeline;
+    Alcotest.test_case "latency labeled by op kind" `Quick
+      test_latency_labeled_by_op_kind;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_txn_batches_serializable ]
