@@ -3,7 +3,7 @@
 # determinism smokes (bench, fuzz, service bench, perf) that
 # `dune runtest` wires in via the runtest alias.
 
-.PHONY: all build check test bench slo perfsmoke fuzz fuzz-txn clean
+.PHONY: all build check test bench slo steal perfsmoke fuzz fuzz-txn clean
 
 all: build
 
@@ -24,6 +24,17 @@ bench:
 # plus the windowed timeline for capri.
 slo:
 	dune exec bench/service.exe -- --rolling --shards 2 --ops 120 --crash 3 --period 8
+
+# Work-stealing scheduler showcase: the noisy-neighbor table (one
+# zipfian-heavy tenant against uniform neighbors; stealing on vs off
+# over the byte-identical workload, per-tenant p99 and worst-shard
+# queue depth), the contended hot-key 2PC table (commit/abort ratio
+# under pinned / steal-off / steal-on), and a steal-focused fuzz
+# campaign over scheduled multi-tenant stores.
+steal:
+	dune exec bench/service.exe -- --noisy --shards 6 --ops 30 --tenants 3 --cores 4 --skew 3.0 --period 120
+	dune exec bench/service.exe -- --hot-key --shards 4 --ops 20 --tenants 3 --cores 2 --hot-txns 8
+	dune exec fuzz/main.exe -- --service --steal --budget 260
 
 # Engine-equivalence gate: tiny-scale micro shapes + a kernel + a
 # generated multi-core program, interp vs compiled, all five modes.

@@ -12,6 +12,14 @@ let () =
   let jobs = ref 0 in
   let rolling = ref false in
   let period = ref 8 in
+  let noisy = ref false in
+  let hot_key = ref false in
+  let tenants = ref 3 in
+  let cores = ref 2 in
+  let quantum = ref 4 in
+  let skew = ref 1.2 in
+  let hot_txns = ref 8 in
+  let steal = ref "both" in
   let spec =
     [
       ("--shards", Arg.Set_int shards, "N  shard cores (default 2)");
@@ -29,9 +37,42 @@ let () =
          open-loop client keeps offering load; reports measured \
          unavailability windows, p99 during vs. outside recovery, and the \
          Capri run's windowed timeline" );
+      ( "--noisy",
+        Arg.Set noisy,
+        "  noisy-neighbor scenario: one zipfian-heavy tenant against \
+         uniform neighbors on the work-stealing scheduler; per-tenant \
+         served/p99 and the worst shard's peak queue depth, stealing on \
+         vs. off" );
+      ( "--hot-key",
+        Arg.Set hot_key,
+        "  contended hot-key scenario: tenants CAS-update one shared key \
+         through 2PC transactions; commit/abort ratio and p99 under \
+         pinned / steal-off / steal-on scheduling" );
+      ( "--tenants",
+        Arg.Set_int tenants,
+        "N  tenants for --noisy/--hot-key (default 3)" );
+      ( "--cores",
+        Arg.Set_int cores,
+        "N  scheduler worker cores for --noisy/--hot-key (default 2)" );
+      ( "--quantum",
+        Arg.Set_int quantum,
+        "N  requests per scheduler slice (default 4)" );
+      ( "--skew",
+        Arg.Set_float skew,
+        "S  zipfian skew of the noisy tenant (default 1.2)" );
+      ( "--hot-txns",
+        Arg.Set_int hot_txns,
+        "N  hot-key transactions for --hot-key (default 8)" );
+      ( "--steal",
+        Arg.Symbol
+          ([ "on"; "off"; "both" ], fun s -> steal := s),
+        "  which --noisy variants to run: on, off (static pinning \
+         reference) or both (default)" );
       ( "--period",
         Arg.Set_int period,
-        "N  open-loop arrival period in cycles for --rolling (default 8)" );
+        "N  open-loop arrival period in cycles for --rolling, and the \
+         modeled arrival period of the --noisy queue-depth column \
+         (default 8)" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N  trial parallelism (default: CAPRI_JOBS or the machine)" );
@@ -40,12 +81,32 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "usage: bench/service.exe [--shards N] [--ops N] [--crash N] [--txns N] \
-     [--rolling] [--period N] [--jobs N]";
+     [--rolling] [--noisy] [--hot-key] [--tenants N] [--cores N] \
+     [--quantum N] [--skew S] [--hot-txns N] [--steal on|off|both] \
+     [--period N] [--jobs N]";
   let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
   if !rolling then
     print_string
       (Capri_bench.Service_bench.rolling_table ~jobs ~shards:(max 1 !shards)
          ~ops:(max 1 !ops) ~crashes:(max 0 !crashes) ~period:(max 1 !period))
+  else if !noisy then begin
+    let variants =
+      match !steal with
+      | "on" -> [ true ]
+      | "off" -> [ false ]
+      | _ -> [ false; true ]
+    in
+    print_string
+      (Capri_bench.Service_bench.noisy_table ~jobs ~shards:(max 1 !shards)
+         ~ops:(max 1 !ops) ~cores:(max 1 !cores) ~quantum:(max 1 !quantum)
+         ~tenants:(max 2 !tenants) ~skew:!skew ~period:(max 1 !period)
+         ~variants)
+  end
+  else if !hot_key then
+    print_string
+      (Capri_bench.Service_bench.hot_table ~jobs ~shards:(max 1 !shards)
+         ~ops:(max 1 !ops) ~cores:(max 1 !cores) ~quantum:(max 1 !quantum)
+         ~tenants:(max 2 !tenants) ~skew:!skew ~hot_txns:(max 1 !hot_txns))
   else
     print_string
       (Capri_bench.Service_bench.table ~jobs ~shards:(max 1 !shards)

@@ -199,3 +199,217 @@ let rolling_table ~jobs ~shards ~ops ~crashes ~period =
     | None -> ""
   in
   render_rolling rows ^ capri_timeline
+
+(* ------------------- noisy-neighbor multi-tenant scenario ------------------- *)
+
+(* One zipfian-heavy tenant shares the store with uniform neighbors.
+   The skewed tenant concentrates its keys on a few shards; with
+   stealing off each shard stays on its home core, so the hot shards
+   queue while other cores idle — with stealing on, the hot shards
+   migrate to the idle cores mid-run. Both variants serve the
+   byte-identical workload on the same scheduler substrate, so the
+   table isolates the policy: per-tenant served/p99 next to the worst
+   shard's peak queue depth (arrivals modeled at one request per
+   [period] cycles) and the recorded steal/migration counts. *)
+
+type noisy_row = {
+  n_steal : bool;
+  n_stats : Svc.Sla.stats;
+  n_tenants : (int * float) array;  (* (served, p99) per tenant *)
+  n_worst_depth : int;  (* peak queue depth of the worst shard *)
+  n_steals : int;
+  n_migrations : int;
+}
+
+let noisy_trial ~shards ~ops ~cores ~quantum ~tenants ~skew ~period steal =
+  (* Tight per-tenant namespaces keep the zipfian mass of the noisy
+     tenant on few shards — the imbalance the scenario is about. The
+     client is open-loop: a noisy neighbor's damage is queueing delay,
+     so latency is measured against the nominal arrivals (one request
+     per [period] cycles), the same arrival model the queue-depth
+     column uses. *)
+  let client =
+    {
+      Svc.Client.default with
+      ops_per_shard = ops;
+      txns = 0;
+      key_space = 16;
+      loop = Svc.Client.Open { period };
+    }
+  in
+  let cfg =
+    {
+      Svc.Server.default_cfg with
+      Svc.Server.shards;
+      client;
+      sched = Some { Svc.Sched.cores; quantum; steal };
+      tenants = Some (Svc.Client.noisy_tenants ~tenants ~skew);
+    }
+  in
+  let t = Svc.Server.plan cfg in
+  let outcome = Svc.Server.run t in
+  (match Svc.Server.check t outcome with
+  | Ok () -> ()
+  | Error v ->
+    failwith
+      (Format.asprintf "noisy bench: oracle violated: %a" Svc.Sla.pp_violation
+         v));
+  let views, _headers = Svc.Server.views t outcome in
+  let worst = ref 0 in
+  for s = 0 to shards - 1 do
+    let acks = List.map snd views.(s) in
+    let d =
+      Svc.Sched.queue_depth ~period ~arrivals:(List.length acks) ~acks
+    in
+    if d > !worst then worst := d
+  done;
+  {
+    n_steal = steal;
+    n_stats = Svc.Server.stats t outcome;
+    n_tenants = Svc.Server.tenant_stats t outcome;
+    n_worst_depth = !worst;
+    n_steals = Svc.Server.steals t outcome;
+    n_migrations = List.length (Svc.Server.migrations t outcome);
+  }
+
+let noisy_rows ~jobs ~shards ~ops ~cores ~quantum ~tenants ~skew ~period
+    ~variants =
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.map_list pool
+        (noisy_trial ~shards ~ops ~cores ~quantum ~tenants ~skew ~period)
+        variants)
+
+let render_noisy rows =
+  let t =
+    Table.create
+      ~header:
+        [
+          "steal"; "tenant"; "served"; "tput/kcyc"; "p99"; "worstQ"; "steals";
+          "migs";
+        ]
+  in
+  let first = ref true in
+  List.iter
+    (fun r ->
+      if not !first then Table.add_sep t;
+      first := false;
+      let s = r.n_stats in
+      Table.add_row t
+        [
+          (if r.n_steal then "on" else "off");
+          "all";
+          string_of_int s.Svc.Sla.ops;
+          Table.fmt_f s.Svc.Sla.throughput;
+          Table.fmt_f ~decimals:1 s.Svc.Sla.p99;
+          string_of_int r.n_worst_depth;
+          string_of_int r.n_steals;
+          string_of_int r.n_migrations;
+        ];
+      Array.iteri
+        (fun tn (served, p99) ->
+          let tput =
+            if s.Svc.Sla.ops = 0 then 0.0
+            else
+              s.Svc.Sla.throughput *. float_of_int served
+              /. float_of_int s.Svc.Sla.ops
+          in
+          Table.add_row t
+            [
+              ""; string_of_int tn; string_of_int served; Table.fmt_f tput;
+              Table.fmt_f ~decimals:1 p99; ""; ""; "";
+            ])
+        r.n_tenants)
+    rows;
+  Table.render t
+
+let noisy_table ~jobs ~shards ~ops ~cores ~quantum ~tenants ~skew ~period
+    ~variants =
+  render_noisy
+    (noisy_rows ~jobs ~shards ~ops ~cores ~quantum ~tenants ~skew ~period
+       ~variants)
+
+(* ------------------- contended hot-key scenario ------------------- *)
+
+(* Every tenant CAS-updates one shared key through cross-shard 2PC
+   transactions: tid 1 seeds the key, later transactions CAS it with
+   the true current value 60% of the time, so the rest abort on
+   contention. The table reports the commit/abort split and the tail
+   latency under three schedulings of the same store — pinned (one
+   shard per core), the scheduler with stealing off (static pinning on
+   the deque substrate) and with stealing on. *)
+
+type hot_row = {
+  h_label : string;
+  h_stats : Svc.Sla.stats;
+  h_steals : int;
+}
+
+let hot_trial ~shards ~ops ~tenants ~skew ~hot_txns (label, sched) =
+  let client = { Svc.Client.default with ops_per_shard = ops; txns = 0 } in
+  let cfg =
+    {
+      Svc.Server.default_cfg with
+      Svc.Server.shards;
+      client;
+      sched;
+      tenants = Some (Svc.Client.noisy_tenants ~tenants ~skew);
+      hot_txns;
+    }
+  in
+  let t = Svc.Server.plan cfg in
+  let outcome = Svc.Server.run t in
+  (match Svc.Server.check t outcome with
+  | Ok () -> ()
+  | Error v ->
+    failwith
+      (Format.asprintf "hot-key bench: oracle violated: %a"
+         Svc.Sla.pp_violation v));
+  {
+    h_label = label;
+    h_stats = Svc.Server.stats t outcome;
+    h_steals = Svc.Server.steals t outcome;
+  }
+
+let hot_variants ~cores ~quantum =
+  [
+    ("pinned", None);
+    ("steal off", Some { Svc.Sched.cores; quantum; steal = false });
+    ("steal on", Some { Svc.Sched.cores; quantum; steal = true });
+  ]
+
+let hot_rows ~jobs ~shards ~ops ~cores ~quantum ~tenants ~skew ~hot_txns =
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.map_list pool
+        (hot_trial ~shards ~ops ~tenants ~skew ~hot_txns)
+        (hot_variants ~cores ~quantum))
+
+let render_hot rows =
+  let t =
+    Table.create
+      ~header:
+        [ "sched"; "ops"; "txC/txA"; "commit%"; "p50"; "p99"; "steals" ]
+  in
+  List.iter
+    (fun r ->
+      let s = r.h_stats in
+      let resolved = s.Svc.Sla.txn_commits + s.Svc.Sla.txn_aborts in
+      let ratio =
+        if resolved = 0 then 0.0
+        else 100.0 *. float_of_int s.Svc.Sla.txn_commits /. float_of_int resolved
+      in
+      Table.add_row t
+        [
+          r.h_label;
+          string_of_int s.Svc.Sla.ops;
+          Printf.sprintf "%d/%d" s.Svc.Sla.txn_commits s.Svc.Sla.txn_aborts;
+          Table.fmt_f ~decimals:1 ratio;
+          Table.fmt_f ~decimals:1 s.Svc.Sla.p50;
+          Table.fmt_f ~decimals:1 s.Svc.Sla.p99;
+          string_of_int r.h_steals;
+        ])
+    rows;
+  Table.render t
+
+let hot_table ~jobs ~shards ~ops ~cores ~quantum ~tenants ~skew ~hot_txns =
+  render_hot
+    (hot_rows ~jobs ~shards ~ops ~cores ~quantum ~tenants ~skew ~hot_txns)

@@ -46,4 +46,56 @@ let () =
       assert (rep.Slo.availability < 1.0);
       assert (rep.Slo.in_recovery = 0 || rep.Slo.p99_in > 0.0))
     rows;
-  print_endline "service-smoke: jobs=4 matches sequential (table + rolling)"
+  (* Noisy-neighbor scenario: byte-identical at any --jobs, and under
+     zipfian skew over >= 2 worker cores stealing must actually engage
+     (>= 1 recorded steal) and strictly improve both the worst shard's
+     peak queue depth and every tenant's p99 against the static-pinning
+     reference serving the identical workload. *)
+  let module B = Capri_bench.Service_bench in
+  let noisy jobs =
+    B.noisy_table ~jobs ~shards:6 ~ops:30 ~cores:4 ~quantum:4 ~tenants:3
+      ~skew:3.0 ~period:120 ~variants:[ false; true ]
+  in
+  check_identical "noisy table" (noisy 1) (noisy 4);
+  (match
+     B.noisy_rows ~jobs:1 ~shards:6 ~ops:30 ~cores:4 ~quantum:4 ~tenants:3
+       ~skew:3.0 ~period:120 ~variants:[ false; true ]
+   with
+  | [ off; on ] ->
+    assert ((not off.B.n_steal) && on.B.n_steal);
+    assert (off.B.n_steals = 0);
+    assert (on.B.n_steals >= 1);
+    assert (on.B.n_worst_depth < off.B.n_worst_depth);
+    assert (Array.length on.B.n_tenants = Array.length off.B.n_tenants);
+    Array.iteri
+      (fun tn (served_off, p99_off) ->
+        let served_on, p99_on = on.B.n_tenants.(tn) in
+        (* same acked population per tenant, strictly better tail *)
+        assert (served_on = served_off);
+        assert (p99_on < p99_off))
+      off.B.n_tenants
+  | _ -> assert false);
+  (* Hot-key contention: the 2PC outcome split is a scheduling
+     invariant — pinned, steal-off and steal-on resolve the same
+     commits and aborts — and the table is --jobs-pure too. *)
+  let hot jobs =
+    B.hot_table ~jobs ~shards:4 ~ops:16 ~cores:2 ~quantum:4 ~tenants:3
+      ~skew:1.2 ~hot_txns:6
+  in
+  check_identical "hot-key table" (hot 1) (hot 4);
+  (match
+     B.hot_rows ~jobs:1 ~shards:4 ~ops:16 ~cores:2 ~quantum:4 ~tenants:3
+       ~skew:1.2 ~hot_txns:6
+   with
+  | [ pinned; steal_off; steal_on ] ->
+    let outcome r =
+      ( r.B.h_stats.Capri_service.Sla.txn_commits,
+        r.B.h_stats.Capri_service.Sla.txn_aborts )
+    in
+    assert (outcome pinned = outcome steal_off);
+    assert (outcome pinned = outcome steal_on);
+    assert (fst (outcome pinned) + snd (outcome pinned) = 6)
+  | _ -> assert false);
+  print_endline
+    "service-smoke: jobs=4 matches sequential (table + rolling + noisy + \
+     hot-key)"

@@ -419,8 +419,36 @@ let serve_cmd =
     let doc = "Timeline window width in cycles (default: run/24)." in
     Arg.(value & opt (some int) None & info [ "window" ] ~docv:"CYCLES" ~doc)
   in
+  let tenants_arg =
+    let doc =
+      "Serve $(docv) tenants instead of one: the noisy-neighbor cast \
+       (tenant 0 zipfian-heavy, the rest uniform, equal weights) over \
+       per-tenant key namespaces, with per-tenant served/p99 reported per \
+       mode and per-tenant rows in the $(b,--slo) report."
+    in
+    Arg.(value & opt int 1 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let cores_arg =
+    let doc =
+      "Multiplex the shards over $(docv) worker cores through the \
+       work-stealing scheduler instead of pinning one shard per core \
+       (0 keeps the pinned layout)."
+    in
+    Arg.(value & opt int 0 & info [ "cores" ] ~docv:"N" ~doc)
+  in
+  let steal_arg =
+    let doc =
+      "With $(b,--cores): enable work stealing ($(docv) = on, the \
+       default) or keep every shard on its home core as the static \
+       pinning reference ($(docv) = off)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "steal" ] ~docv:"on|off" ~doc)
+  in
   let run shards mix ops crashes jobs txn_mix txn_items focus perfetto
-      timeline slo slo_p99 slo_avail window () =
+      timeline slo slo_p99 slo_avail window tenants cores steal () =
     let client =
       {
         Svc.Client.default with
@@ -430,9 +458,26 @@ let serve_cmd =
         txn_items = max 1 txn_items;
       }
     in
+    let sched =
+      if cores > 0 then
+        Some { Svc.Sched.cores; quantum = Svc.Sched.default.Svc.Sched.quantum; steal }
+      else None
+    in
+    let tenant_cast =
+      if tenants > 1 then
+        Some (Svc.Client.noisy_tenants ~tenants ~skew:1.2)
+      else None
+    in
     let plan_for mode =
       Svc.Server.plan
-        { Svc.Server.default_cfg with Svc.Server.shards; client; mode }
+        {
+          Svc.Server.default_cfg with
+          Svc.Server.shards;
+          client;
+          mode;
+          sched;
+          tenants = tenant_cast;
+        }
     in
     let schedule_for t mode =
       if crashes <= 0 || mode = Persist.Volatile then []
@@ -444,7 +489,11 @@ let serve_cmd =
     let serve mode =
       let t = plan_for mode in
       let outcome = Svc.Server.run ~crash_at:(schedule_for t mode) t in
-      (mode, Svc.Server.check t outcome, Svc.Server.stats t outcome)
+      ( mode,
+        Svc.Server.check t outcome,
+        Svc.Server.stats t outcome,
+        Svc.Server.steals t outcome,
+        Svc.Server.tenant_stats t outcome )
     in
     let results =
       Capri_util.Pool.with_pool ~jobs:(max 1 jobs) (fun pool ->
@@ -452,9 +501,16 @@ let serve_cmd =
     in
     let failed = ref false in
     List.iter
-      (fun (mode, checked, stats) ->
+      (fun (mode, checked, stats, steals, per_tenant) ->
         Format.printf "%-12s %a@." (Persist.mode_name mode) Svc.Sla.pp_stats
           stats;
+        if sched <> None then
+          Format.printf "%-12s   steals %d@." (Persist.mode_name mode) steals;
+        Array.iteri
+          (fun tn (served, p99) ->
+            Format.printf "%-12s   tenant %d: %d served, p99 %.0f@."
+              (Persist.mode_name mode) tn served p99)
+          per_tenant;
         match checked with
         | Ok () -> ()
         | Error v ->
@@ -528,7 +584,8 @@ let serve_cmd =
     Term.(
       const run $ shards_arg $ mix_arg $ ops_arg $ crash_arg $ jobs_arg
       $ txn_mix_arg $ txn_items_arg $ focus_arg $ perfetto_arg $ timeline_arg
-      $ slo_arg $ slo_p99_arg $ slo_avail_arg $ window_arg $ engine_arg)
+      $ slo_arg $ slo_p99_arg $ slo_avail_arg $ window_arg $ tenants_arg
+      $ cores_arg $ steal_arg $ engine_arg)
 
 let show_config_cmd =
   let run () = Format.printf "%a@." Config.pp_table Config.table1 in

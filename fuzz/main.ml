@@ -29,6 +29,11 @@
      --min-txns N   (--service) floor for the per-trial txn draw
                     (default 0); --min-txns 1 makes every trial a 2PC
                     crash campaign
+     --steal        (--service) serve every trial through the
+                    work-stealing scheduler (random core count and
+                    quantum; half the trials multi-tenant, some with
+                    hot-key 2PC), so crashes land inside deque critical
+                    sections and steal windows
 
    The report goes to stdout; the exit status is 1 iff any oracle
    failed. Every failure line includes the exact --seed to reproduce it
@@ -41,7 +46,7 @@ let usage =
   "usage: fuzz/main.exe [--seed N] [--budget N] [--jobs N] [--mode M]\n\
   \                     [--max-schedules N] [--diff-combos N]\n\
   \                     [--max-cores N] [--no-shrink] [--service]\n\
-  \                     [--max-txns N] [--min-txns N]\n"
+  \                     [--max-txns N] [--min-txns N] [--steal]\n"
 
 let bad msg =
   prerr_string (msg ^ "\n" ^ usage);
@@ -73,6 +78,7 @@ let () =
   let max_cores = ref Campaign.default_cfg.Campaign.max_cores in
   let shrink = ref true in
   let service = ref false in
+  let steal = ref false in
   let max_txns = ref Service_fuzz.default_cfg.Service_fuzz.max_txns in
   let min_txns = ref Service_fuzz.default_cfg.Service_fuzz.min_txns in
   let split_eq a =
@@ -120,6 +126,9 @@ let () =
     | "--service" :: rest ->
       service := true;
       parse rest
+    | "--steal" :: rest ->
+      steal := true;
+      parse rest
     | a :: rest -> (
       match split_eq a with
       | Some (flag, value) -> parse (flag :: value :: rest)
@@ -128,6 +137,7 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
   let modes = if !modes = [] then Campaign.all_modes else !modes in
+  if !steal && not !service then bad "--steal requires --service";
   if !service then begin
     let cfg =
       {
@@ -139,6 +149,7 @@ let () =
         max_schedules = max 1 !max_schedules;
         max_txns = max 0 !max_txns;
         min_txns = max 0 !min_txns;
+        steal = !steal;
         shrink = !shrink;
       }
     in

@@ -1149,7 +1149,32 @@ let fault_drop_undo = Atomic.make false
 let crash_recover t ~cycle =
   advance t ~cycle;
   (* Battery drain: everything still in the front-end or on the path
-     reaches the back-end structures. *)
+     reaches the back-end structures. [bentries]/[bslots] are reverse
+     arrival order (each drained item is prepended), so older items must
+     drain first: the in-flight ring holds items that already left the
+     front queue, i.e. every in-flight item predates everything still in
+     the front. Draining front-first would interleave one region's
+     entries out of order when it spans both queues — rolled back, two
+     stores to the same word would then restore the intermediate value
+     instead of the oldest undo image (a lock word acquired and released
+     inside one open region would revert to "held", orphaning the lock
+     across recovery). *)
+  Array.iter
+    (fun cs ->
+      while not (Ring.is_empty cs.arrivals) do
+        match Ring.pop cs.arrivals with
+        | Data e ->
+          let r = back_region_for cs e.seq in
+          r.bentries <- e :: r.bentries;
+          r.bcount <- r.bcount + 1
+        | Ckpt_flush { seq; slot; value } ->
+          let r = back_region_for cs seq in
+          r.bslots <- (slot, value) :: r.bslots
+        | Commit { seq; info } ->
+          let r = back_region_for cs seq in
+          r.bcommit <- Some info
+      done)
+    t.cores;
   Array.iter
     (fun cs ->
       Fifo.iter
@@ -1167,25 +1192,6 @@ let crash_recover t ~cycle =
             r.bcommit <- Some info)
         cs.front;
       Fifo.clear cs.front)
-    t.cores;
-  (* In-flight items land after the front-queue ones above, matching the
-     old heap drain: per-core back structures only see their own core's
-     items, and a core's ring order is that core's (time, serial) order. *)
-  Array.iter
-    (fun cs ->
-      while not (Ring.is_empty cs.arrivals) do
-        match Ring.pop cs.arrivals with
-        | Data e ->
-          let r = back_region_for cs e.seq in
-          r.bentries <- e :: r.bentries;
-          r.bcount <- r.bcount + 1
-        | Ckpt_flush { seq; slot; value } ->
-          let r = back_region_for cs seq in
-          r.bslots <- (slot, value) :: r.bslots
-        | Commit { seq; info } ->
-          let r = back_region_for cs seq in
-          r.bcommit <- Some info
-      done)
     t.cores;
   while not (Ring.is_empty t.frees) do
     ignore (Ring.pop t.frees)

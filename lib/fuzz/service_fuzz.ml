@@ -36,6 +36,14 @@ type cfg = {
   max_schedules : int;  (* crash schedules per trial and mode *)
   max_txns : int;
   min_txns : int;
+  steal : bool;
+      (* serve every trial through the work-stealing scheduler (random
+         core count / quantum, half the trials multi-tenant), so crash
+         points land inside deque critical sections, mid-slice on a
+         thief core and between a steal and the stolen slice's first
+         ack — every deque lock RMW and release fence heads a region,
+         so the boundary-aimed half of the points hits the steal
+         windows by construction *)
   shrink : bool;
 }
 
@@ -51,6 +59,7 @@ let default_cfg =
     max_schedules = 6;
     max_txns = 2;
     min_txns = 0;
+    steal = false;
     shrink = true;
   }
 
@@ -86,7 +95,14 @@ let mixes = [| Svc.Client.A; Svc.Client.B; Svc.Client.C |]
 
 let service_cfg cfg seed ~mode =
   let rng = Rng.create (0x5eed + seed) in
-  let shards = 1 + Rng.int rng (max 1 cfg.max_shards) in
+  let shards =
+    if cfg.steal then
+      (* at least two tasks so the deques have something to migrate,
+         and more shards than cores on most draws so every core starts
+         with a backlog worth stealing from *)
+      2 + Rng.int rng (max 1 cfg.max_shards + 1)
+    else 1 + Rng.int rng (max 1 cfg.max_shards)
+  in
   let ops = 6 + Rng.int rng (max 1 (cfg.max_ops - 5)) in
   let lo = max 0 (min cfg.min_txns cfg.max_txns) in
   let hi = max 0 cfg.max_txns in
@@ -103,6 +119,31 @@ let service_cfg cfg seed ~mode =
       txn_items = 1 + Rng.int rng 2;
     }
   in
+  let sched, tenants, hot_txns =
+    if not cfg.steal then (None, None, 0)
+    else begin
+      let sched =
+        Some
+          {
+            Svc.Sched.cores = 2 + Rng.int rng 2;
+            quantum = 1 + Rng.int rng 4;
+            steal = true;
+          }
+      in
+      (* Half the trials serve a multi-tenant cast (skewed tenant 0
+         against uniform neighbors — the imbalance that provokes
+         steals), occasionally with hot-key 2PC so decision/apply
+         records migrate between cores mid-protocol. *)
+      if Rng.bool rng then
+        ( sched,
+          Some
+            (Svc.Client.noisy_tenants
+               ~tenants:(2 + Rng.int rng 2)
+               ~skew:(1.0 +. (float_of_int (Rng.int rng 150) /. 100.0))),
+          if Rng.int rng 3 = 0 then 2 + Rng.int rng 2 else 0 )
+      else (sched, None, 0)
+    end
+  in
   {
     Svc.Server.default_cfg with
     Svc.Server.shards;
@@ -110,16 +151,33 @@ let service_cfg cfg seed ~mode =
     batch = 1 + Rng.int rng 6;
     mode;
     config = cfg.config;
+    sched;
+    tenants;
+    hot_txns;
   }
 
 let service_string (c : Svc.Server.cfg) =
-  Printf.sprintf "shards=%d mix=%s ops=%d keys=%d skew=%.2f batch=%d txns=%d"
+  let sched =
+    match c.Svc.Server.sched with
+    | None -> ""
+    | Some s ->
+      Printf.sprintf " cores=%d quantum=%d steal=%b" s.Svc.Sched.cores
+        s.Svc.Sched.quantum s.Svc.Sched.steal
+  in
+  let tenants =
+    match c.Svc.Server.tenants with
+    | None -> ""
+    | Some ts ->
+      Printf.sprintf " tenants=%d hot_txns=%d" (Array.length ts)
+        c.Svc.Server.hot_txns
+  in
+  Printf.sprintf "shards=%d mix=%s ops=%d keys=%d skew=%.2f batch=%d txns=%d%s%s"
     c.Svc.Server.shards
     (Svc.Client.mix_name c.Svc.Server.client.Svc.Client.mix)
     c.Svc.Server.client.Svc.Client.ops_per_shard
     c.Svc.Server.client.Svc.Client.key_space
     c.Svc.Server.client.Svc.Client.skew c.Svc.Server.batch
-    c.Svc.Server.client.Svc.Client.txns
+    c.Svc.Server.client.Svc.Client.txns sched tenants
 
 let repro_string cfg seed =
   let txn_flags =
@@ -129,8 +187,9 @@ let repro_string cfg seed =
     then ""
     else Printf.sprintf " --max-txns %d --min-txns %d" cfg.max_txns cfg.min_txns
   in
-  Printf.sprintf "fuzz/main.exe --service --seed %d --budget 1%s" seed
-    txn_flags
+  let steal_flag = if cfg.steal then " --steal" else "" in
+  Printf.sprintf "fuzz/main.exe --service%s --seed %d --budget 1%s" steal_flag
+    seed txn_flags
 
 (* ---------------- oracle drive and shrinking ---------------- *)
 
@@ -217,8 +276,10 @@ let restrict_requests (t : Svc.Server.t) units keep =
       kv.Svc.Kvstore.requests
   in
   let kv' =
-    Svc.Kvstore.build ~batch:kv.Svc.Kvstore.batch ~txns:txns'
-      ~key_space:kv.Svc.Kvstore.key_space ~requests:requests' ()
+    (* keep the scheduler shape: a violation found under stealing must
+       shrink under stealing, not silently revert to pinned serving *)
+    Svc.Kvstore.build ?sched:kv.Svc.Kvstore.sched ~batch:kv.Svc.Kvstore.batch
+      ~txns:txns' ~key_space:kv.Svc.Kvstore.key_space ~requests:requests' ()
   in
   let compiled =
     Pipeline.compile t.Svc.Server.cfg.Svc.Server.options kv'.Svc.Kvstore.program
@@ -403,12 +464,14 @@ let render r =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf
-       "service fuzz campaign: seed=%d budget=%d modes=%s txns=%d..%d\n\
+       "service fuzz campaign: seed=%d budget=%d modes=%s txns=%d..%d%s\n\
         trials=%d schedules=%d checks=%d\n"
        r.cfg.seed r.cfg.budget
        (String.concat "," (List.map Campaign.mode_name r.cfg.modes))
        (min r.cfg.min_txns r.cfg.max_txns)
-       r.cfg.max_txns r.trials r.schedules r.checks);
+       r.cfg.max_txns
+       (if r.cfg.steal then " steal=on" else "")
+       r.trials r.schedules r.checks);
   if r.failures = [] then Buffer.add_string buf "failures: none\n"
   else begin
     Buffer.add_string buf

@@ -28,6 +28,13 @@ type cfg = {
   max_schedules : int;  (** crash schedules per trial and mode *)
   max_txns : int;  (** txns per trial store; 0 disables txns *)
   min_txns : int;  (** floor for the per-trial txn draw *)
+  steal : bool;
+      (** serve every trial through the work-stealing scheduler (random
+          core count and quantum; half the trials multi-tenant, some
+          with hot-key 2PC), so crash points land inside deque critical
+          sections and steal windows — the deque lock RMWs and release
+          fences all head regions, so the boundary-aimed half of the
+          points hits them by construction *)
   shrink : bool;
 }
 
@@ -60,6 +67,13 @@ type report = {
   checks : int;
   failures : failure list;
 }
+
+val service_cfg :
+  cfg -> int -> mode:Arch.Persist.mode -> Capri_service.Server.cfg
+(** The seed-derived store shape a trial serves — exposed for tests. *)
+
+val service_string : Capri_service.Server.cfg -> string
+(** One-line provenance (shape, scheduler, tenants) for reports. *)
 
 val run_trial : cfg -> int -> trial
 (** One trial, pure in [cfg.seed + k] — exposed for tests. *)

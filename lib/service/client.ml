@@ -175,3 +175,206 @@ let generate cfg ~shards =
 
 let arrival cfg ~index =
   match cfg.loop with Closed -> 0 | Open { period } -> index * period
+
+(* ------------------------- multi-tenant workloads ------------------------- *)
+
+type tenant = { weight : int; mix : mix; skew : float }
+
+type tenant_workload = {
+  base : workload;
+  tenants : int;
+  space : int;
+  key_space : int;
+  txn_tenant : int array;
+  weights : int array;
+}
+
+(* Smooth weighted round-robin: each slot, every tenant gains its
+   weight of credit and the richest (lowest index on ties) is charged
+   the total and emits. Deterministic, and over any window of slots the
+   per-tenant counts track the weight ratio — the fair-share reference
+   the admission gate and the per-tenant stats are judged against. *)
+let smooth_wrr weights n =
+  let k = Array.length weights in
+  let total = Array.fold_left ( + ) 0 weights in
+  let current = Array.make k 0 in
+  Array.init n (fun _ ->
+      let best = ref 0 in
+      for i = 0 to k - 1 do
+        current.(i) <- current.(i) + weights.(i);
+        if current.(i) > current.(!best) then best := i
+      done;
+      current.(!best) <- current.(!best) - total;
+      !best)
+
+(* Items grouped by ascending participant shard, preserving draw order
+   within a shard (the order the machine and the replay apply them). *)
+let group_items items =
+  List.stable_sort (fun (a, _) (b, _) -> compare a b) items
+  |> Array.of_list
+
+let generate_tenants ?(hot_txns = 0) (cfg : cfg) ~tenants ~shards =
+  if shards < 1 then
+    invalid_arg "Client.generate_tenants: shards must be positive";
+  let nt = Array.length tenants in
+  if nt < 1 then invalid_arg "Client.generate_tenants: at least one tenant";
+  Array.iter
+    (fun t ->
+      if t.weight < 1 then
+        invalid_arg "Client.generate_tenants: weights must be positive")
+    tenants;
+  if cfg.key_space < 1 then
+    invalid_arg "Client.generate_tenants: key space must be positive";
+  if cfg.txns < 0 || hot_txns < 0 then
+    invalid_arg "Client.generate_tenants: negative txns";
+  let space = cfg.key_space in
+  let hot_key = (nt * space) + 1 in
+  let key_space = if hot_txns > 0 then hot_key else nt * space in
+  let weights = Array.map (fun t -> t.weight) tenants in
+  let master = Rng.create cfg.seed in
+  (* Per-tenant generator state: own rng stream, own popularity curve
+     over the tenant's private keys, own store mirror (so Cas singles
+     are not all doomed, exactly as in [generate]). *)
+  let per_tenant =
+    Array.map
+      (fun (t : tenant) ->
+        let rng = Rng.split master in
+        let dist = Rng.Zipf.create ~n:space ~skew:t.skew in
+        let model = Array.make (space + 1) (-1) in
+        (t, rng, dist, model))
+      tenants
+  in
+  (* Tenants interleave by fair share into one arrival order; each op
+     lands on the shard its global key hashes to, so a skew-heavy
+     tenant piles onto few shards while uniform tenants spread — the
+     imbalance work stealing exists to absorb. *)
+  let total_ops = cfg.ops_per_shard * shards in
+  let order = smooth_wrr weights total_ops in
+  let streams = Array.make shards [] in  (* reversed *)
+  Array.iter
+    (fun ti ->
+      let t, rng, dist, model = per_tenant.(ti) in
+      let local = 1 + Rng.zipf rng dist in
+      let op = pick_op rng t.mix in
+      let value = Rng.int rng Wire.payload_limit in
+      let expected =
+        if model.(local) >= 0 && Rng.bool rng then model.(local)
+        else Rng.int rng Wire.payload_limit
+      in
+      (match op with
+      | Wire.Put -> model.(local) <- value
+      | Wire.Delete -> model.(local) <- -1
+      | Wire.Cas -> if model.(local) = expected then model.(local) <- value
+      | Wire.Get | Wire.Txn -> ());
+      let key = Wire.tenant_key ~space ~tenant:ti local in
+      let s = key mod shards in
+      streams.(s) <- { Wire.op; key; value; expected } :: streams.(s))
+    order;
+  let singles = Array.map (fun l -> Array.of_list (List.rev l)) streams in
+  let ntxn = cfg.txns + hot_txns in
+  if ntxn = 0 then
+    {
+      base = { requests = singles; txns = [||] };
+      tenants = nt;
+      space;
+      key_space;
+      txn_tenant = [||];
+      weights;
+    }
+  else begin
+    let trng = Rng.split master in
+    let txn_tenant = Array.make ntxn 0 in
+    let issuers = smooth_wrr weights ntxn in
+    (* namespace transactions: 2+ keys inside the issuer's range, so
+       participants are whatever shards those keys route to *)
+    let ns =
+      Array.init cfg.txns (fun i ->
+          let ti = issuers.(i) in
+          txn_tenant.(i) <- ti;
+          let nkeys = 2 + Rng.int trng (max 1 cfg.txn_items) in
+          let items = ref [] in
+          for _ = 1 to nkeys do
+            let local = 1 + Rng.int trng space in
+            let key = Wire.tenant_key ~space ~tenant:ti local in
+            let value = Rng.int trng Wire.payload_limit in
+            let roll = Rng.float trng 1.0 in
+            let op =
+              if roll < 0.3 then Wire.Get
+              else if roll < 0.75 then Wire.Put
+              else Wire.Cas
+            in
+            let expected = Rng.int trng Wire.payload_limit in
+            items :=
+              (key mod shards, { Wire.op; key; value; expected }) :: !items
+          done;
+          { Wire.tid = i + 1; items = group_items (List.rev !items) })
+    in
+    (* Hot-key transactions: every tenant CASes one shared key outside
+       all namespaces. Txn 1 seeds it with an unconditional Put (a
+       put-only transaction always commits); later ones CAS it with the
+       true current value 60% of the time and a random word otherwise,
+       plus a Put in the issuer's own range to make the transaction
+       multi-shard. Because only these transactions ever touch the hot
+       key and transactions resolve in tid order, the generator mirrors
+       the commit/abort sequence exactly. *)
+    let hot_shard = hot_key mod shards in
+    let hot_val = ref (-1) in
+    let hot =
+      Array.init hot_txns (fun i ->
+          let tid = cfg.txns + i + 1 in
+          let ti = issuers.(cfg.txns + i) in
+          txn_tenant.(cfg.txns + i) <- ti;
+          if i = 0 then begin
+            let value = Rng.int trng Wire.payload_limit in
+            hot_val := value;
+            {
+              Wire.tid;
+              items =
+                [|
+                  ( hot_shard,
+                    { Wire.op = Wire.Put; key = hot_key; value; expected = 0 }
+                  );
+                |];
+            }
+          end
+          else begin
+            let value = Rng.int trng Wire.payload_limit in
+            let expected =
+              if Rng.float trng 1.0 < 0.6 then !hot_val
+              else Rng.int trng Wire.payload_limit
+            in
+            if expected = !hot_val then hot_val := value;
+            let local = 1 + Rng.int trng space in
+            let k2 = Wire.tenant_key ~space ~tenant:ti local in
+            let items =
+              [
+                ( hot_shard,
+                  { Wire.op = Wire.Cas; key = hot_key; value; expected } );
+                ( k2 mod shards,
+                  {
+                    Wire.op = Wire.Put;
+                    key = k2;
+                    value = Rng.int trng Wire.payload_limit;
+                    expected = 0;
+                  } );
+              ]
+            in
+            { Wire.tid; items = group_items items }
+          end)
+    in
+    let txns = Array.append ns hot in
+    {
+      base = { requests = weave_markers trng singles txns; txns };
+      tenants = nt;
+      space;
+      key_space;
+      txn_tenant;
+      weights;
+    }
+  end
+
+let noisy_tenants ~tenants:nt ~skew =
+  if nt < 2 then invalid_arg "Client.noisy_tenants: at least two tenants";
+  Array.init nt (fun i ->
+      if i = 0 then { weight = 1; mix = A; skew }
+      else { weight = 1; mix = A; skew = 0.0 })

@@ -29,11 +29,22 @@
     and running it under the persistence engine is what makes the store
     durable. Deletion leaves the key in place with a [-1] value sentinel
     so probe chains stay intact; since [capacity > key_space], probes
-    always terminate. *)
+    always terminate.
+
+    With [?sched], [build] emits a [worker] function instead of [shard]:
+    shards become descriptor-backed tasks multiplexed over
+    [sched.cores] cores through per-core work-stealing deques (layout
+    and commit-ordering argument in {!Sched}). Workers announce every
+    executed slice with a {!Wire.slice_header} word; a parked 2PC
+    participant is re-enqueued instead of spinning, so fewer cores than
+    shards cannot deadlock the protocol. All scheduler state is
+    ordinary NVM data — crash recovery needs nothing scheduler-aware. *)
 
 type t = {
   shards : int;
-  cores : int;  (** shards, plus the coordinator core when txns exist *)
+  cores : int;
+      (** shards (or [sched.cores] under the scheduler), plus the
+          coordinator core when txns exist *)
   key_space : int;  (** client keys are [1..key_space] *)
   capacity : int;  (** slots per shard table *)
   batch : int;
@@ -50,6 +61,10 @@ type t = {
   txn_stride : int;
       (** words per ctrl block: \[decision; vote_shard0; ...\] padded to
           a cache line *)
+  sched : Sched.cfg option;  (** the scheduler the store was built for *)
+  descs : int;  (** task descriptor area base (0 when unscheduled) *)
+  deques : int;  (** per-core deque area base (0 when unscheduled) *)
+  globals : int;  (** scheduler globals base (0 when unscheduled) *)
 }
 
 val fault_skip_decision : bool Atomic.t
@@ -68,20 +83,30 @@ val stride_for : shards:int -> int
 val build :
   ?batch:int ->
   ?txns:Wire.txn array ->
+  ?sched:Sched.cfg ->
   key_space:int ->
   requests:Wire.request array array ->
   unit ->
   t
 (** One shard per element of [requests]. Raises [Invalid_argument] on an
     empty shard list, a non-positive key space or batch, more cores than
-    {!Capri_runtime.Layout.max_cores}, an out-of-range request, or an
+    {!Capri_runtime.Layout.max_cores}, an out-of-range request, an
     inconsistent transaction set (tids not [1..n], markers missing, out
     of tid order, on non-participant shards, or with wrong item
-    counts). *)
+    counts), or a bad scheduler config. With [?sched], non-empty shards
+    start pinned to their home core [shard mod cores] and migrate only
+    by stealing, so [{steal = false}] reproduces static pinning folded
+    over the available cores. *)
+
+val workers : t -> int
+(** Cores that emit shard responses: [shards] when pinned, the
+    scheduler's core count otherwise. The coordinator, when present, is
+    core [workers t]. *)
 
 val thread_specs : t -> Capri_runtime.Executor.thread_spec list
-(** One thread per shard plus, when txns exist, the coordinator thread
-    on core [shards], parameterized via argument registers. *)
+(** One thread per shard (pinned) or per scheduler core (scheduled)
+    plus, when txns exist, the coordinator thread on the last core,
+    parameterized via argument registers. *)
 
 val lookup : t -> Capri_arch.Memory.t -> shard:int -> key:int -> int option
 (** Host-side probe of a shard's table in a memory image (used by the
@@ -93,3 +118,10 @@ val ctrl_decision : t -> Capri_arch.Memory.t -> tid:int -> int
 val ctrl_vote : t -> Capri_arch.Memory.t -> tid:int -> shard:int -> int
 (** A shard's durable vote word: 0 unvoted, 1 yes, 2 no
     (non-participants read 1 from the initial image). *)
+
+val steal_count : t -> Capri_arch.Memory.t -> core:int -> int
+(** Tasks core [core] stole during the run, from the per-core counter
+    in the scheduler globals (0 for unscheduled stores). *)
+
+val steal_total : t -> Capri_arch.Memory.t -> int
+(** Sum of {!steal_count} over all scheduler cores. *)

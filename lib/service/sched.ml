@@ -1,0 +1,193 @@
+(* Work-stealing shard scheduler: configuration, the in-machine memory
+   layout shared with the IR emitted by Kvstore, and the host-side
+   demultiplexer that turns per-core slice-annotated output streams
+   back into per-shard views.
+
+   The moving parts inside the simulated machine are all ordinary NVM
+   words — whole-system persistence makes the scheduler crash-safe for
+   free, because its locks, deque indices and task descriptors recover
+   exactly like table data. The host side never needs to introspect
+   them during a run: everything the oracle and the stats need is
+   reconstructed from the output streams via the slice headers. *)
+
+type cfg = { cores : int; quantum : int; steal : bool }
+
+let default = { cores = 2; quantum = 4; steal = true }
+
+let check cfg =
+  if cfg.cores < 1 then invalid_arg "Sched: at least one worker core";
+  if cfg.quantum < 1 then invalid_arg "Sched: quantum must be positive"
+
+(* ------------------------- machine layout ------------------------- *)
+
+let round_line n = (n + 7) / 8 * 8
+
+(* One descriptor per shard, one cache line wide. The descriptor is the
+   task's whole continuation: a worker loads these words to resume the
+   shard and stores them back when its quantum expires or it parks on a
+   2PC decision. *)
+let desc_words = 8
+let desc_cursor = 0
+let desc_remaining = 1
+let desc_table = 2
+let desc_items = 3
+let desc_phase = 4
+let desc_seq = 5
+let desc_shard = 6
+
+(* Per-core deque: a spin lock word, monotone top/bottom indices and a
+   ring of descriptor addresses. The owner pops oldest-first at [top]
+   (round-robin fairness — a parked task re-enqueued behind ready ones
+   cannot starve them), pushes at [bottom], and a thief takes the
+   newest entry at [bottom - 1]. Indices wrap mod the shard count; the
+   ring is sized to hold every shard so it can never overflow. *)
+let deque_lock = 0
+let deque_top = 1
+let deque_bottom = 2
+let deque_ring = 3
+let deque_words ~shards = round_line (deque_ring + max 1 shards)
+
+(* Scheduler globals: word 0 counts live (unretired) tasks — a worker
+   that finds it zero halts; words 8+c are per-core steal counters,
+   written only by core c and read back from the final NVM image. *)
+let global_remaining = 0
+let global_steal ~core = 8 + core
+let globals_words ~cores = round_line (8 + cores)
+
+(* ----------------------- stream demultiplexing ----------------------- *)
+
+type 'a slice = {
+  shard : int;
+  seq : int;
+  core : int;
+  header : 'a;
+  body : 'a list;
+}
+
+let demux ~word ~shards streams =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let collected = Array.make (max 1 shards) [] in
+  Array.iteri
+    (fun core stream ->
+      (* Open slice on this core: (shard, seq, header, reversed body). *)
+      let current = ref None in
+      let flush () =
+        match !current with
+        | None -> ()
+        | Some (shard, seq, header, body) ->
+          collected.(shard) <-
+            { shard; seq; core; header; body = List.rev body }
+            :: collected.(shard);
+          current := None
+      in
+      List.iter
+        (fun x ->
+          let w = word x in
+          if Wire.is_slice_header w then begin
+            flush ();
+            let shard, seq = Wire.decode_slice_header w in
+            if shard >= shards then
+              err "core %d: slice header names shard %d (store has %d)" core
+                shard shards
+            else current := Some (shard, seq, x, [])
+          end
+          else
+            match !current with
+            | None ->
+              err "core %d: response word %d arrives before any slice header"
+                core w
+            | Some (shard, seq, header, body) ->
+              current := Some (shard, seq, header, x :: body))
+        stream;
+      flush ())
+    streams;
+  let per_shard =
+    Array.mapi
+      (fun s lst ->
+        let sorted =
+          List.sort (fun a b -> compare (a.seq, a.core) (b.seq, b.core)) lst
+        in
+        (* Slice seqs must be gapless from 0: a worker bumps the seq
+           exactly when it emits the header, and commit ordering across
+           a steal (the thief's lock acquire conflicts with the victim's
+           release store) means slice k's header cannot be durable
+           without slice k-1's. Only the final slice may be cut short by
+           a crash, so fullness is not checked here. *)
+        let rec chk expect = function
+          | [] -> ()
+          | sl :: rest ->
+            if sl.seq < expect then begin
+              err "shard %d: duplicate slice seq %d" s sl.seq;
+              chk expect rest
+            end
+            else if sl.seq > expect then begin
+              err "shard %d: slice seq gap (expected %d, got %d)" s expect
+                sl.seq;
+              chk (sl.seq + 1) rest
+            end
+            else chk (expect + 1) rest
+        in
+        chk 0 sorted;
+        sorted)
+      collected
+  in
+  let per_shard = if shards = 0 then [||] else per_shard in
+  (per_shard, List.rev !errors)
+
+let views ~word ~shards streams =
+  let slices, errors = demux ~word ~shards streams in
+  ( Array.map
+      (fun slices -> List.concat_map (fun sl -> sl.body) slices)
+      slices,
+    errors )
+
+type migration = { shard : int; seq : int; from_core : int; to_core : int }
+
+let migrations ~word ~shards streams =
+  let slices, _errors = demux ~word ~shards streams in
+  let out = ref [] in
+  Array.iter
+    (fun slices ->
+      ignore
+        (List.fold_left
+           (fun prev sl ->
+             (match prev with
+             | Some p when p.core <> sl.core ->
+               out :=
+                 {
+                   shard = sl.shard;
+                   seq = sl.seq;
+                   from_core = p.core;
+                   to_core = sl.core;
+                 }
+                 :: !out
+             | _ -> ());
+             Some sl)
+           None slices))
+    slices;
+  List.rev !out
+
+(* ------------------------- queue depth ------------------------- *)
+
+let queue_depth ~period ~arrivals ~acks =
+  if period < 1 then invalid_arg "Sched.queue_depth: period must be positive";
+  if arrivals < 0 then invalid_arg "Sched.queue_depth: negative arrivals";
+  let acks = Array.of_list acks in
+  let events = ref [] in
+  for i = 0 to arrivals - 1 do
+    events := (i * period, 1) :: !events;
+    (* An unacked tail request (crash truncation) never departs; it
+       holds its +1 through the rest of the run. *)
+    if i < Array.length acks then events := (acks.(i), -1) :: !events
+  done;
+  (* At equal cycles, departures drain before arrivals land: a request
+     acked at cycle c is no longer queued at c. *)
+  let sorted = List.sort compare !events in
+  let depth = ref 0 and peak = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      depth := !depth + d;
+      if !depth > !peak then peak := !depth)
+    sorted;
+  !peak

@@ -1,0 +1,140 @@
+(** Work-stealing shard scheduler: configuration, in-machine memory
+    layout, and the host-side stream demultiplexer.
+
+    Under the scheduler, shards stop being pinned one-per-core. Each
+    shard becomes a lightweight task — an eight-word {e descriptor} in
+    simulated NVM holding its continuation state (mailbox cursor,
+    remaining requests, table handle, item cursor, wait phase, slice
+    sequence number) — and a pool of worker cores multiplexes the
+    descriptors through per-core work-stealing deques. A worker runs a
+    shard for a bounded {e quantum} of requests (one {e slice}), then
+    re-enqueues it; an idle worker steals the newest task from a
+    victim's deque, so a starving hot shard migrates to a cold core and
+    its stores commit through the {e thief's} proxy path.
+
+    All scheduler state (locks, deque indices, descriptors) lives in
+    ordinary simulated NVM words, so it persists and recovers exactly
+    like table data: whole-system persistence needs no scheduler-aware
+    recovery code. Mutual exclusion rides the word-granular conflict
+    fence — a deque's lock word is taken with [Atomic_rmw Or] and
+    released with a plain store sealed by a fence, so a successful
+    acquire by a thief store-conflicts against (and therefore orders
+    after the commit of) the previous holder's critical section. That
+    commit ordering is what keeps per-shard ack cycles monotone across
+    a migration.
+
+    Because a core's output stream now interleaves slices of many
+    shards, each worker announces every slice with a {!Wire.slice_header}
+    word before the slice's responses. The demultiplexer in this module
+    splits the per-core streams back into per-shard {e views} over which
+    the existing SLA oracle and latency accounting run unchanged —
+    stealing is observably equivalent to static pinning by construction,
+    and the qcheck property in the test suite holds the two modes to the
+    same acked streams and durable tables. *)
+
+type cfg = { cores : int; quantum : int; steal : bool }
+(** [cores] simulated worker cores (>= 1; the 2PC coordinator, when
+    present, runs on one extra dedicated core). [quantum] is the number
+    of requests a worker executes per slice before re-enqueueing the
+    shard (>= 1). [steal = false] keeps the deques but disables
+    stealing — each shard stays on its home core, giving the static
+    pinning reference behaviour under the same instruction substrate. *)
+
+val default : cfg
+(** 2 cores, quantum 4, stealing on. *)
+
+val check : cfg -> unit
+(** Raises [Invalid_argument] on a non-positive field. *)
+
+(** {2 In-machine layout}
+
+    These constants describe the scheduler's simulated-NVM structures;
+    {!Kvstore.build} allocates them and emits worker code against them,
+    and tests probe them through the same offsets. *)
+
+val desc_words : int
+(** Words per shard descriptor (8 = one cache line). *)
+
+val desc_cursor : int
+val desc_remaining : int
+val desc_table : int
+val desc_items : int
+val desc_phase : int
+(** 0 = ready; 1 = parked waiting for a 2PC decision. *)
+
+val desc_seq : int
+(** Next slice sequence number for the shard. *)
+
+val desc_shard : int
+
+val deque_lock : int
+val deque_top : int
+(** Owner pops at [top] (FIFO) — oldest task first, so a re-enqueued
+    waiting task cannot starve ready tasks behind it. *)
+
+val deque_bottom : int
+(** Pushes land at [bottom]; a thief steals the [bottom - 1] entry —
+    the most recently re-enqueued, i.e. hottest, shard. *)
+
+val deque_ring : int
+(** First ring slot; the ring holds descriptor addresses. *)
+
+val deque_words : shards:int -> int
+(** Line-rounded size of one per-core deque whose ring can hold every
+    shard at once (indices are monotone and wrapped mod [shards]). *)
+
+val globals_words : cores:int -> int
+(** Size of the scheduler globals area: word 0 is the live-task
+    countdown workers poll to halt, words [8 + c] are per-core steal
+    counters (single-writer, read back from the final NVM image). *)
+
+val global_remaining : int
+val global_steal : core:int -> int
+
+(** {2 Stream demultiplexing} *)
+
+type 'a slice = {
+  shard : int;
+  seq : int;
+  core : int;  (** worker core that executed the slice *)
+  header : 'a;  (** the carrier of the slice's header word *)
+  body : 'a list;  (** the slice's response words, in order *)
+}
+
+val demux :
+  word:('a -> int) ->
+  shards:int ->
+  'a list array ->
+  'a slice list array * string list
+(** Split per-worker-core streams (header-word announced, as emitted by
+    the scheduler's workers) into per-shard slice lists sorted by
+    [seq]. [word] projects the carried element to its wire word, so the
+    same demux serves raw response words and [(word, ack_cycle)] pairs.
+    Returns the per-shard slices plus a list of structural-error
+    descriptions (stream starts without a header, duplicate or gapped
+    seq, seq gaps mean a lost slice) — callers treating the stream as
+    an oracle input must count any error as a violation, while stats
+    paths may render what parsed. A final crash can truncate the last
+    slice of each shard, so only seq-continuity, not slice fullness, is
+    checked. *)
+
+val views :
+  word:('a -> int) -> shards:int -> 'a list array -> 'a list array * string list
+(** Demux then flatten: per-shard response streams with headers
+    stripped, ordered by slice seq — index [s < shards] is shard [s]'s
+    view. Any extra input streams beyond the worker cores (the
+    coordinator's) must be split off by the caller first. *)
+
+type migration = { shard : int; seq : int; from_core : int; to_core : int }
+
+val migrations : word:('a -> int) -> shards:int -> 'a list array -> migration list
+(** Steals visible in the output streams: consecutive slices of one
+    shard executed by different cores. Listed in (shard, seq) order;
+    [seq] is the sequence number of the slice that ran on [to_core]. *)
+
+val queue_depth : period:int -> arrivals:int -> acks:int list -> int
+(** Peak queue depth of one shard under an open-loop client: requests
+    [0 .. arrivals-1] arrive at cycles [i * period] and leave at their
+    ack cycles (in stream order). The noisy-neighbor bench reports the
+    worst shard's peak as the imbalance measure that stealing must
+    strictly improve. *)

@@ -14,6 +14,9 @@ type cfg = {
   options : Comp.Options.t;
   config : Arch.Config.t;
   admit_depth : int option;
+  sched : Sched.cfg option;
+  tenants : Client.tenant array option;
+  hot_txns : int;
 }
 
 let default_cfg =
@@ -25,6 +28,9 @@ let default_cfg =
     options = Comp.Options.default;
     config = Arch.Config.sim_default;
     admit_depth = None;
+    sched = None;
+    tenants = None;
+    hot_txns = 0;
   }
 
 type t = {
@@ -33,6 +39,7 @@ type t = {
   compiled : Comp.Compiled.t;
   rejected : int;
   rejected_at : int list;
+  workload : Client.tenant_workload option;
 }
 
 (* Modeled recovery time: a fixed power-cycle cost (proxy drain, redo of
@@ -104,25 +111,113 @@ let admit ~period ~depth ~svc requests =
   in
   (admitted, List.sort Int.compare !rejected)
 
-let plan cfg =
+(* Weighted fair-share admission, the multi-tenant replacement for the
+   global [admit] gate: each tenant owns a slice of the in-flight depth
+   proportional to its weight (at least 1), counted per shard over the
+   same service-time estimate. A noisy tenant exhausts its own slice
+   and is rejected while its neighbors' slices stay open — rejection
+   isolates tenants instead of the loudest one starving the gate. *)
+let admit_fair ~period ~depth ~svc ~space ~weights requests =
+  let nt = Array.length weights in
+  let total_w = max 1 (Array.fold_left ( + ) 0 weights) in
+  let share t = max 1 (depth * weights.(t) / total_w) in
+  let tenant_of (r : Wire.request) =
+    if r.Wire.key >= 1 && r.Wire.key <= nt * space then
+      Wire.tenant_of_key ~space r.Wire.key
+    else 0
+  in
+  let rejected = ref [] in  (* arrival cycles, reversed *)
+  let admitted =
+    Array.map
+      (fun shard_reqs ->
+        (* (finish, tenant) of admitted requests, newest first *)
+        let finishes = ref [] in
+        let last_finish = ref 0 in
+        let kept = ref [] in
+        Array.iteri
+          (fun i r ->
+            let arrival = i * period in
+            let tn = tenant_of r in
+            let rec in_flight n = function
+              | (f, t') :: rest when f > arrival ->
+                in_flight (if t' = tn then n + 1 else n) rest
+              | _ -> n
+            in
+            if in_flight 0 !finishes >= share tn then
+              rejected := arrival :: !rejected
+            else begin
+              let f = max arrival !last_finish + svc in
+              last_finish := f;
+              finishes := (f, tn) :: !finishes;
+              kept := r :: !kept
+            end)
+          shard_reqs;
+        Array.of_list (List.rev !kept))
+      requests
+  in
+  (admitted, List.sort Int.compare !rejected)
+
+let plan_workload cfg (tw : Client.tenant_workload) =
   if cfg.shards < 1 then invalid_arg "Server.plan: shards must be positive";
-  let workload = Client.generate cfg.client ~shards:cfg.shards in
-  let requests = workload.Client.requests in
+  let requests = tw.Client.base.Client.requests in
   (* admission control would have to drop whole transactions to stay
      protocol-consistent; with txns present it is disabled *)
   let requests, rejected_at =
     match (cfg.client.Client.loop, cfg.admit_depth) with
     | Client.Open { period }, Some depth
-      when depth >= 0 && Array.length workload.Client.txns = 0 ->
-      admit ~period ~depth ~svc:(calibrate cfg) requests
+      when depth >= 0 && Array.length tw.Client.base.Client.txns = 0 ->
+      admit_fair ~period ~depth ~svc:(calibrate cfg) ~space:tw.Client.space
+        ~weights:tw.Client.weights requests
     | _ -> (requests, [])
   in
   let kv =
-    Kvstore.build ~batch:cfg.batch ~txns:workload.Client.txns
-      ~key_space:cfg.client.Client.key_space ~requests ()
+    Kvstore.build ~batch:cfg.batch ~txns:tw.Client.base.Client.txns
+      ~key_space:tw.Client.key_space ~requests ?sched:cfg.sched ()
   in
   let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
-  { cfg; kv; compiled; rejected = List.length rejected_at; rejected_at }
+  {
+    cfg;
+    kv;
+    compiled;
+    rejected = List.length rejected_at;
+    rejected_at;
+    workload = Some tw;
+  }
+
+let plan cfg =
+  if cfg.shards < 1 then invalid_arg "Server.plan: shards must be positive";
+  match cfg.tenants with
+  | Some tenants ->
+    let tw =
+      Client.generate_tenants ~hot_txns:cfg.hot_txns cfg.client ~tenants
+        ~shards:cfg.shards
+    in
+    plan_workload cfg tw
+  | None ->
+    let workload = Client.generate cfg.client ~shards:cfg.shards in
+    let requests = workload.Client.requests in
+    (* admission control would have to drop whole transactions to stay
+       protocol-consistent; with txns present it is disabled *)
+    let requests, rejected_at =
+      match (cfg.client.Client.loop, cfg.admit_depth) with
+      | Client.Open { period }, Some depth
+        when depth >= 0 && Array.length workload.Client.txns = 0 ->
+        admit ~period ~depth ~svc:(calibrate cfg) requests
+      | _ -> (requests, [])
+    in
+    let kv =
+      Kvstore.build ~batch:cfg.batch ~txns:workload.Client.txns
+        ~key_space:cfg.client.Client.key_space ~requests ?sched:cfg.sched ()
+    in
+    let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
+    {
+      cfg;
+      kv;
+      compiled;
+      rejected = List.length rejected_at;
+      rejected_at;
+      workload = None;
+    }
 
 type outcome = {
   acks : (int * int) list array;
@@ -142,6 +237,7 @@ let instrument obs t outcome =
   if Obs.enabled obs then begin
     let m = obs.Obs.metrics in
     let shards = t.kv.Kvstore.shards in
+    let workers = Kvstore.workers t.kv in
     Metrics.Counter.add
       (Metrics.counter m "service_rejected")
       t.rejected;
@@ -164,40 +260,64 @@ let instrument obs t outcome =
     end;
     let tr = obs.Obs.tracer in
     let loop = t.cfg.client.Client.loop in
-    (* Protocol replay gives each expected response an op kind and
-       owning transaction; a run that passed [check] acked a prefix of
-       exactly that stream, so index i of a core's acks classifies by
-       index i of its replayed metadata. *)
-    let meta = Sla.response_meta (Sla.replay t.kv) in
-    let meta_of core i =
-      if core < Array.length meta && i < Array.length meta.(core) then
-        meta.(core).(i)
-      else { Sla.kind = "unknown"; tid = -1 }
-    in
+    (* Scheduler accounting: total steals from the per-core NVM
+       counters, migrations from the slice headers in the acked
+       streams — one trace instant on the thief's core track per
+       migrated shard, stamped with the ack cycle of the slice that
+       moved. *)
+    (match t.kv.Kvstore.sched with
+    | None -> ()
+    | Some _ ->
+      Metrics.Counter.add
+        (Metrics.counter m "service_steal_count")
+        (Kvstore.steal_total t.kv outcome.result.Executor.memory);
+      let slices, _ =
+        Sched.demux ~word:fst ~shards (Array.sub outcome.acks 0 workers)
+      in
+      let migs = ref 0 in
+      Array.iter
+        (fun per_shard ->
+          ignore
+            (List.fold_left
+               (fun prev (sl : _ Sched.slice) ->
+                 (match prev with
+                 | Some (p : _ Sched.slice) when p.Sched.core <> sl.Sched.core
+                   ->
+                   incr migs;
+                   Tracer.instant tr
+                     ~track:(Tracer.Core sl.Sched.core)
+                     ~name:"migration"
+                     ~ts:(snd sl.Sched.header)
+                     ~args:
+                       [
+                         ("shard", string_of_int sl.Sched.shard);
+                         ("seq", string_of_int sl.Sched.seq);
+                         ("from", string_of_int p.Sched.core);
+                       ]
+                 | _ -> ());
+                 Some sl)
+               None per_shard))
+        slices;
+      Metrics.Counter.add (Metrics.counter m "service_migrations") !migs);
+    (* Physical view: per-core ack instants on the Core tracks. Slice
+       headers are scheduler framing, not served responses — they get
+       their own instant name and stay out of the served count. *)
     Array.iteri
       (fun core core_acks ->
         let labels = [ ("core", string_of_int core) ] in
         Metrics.Counter.add
           (Metrics.counter ~labels m "service_acked")
-          (List.length core_acks);
-        let intervals = Sla.request_intervals ~loop core_acks in
-        (* Latency histograms split by op kind: txn tail latency must not
-           hide inside (or inflate) the point-op distribution. *)
-        List.iteri
-          (fun i (_, _, lat) ->
-            let h =
-              Metrics.log2_histogram m "service_latency_cycles"
-                ~labels:[ ("op", (meta_of core i).Sla.kind) ]
-                ~buckets:24
-            in
-            Metrics.Histogram.observe h lat)
-          intervals;
+          (List.length
+             (List.filter
+                (fun (w, _) -> not (Wire.is_slice_header w))
+                core_acks));
         List.iteri
           (fun i (resp, cycle) ->
-            (* the coordinator core's acks are 2PC outcomes; shards ack
+            (* the coordinator core's acks are 2PC outcomes; workers ack
                requests and txn item/abort responses *)
             let name =
-              if core >= shards then
+              if Wire.is_slice_header resp then "slice"
+              else if core >= workers then
                 match Wire.decode_response resp with
                 | Wire.Committed, _ -> "txn_commit"
                 | Wire.Aborted, _ -> "txn_abort"
@@ -211,9 +331,60 @@ let instrument obs t outcome =
                 [
                   ("request", string_of_int i); ("response", string_of_int resp);
                 ])
-          core_acks;
-        (* Request-lifecycle spans, one per served request on the core's
-           [Request] track: admission -> batch enqueue -> shard
+          core_acks)
+      outcome.acks;
+    (* Logical view: per-shard streams (identical to the physical ones
+       for a pinned store, reassembled from the slice headers for a
+       scheduled one), where replay metadata lines up index-for-index.
+       Latency histograms and request-lifecycle spans live here so a
+       shard's numbers mean the same thing at any core count. *)
+    let logical, _demux_errs = Sla.normalize ~kv:t.kv ~word:fst outcome.acks in
+    (* Protocol replay gives each expected response an op kind and
+       owning transaction; a run that passed [check] acked a prefix of
+       exactly that stream, so index i of a stream's acks classifies by
+       index i of its replayed metadata. *)
+    let meta = Sla.response_meta (Sla.replay t.kv) in
+    let meta_of stream i =
+      if stream < Array.length meta && i < Array.length meta.(stream) then
+        meta.(stream).(i)
+      else { Sla.kind = "unknown"; tid = -1; key = -1 }
+    in
+    let tenant_label md =
+      match t.workload with
+      | None -> []
+      | Some tw ->
+        [
+          ( "tenant",
+            string_of_int
+              (Sla.tenant_of ~tenants:tw.Client.tenants ~space:tw.Client.space
+                 ~txn_tenant:tw.Client.txn_tenant md) );
+        ]
+    in
+    Array.iteri
+      (fun stream stream_acks ->
+        let intervals = Sla.request_intervals ~loop stream_acks in
+        (* Latency histograms split by op kind (and tenant, when the
+           store is multi-tenant): txn tail latency must not hide
+           inside (or inflate) the point-op distribution, and one
+           tenant's tail must not hide inside another's. *)
+        List.iteri
+          (fun i (_, _, lat) ->
+            let md = meta_of stream i in
+            let h =
+              Metrics.log2_histogram m "service_latency_cycles"
+                ~labels:(("op", md.Sla.kind) :: tenant_label md)
+                ~buckets:24
+            in
+            Metrics.Histogram.observe h lat;
+            match tenant_label md with
+            | [] -> ()
+            | labels ->
+              Metrics.Counter.add
+                (Metrics.counter ~labels m "service_tenant_served")
+                1)
+          intervals;
+        (* Request-lifecycle spans, one per served request on the
+           shard's [Request] track: admission -> batch enqueue -> shard
            execution -> proxy commit -> ack. Span begin is clamped into
            [prev ack, ack] so the track stays monotone under open-loop
            queueing; the nominal arrival rides along as an arg. The
@@ -223,14 +394,15 @@ let instrument obs t outcome =
           let prev_ack = ref 0 in
           List.iteri
             (fun i ((start, ack, _), (resp, _)) ->
-              let md = meta_of core i in
+              let md = meta_of stream i in
               let b_ts = min ack (max start !prev_ack) in
               let tid_args =
                 if md.Sla.tid >= 0 then
                   [ ("tid", string_of_int md.Sla.tid) ]
                 else []
               in
-              let track = Tracer.Request core in
+              let tid_args = tid_args @ tenant_label md in
+              let track = Tracer.Request stream in
               Tracer.begin_span tr ~track ~name:md.Sla.kind ~ts:b_ts
                 ~args:
                   (( "request", string_of_int i )
@@ -240,7 +412,7 @@ let instrument obs t outcome =
               Tracer.instant tr ~track ~name:"enqueued" ~ts:b_ts
                 ~args:
                   (("batch", string_of_int (i / t.cfg.batch)) :: tid_args);
-              if core >= shards then begin
+              if stream >= shards then begin
                 (* coordinator: the span brackets prepare -> decision *)
                 Tracer.instant tr ~track ~name:"prepare" ~ts:b_ts ~args:tid_args;
                 Tracer.instant tr ~track ~name:"decision" ~ts:ack
@@ -255,9 +427,9 @@ let instrument obs t outcome =
                 ~args:tid_args;
               Tracer.end_span tr ~track ~ts:ack;
               prev_ack := ack)
-            (List.combine intervals core_acks)
+            (List.combine intervals stream_acks)
         end)
-      outcome.acks
+      logical
   end
 
 let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
@@ -349,11 +521,59 @@ let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
 let check t outcome =
   Sla.check ~kv:t.kv ~images:outcome.images ~final:outcome.final
 
+let views t outcome = Sla.normalize ~kv:t.kv ~word:fst outcome.acks
+
+let steals t outcome =
+  Kvstore.steal_total t.kv outcome.result.Executor.memory
+
+let migrations t outcome =
+  match t.kv.Kvstore.sched with
+  | None -> []
+  | Some _ ->
+    Sched.migrations ~word:Fun.id ~shards:t.kv.Kvstore.shards
+      (Array.sub outcome.final 0 (Kvstore.workers t.kv))
+
 let stats t outcome =
   let txns =
     if Array.length t.kv.Kvstore.txns = 0 then (0, 0)
     else Sla.txn_outcomes t.kv
   in
-  Sla.stats ~txns ~loop:t.cfg.client.Client.loop ~acks:outcome.acks
+  (* per-shard logical streams: slice headers are framing, not served
+     requests, so a scheduled store's throughput and latency count the
+     same population as the pinned store's *)
+  let acks, _ = views t outcome in
+  Sla.stats ~txns ~loop:t.cfg.client.Client.loop ~acks
     ~cycles:outcome.cycles ~rejected:t.rejected ~recoveries:outcome.recoveries
     ~recovery_cycles:outcome.recovery_cycles ()
+
+let tenant_stats t outcome =
+  match t.workload with
+  | None -> [||]
+  | Some tw ->
+    let logical, _ = views t outcome in
+    let meta = Sla.response_meta (Sla.replay t.kv) in
+    let loop = t.cfg.client.Client.loop in
+    let served = Array.make tw.Client.tenants 0 in
+    let lats = Array.make tw.Client.tenants [] in
+    Array.iteri
+      (fun stream stream_acks ->
+        let intervals = Sla.request_intervals ~loop stream_acks in
+        List.iteri
+          (fun i (_, _, lat) ->
+            let md =
+              if stream < Array.length meta && i < Array.length meta.(stream)
+              then meta.(stream).(i)
+              else { Sla.kind = "unknown"; tid = -1; key = -1 }
+            in
+            let tn =
+              Sla.tenant_of ~tenants:tw.Client.tenants ~space:tw.Client.space
+                ~txn_tenant:tw.Client.txn_tenant md
+            in
+            served.(tn) <- served.(tn) + 1;
+            lats.(tn) <- float_of_int lat :: lats.(tn))
+          intervals)
+      logical;
+    Array.init tw.Client.tenants (fun tn ->
+        ( served.(tn),
+          if lats.(tn) = [] then 0.0
+          else Capri_util.Stat.percentile 99.0 lats.(tn) ))

@@ -21,11 +21,20 @@ type cfg = {
   options : Capri_compiler.Options.t;
   config : Capri_arch.Config.t;
   admit_depth : int option;  (** [None] disables admission control *)
+  sched : Sched.cfg option;
+      (** [None] pins one shard per core; [Some] multiplexes the shards
+          over the scheduler's cores with work stealing *)
+  tenants : Client.tenant array option;
+      (** [None] serves the single-tenant {!Client.generate} workload;
+          [Some] generates a {!Client.generate_tenants} workload,
+          enables per-tenant weighted admission and tenant-labeled
+          accounting *)
+  hot_txns : int;  (** hot-key transactions (multi-tenant only) *)
 }
 
 val default_cfg : cfg
 (** 2 shards, {!Client.default}, batch 8, Capri mode, default compiler
-    options, no admission control. *)
+    options, no admission control, pinned, single-tenant. *)
 
 val power_cycle_cycles : int
 val recovery_block_cycles : int
@@ -40,11 +49,24 @@ type t = {
   rejected_at : int list;
       (** arrival cycles of the rejected requests, ascending — the SLO
           timeline bins these into its per-window reject counts *)
+  workload : Client.tenant_workload option;
+      (** the tenant workload served, when the plan is multi-tenant *)
 }
 
 val plan : cfg -> t
 (** Generate the workload, apply admission control, build the store and
-    compile it through the Capri pipeline. *)
+    compile it through the Capri pipeline. With [cfg.tenants], the
+    workload comes from {!Client.generate_tenants} and admission (open
+    loop, no txns) is weighted fair-share: each tenant owns
+    [admit_depth * weight / total_weight] (at least 1) of the in-flight
+    depth per shard, so a noisy tenant is rejected against its own
+    slice while its neighbors' slices stay open. *)
+
+val plan_workload : cfg -> Client.tenant_workload -> t
+(** Like {!plan} but serving a caller-built tenant workload (the bench
+    scenarios build theirs with explicit tenant casts and hot-key
+    transaction counts). [cfg.client] still supplies the loop and
+    admission inputs; [cfg.tenants]/[cfg.hot_txns] are ignored. *)
 
 type outcome = {
   acks : (int * int) list array;
@@ -94,4 +116,26 @@ val run :
     mode — a volatile store cannot recover. *)
 
 val check : t -> outcome -> (unit, Sla.violation) result
+
+val views : t -> outcome -> (int * int) list array * string list
+(** {!Sla.normalize} of the acked streams: per-shard
+    [(response, ack cycle)] views (coordinator last), slice headers
+    stripped. Identity for pinned stores. *)
+
+val steals : t -> outcome -> int
+(** Tasks stolen across the whole run (0 for pinned stores), from the
+    scheduler's durable per-core counters. *)
+
+val migrations : t -> outcome -> Sched.migration list
+(** Shard migrations reconstructed from the completed run's slice
+    headers: one entry per consecutive slice pair of a shard that ran
+    on different cores. Empty for pinned stores. *)
+
 val stats : t -> outcome -> Sla.stats
+(** Computed over {!views}, so a scheduled store's throughput and
+    latency count the same served-response population as a pinned
+    store's. *)
+
+val tenant_stats : t -> outcome -> (int * float) array
+(** Per tenant: [(served responses, p99 latency)], attributed via
+    {!Sla.tenant_of} over {!views}. Empty for single-tenant plans. *)

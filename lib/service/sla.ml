@@ -67,7 +67,7 @@ let expected_responses ~key_space reqs =
 
 type micro = M_single of Wire.request | M_item of Wire.request | M_abort of int
 
-type resp_meta = { kind : string; tid : int }
+type resp_meta = { kind : string; tid : int; key : int }
 
 type protocol = {
   expected : int array array;  (* per core; coordinator last when txns *)
@@ -129,7 +129,7 @@ let replay (kv : Kvstore.t) =
       cursor.(s) < Array.length reqs && reqs.(cursor.(s)).Wire.op <> Wire.Txn
     do
       let r = reqs.(cursor.(s)) in
-      let meta = { kind = kind_of_single models.(s) r; tid = -1 } in
+      let meta = { kind = kind_of_single models.(s) r; tid = -1; key = r.key } in
       push s (M_single r) meta (Model.apply models.(s) r);
       cursor.(s) <- cursor.(s) + 1
     done
@@ -162,14 +162,15 @@ let replay (kv : Kvstore.t) =
         (fun s ->
           cursor.(s) <- cursor.(s) + 1;
           marker_at.(ti).(s) <- count.(s);
-          let meta = { kind = "txn"; tid = t.tid } in
           if decision then
             List.iter
-              (fun item ->
+              (fun (item : Wire.request) ->
+                let meta = { kind = "txn"; tid = t.tid; key = item.key } in
                 push s (M_item item) meta (Model.apply_item models.(s) item))
               (local_items t s)
           else
-            push s (M_abort t.tid) meta
+            push s (M_abort t.tid)
+              { kind = "txn"; tid = t.tid; key = -1 }
               (Wire.response ~status:Wire.Aborted ~payload:t.tid))
         parts;
       coord :=
@@ -177,7 +178,7 @@ let replay (kv : Kvstore.t) =
           ~status:(if decision then Wire.Committed else Wire.Aborted)
           ~payload:t.tid
         :: !coord;
-      coord_meta := { kind = "txn"; tid = t.tid } :: !coord_meta)
+      coord_meta := { kind = "txn"; tid = t.tid; key = -1 } :: !coord_meta)
     txns;
   for s = 0 to shards - 1 do
     advance_singles s;
@@ -210,6 +211,41 @@ let replay (kv : Kvstore.t) =
 let expected_streams p = p.expected
 let response_meta p = p.meta
 let decisions p = p.decisions
+
+(* Physical-to-logical stream normalization. A pinned store's cores ARE
+   its shards, so streams pass through untouched. A scheduled store's
+   worker cores interleave slices of many shards; the slice headers let
+   the demux reassemble per-shard views (headers stripped), which is
+   exactly the shape [replay] predicts. The coordinator stream, when
+   present, carries no headers and is appended as the last logical
+   stream. Demux errors are protocol violations in their own right —
+   a lost, duplicated or reordered slice is a broken migration. *)
+let normalize ~kv ~word streams =
+  match kv.Kvstore.sched with
+  | None -> (streams, [])
+  | Some _ ->
+    let nw = Kvstore.workers kv in
+    let views, errs =
+      Sched.views ~word ~shards:kv.Kvstore.shards (Array.sub streams 0 nw)
+    in
+    let all =
+      if Array.length kv.Kvstore.txns = 0 then views
+      else Array.append views [| streams.(nw) |]
+    in
+    (all, errs)
+
+(* Tenant attribution of one expected response: singles and txn items
+   carry their key, whose namespace names the owner; txn outcomes and
+   abort acknowledgements belong to the tenant that issued the
+   transaction. Keys outside every namespace (e.g. a shared hot key)
+   and stores without tenancy attribute to tenant 0. *)
+let tenant_of ~tenants ~space ~txn_tenant meta =
+  if tenants <= 1 then 0
+  else if meta.tid >= 1 && meta.tid <= Array.length txn_tenant then
+    txn_tenant.(meta.tid - 1)
+  else if meta.key >= 1 && meta.key <= tenants * space then
+    Wire.tenant_of_key ~space meta.key
+  else 0
 
 let txn_outcomes kv =
   let p = replay kv in
@@ -333,13 +369,19 @@ let check_records ~kv ~p ~crash_index (image : Arch.Persist.image) ~acked_n =
 
 let check_crash ~kv ~p ~crash_index (image : Arch.Persist.image) =
   let shards = kv.Kvstore.shards in
-  let cores = kv.Kvstore.cores in
   let err shard detail = Error { shard; crash_index; detail } in
-  let acked_n = Array.make cores 0 in
+  let streams, demux_errs =
+    normalize ~kv ~word:fst image.Arch.Persist.acked
+  in
+  if demux_errs <> [] then
+    err shards ("acked stream demux: " ^ List.hd demux_errs)
+  else begin
+  let nstreams = Array.length p.expected in
+  let acked_n = Array.make nstreams 0 in
   let rec per_core core =
-    if core >= cores then Ok ()
+    if core >= nstreams then Ok ()
     else
-      let acked = List.map fst image.Arch.Persist.acked.(core) in
+      let acked = List.map fst streams.(core) in
       let exp : int array = p.expected.(core) in
       let n = List.length acked in
       acked_n.(core) <- n;
@@ -385,6 +427,7 @@ let check_crash ~kv ~p ~crash_index (image : Arch.Persist.image) =
       match check_records ~kv ~p ~crash_index image ~acked_n with
       | None -> Ok ()
       | Some v -> Error v)
+  end
 
 let check ~kv ~images ~final =
   let p = replay kv in
@@ -398,11 +441,20 @@ let check ~kv ~images ~final =
   match crashes 0 images with
   | Error _ as e -> e
   | Ok () ->
+    let final_streams, demux_errs = normalize ~kv ~word:Fun.id final in
+    if demux_errs <> [] then
+      Error
+        {
+          shard = kv.Kvstore.shards;
+          crash_index = -1;
+          detail = "final stream demux: " ^ List.hd demux_errs;
+        }
+    else
     let rec completion core =
-      if core >= kv.Kvstore.cores then Ok ()
+      if core >= Array.length p.expected then Ok ()
       else
         let exp = p.expected.(core) in
-        let got = final.(core) in
+        let got = final_streams.(core) in
         if got <> Array.to_list exp then
           Error
             {

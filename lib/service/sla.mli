@@ -45,14 +45,36 @@ val replay : Kvstore.t -> protocol
 val expected_streams : protocol -> int array array
 (** Per core, coordinator last when the store has transactions. *)
 
-type resp_meta = { kind : string; tid : int }
+type resp_meta = { kind : string; tid : int; key : int }
 (** Classification of one expected response: [kind] is ["read"],
     ["update"], ["insert"] (a put on an absent key) or ["txn"] (items,
     abort acknowledgements and coordinator outcomes); [tid] is the
-    owning transaction id, [-1] for singles. *)
+    owning transaction id, [-1] for singles; [key] is the request's
+    global key, [-1] for abort acknowledgements and coordinator
+    outcomes. *)
 
 val response_meta : protocol -> resp_meta array array
 (** Aligned index-for-index with {!expected_streams}. *)
+
+val normalize :
+  kv:Kvstore.t ->
+  word:('a -> int) ->
+  'a list array ->
+  'a list array * string list
+(** Physical per-core streams to logical per-shard streams (coordinator
+    last), the shape {!expected_streams} predicts. Identity for pinned
+    stores; for scheduled stores the worker streams are demultiplexed by
+    their slice headers (via {!Sched.views}, headers stripped). The
+    string list reports demux protocol errors — non-empty means a slice
+    was lost, duplicated or reordered, which {!check} treats as a
+    violation. *)
+
+val tenant_of :
+  tenants:int -> space:int -> txn_tenant:int array -> resp_meta -> int
+(** Tenant owning one expected response: transaction responses by the
+    issuing tenant ([txn_tenant].(tid-1)), singles by their key's
+    namespace, anything outside every namespace (the shared hot key) and
+    single-tenant stores to tenant 0. *)
 
 val decisions : protocol -> bool array
 
@@ -82,7 +104,13 @@ val check :
     protocol's value, and must be the protocol's value once its owner
     acked past the record's sealing point. For the completed run: the
     response streams of every core must equal the protocol's answers
-    exactly (exactly-once delivery). *)
+    exactly (exactly-once delivery). Scheduled stores are checked
+    through {!normalize}: the per-shard views reassembled from the
+    slice headers must satisfy everything a pinned shard core must —
+    commit ordering across a steal (the thief's lock acquire conflicts
+    with the victim's release) makes per-shard prefixes meaningful even
+    when consecutive slices ran on different cores, and demux errors
+    are themselves violations. *)
 
 type stats = {
   ops : int;  (** acknowledged responses (txn item/outcome acks included) *)

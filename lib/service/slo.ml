@@ -17,6 +17,15 @@ module Stat = Capri_util.Stat
 
 type window = { start : int; finish : int; blocks : int }
 
+type tenant_row = {
+  tenant : int;
+  t_served : int;
+  t_in_recovery : int;
+  t_p99 : float;
+  t_p99_in : float;
+  t_p99_out : float;
+}
+
 type report = {
   cycles : int;
   served : int;
@@ -33,6 +42,7 @@ type report = {
   slo_avail : float option;
   p99_burn : float option;
   avail_burn : float option;
+  tenants : tenant_row list;
 }
 
 let windows_of (outcome : Server.outcome) =
@@ -46,12 +56,63 @@ let windows_of (outcome : Server.outcome) =
 let overlaps windows ~start ~ack =
   List.exists (fun w -> start < w.finish && ack > w.start) windows
 
+(* Accounting runs over the logical per-shard views: identical to the
+   physical streams for a pinned store, and for a scheduled one it
+   strips the slice headers (framing, not service) and regroups acks by
+   shard so the numbers are core-count-independent. *)
 let intervals (t : Server.t) (outcome : Server.outcome) =
   let loop = t.Server.cfg.Server.client.Client.loop in
+  let logical, _ = Server.views t outcome in
   Array.fold_left
-    (fun acc core_acks ->
-      List.rev_append (Sla.request_intervals ~loop core_acks) acc)
-    [] outcome.Server.acks
+    (fun acc stream_acks ->
+      List.rev_append (Sla.request_intervals ~loop stream_acks) acc)
+    [] logical
+
+(* Per-tenant rows of the report: each served response attributes to
+   its tenant through the replay metadata, and splits in/out of the
+   recovery windows exactly like the global tallies — so a noisy
+   neighbor's tail is visible next to its victims', not averaged away. *)
+let tenant_rows (t : Server.t) (outcome : Server.outcome) windows =
+  match t.Server.workload with
+  | None -> []
+  | Some tw ->
+    let loop = t.Server.cfg.Server.client.Client.loop in
+    let logical, _ = Server.views t outcome in
+    let meta = Sla.response_meta (Sla.replay t.Server.kv) in
+    let acc = Array.init tw.Client.tenants (fun _ -> ref ([], [])) in
+    Array.iteri
+      (fun stream stream_acks ->
+        List.iteri
+          (fun i (start, ack, lat) ->
+            let md =
+              if stream < Array.length meta && i < Array.length meta.(stream)
+              then meta.(stream).(i)
+              else { Sla.kind = "unknown"; tid = -1; key = -1 }
+            in
+            let tn =
+              Sla.tenant_of ~tenants:tw.Client.tenants ~space:tw.Client.space
+                ~txn_tenant:tw.Client.txn_tenant md
+            in
+            let l = float_of_int lat in
+            let ins, outs = !(acc.(tn)) in
+            if overlaps windows ~start ~ack then acc.(tn) := (l :: ins, outs)
+            else acc.(tn) := (ins, l :: outs))
+          (Sla.request_intervals ~loop stream_acks))
+      logical;
+    let pct l = if l = [] then 0.0 else Stat.percentile 99.0 l in
+    Array.to_list
+      (Array.mapi
+         (fun tn r ->
+           let ins, outs = !r in
+           {
+             tenant = tn;
+             t_served = List.length ins + List.length outs;
+             t_in_recovery = List.length ins;
+             t_p99 = pct (ins @ outs);
+             t_p99_in = pct ins;
+             t_p99_out = pct outs;
+           })
+         acc)
 
 let report ?slo_p99 ?slo_avail ~(t : Server.t) (outcome : Server.outcome) =
   let windows = windows_of outcome in
@@ -106,6 +167,7 @@ let report ?slo_p99 ?slo_avail ~(t : Server.t) (outcome : Server.outcome) =
           if budget <= 0.0 then if burnt <= 0.0 then 0.0 else infinity
           else burnt /. budget)
         slo_avail;
+    tenants = tenant_rows t outcome windows;
   }
 
 (* ------------------- timeline ------------------- *)
@@ -195,6 +257,14 @@ let pp_report ppf r =
   if r.windows <> [] then
     Format.fprintf ppf "  mean replay per recovery: %.1f blocks, %.0f cycles@\n"
       r.mean_replay_blocks r.mean_replay_cycles;
+  List.iter
+    (fun row ->
+      Format.fprintf ppf
+        "  tenant %d: %d served, p99 %.0f (%.0f during recovery over %d \
+         reqs, %.0f outside)@\n"
+        row.tenant row.t_served row.t_p99 row.t_p99_in row.t_in_recovery
+        row.t_p99_out)
+    r.tenants;
   (match (r.slo_p99, r.p99_burn) with
   | Some target, Some burn ->
     Format.fprintf ppf "  SLO p99 <= %d: %s (burn %.2fx)@\n" target

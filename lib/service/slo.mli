@@ -15,6 +15,17 @@ type window = { start : int; finish : int; blocks : int }
     crash ([start]), resumes once the power cycle and the [blocks]
     recovery-block replays finish ([finish]). *)
 
+type tenant_row = {
+  tenant : int;
+  t_served : int;
+  t_in_recovery : int;
+  t_p99 : float;
+  t_p99_in : float;  (** p99 of this tenant's requests overlapping an outage *)
+  t_p99_out : float;
+}
+(** One tenant's share of the report, attributed via {!Sla.tenant_of}
+    over the logical per-shard views. *)
+
 type report = {
   cycles : int;  (** total run length, recovery time included *)
   served : int;  (** acknowledged requests *)
@@ -33,6 +44,9 @@ type report = {
   p99_burn : float option;  (** observed p99 over the target *)
   avail_burn : float option;
       (** error-budget burn: observed unavailability over allowed *)
+  tenants : tenant_row list;
+      (** per-tenant rows in tenant order; empty for single-tenant
+          plans *)
 }
 
 val report :

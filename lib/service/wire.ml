@@ -82,6 +82,47 @@ let decode_response w =
   in
   (status, w mod payload_limit)
 
+(* ------------------- scheduler slice headers ------------------- *)
+
+(* When the store runs under the work-stealing scheduler, each worker
+   core announces every slice it executes with one header word in its
+   output stream: the shard the slice belongs to and the shard's slice
+   sequence number. Headers live in a status range disjoint from real
+   responses (status >= slice_status_base), so the host can demultiplex
+   a core's interleaved stream back into per-shard response streams. *)
+let slice_status_base = 8
+
+let slice_header ~shard ~seq =
+  if shard < 0 then invalid_arg "Wire.slice_header: negative shard";
+  if seq < 0 || seq >= payload_limit then
+    invalid_arg "Wire.slice_header: seq outside the payload range";
+  ((slice_status_base + shard) * payload_limit) + seq
+
+let is_slice_header w = w / payload_limit >= slice_status_base
+
+let decode_slice_header w =
+  if not (is_slice_header w) then
+    invalid_arg (Printf.sprintf "Wire.decode_slice_header: %d" w);
+  ((w / payload_limit) - slice_status_base, w mod payload_limit)
+
+(* ------------------- tenant key namespaces ------------------- *)
+
+(* Tenants share one store but own disjoint key ranges: tenant [t] of a
+   store with [space] keys per tenant owns global keys
+   [t*space+1 .. (t+1)*space]. Routing and SLA attribution both derive
+   from the same arithmetic, so a request can never read or write
+   another tenant's namespace. *)
+let tenant_key ~space ~tenant key =
+  if space < 1 then invalid_arg "Wire.tenant_key: non-positive space";
+  if tenant < 0 then invalid_arg "Wire.tenant_key: negative tenant";
+  if key < 1 || key > space then
+    invalid_arg "Wire.tenant_key: key outside the tenant namespace";
+  (tenant * space) + key
+
+let tenant_of_key ~space key =
+  if space < 1 then invalid_arg "Wire.tenant_of_key: non-positive space";
+  (key - 1) / space
+
 let pp_request ppf r =
   match r.op with
   | Get -> Format.fprintf ppf "get k%d" r.key

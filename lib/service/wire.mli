@@ -58,6 +58,37 @@ val response : status:status -> payload:int -> int
 val response_miss : int
 val decode_response : int -> status * int
 
+(** {2 Scheduler slice headers}
+
+    Under the work-stealing scheduler ({!Sched}), a worker core prefixes
+    every slice of shard work it executes with one header word in its
+    output stream. Headers occupy a status range disjoint from real
+    responses so the host can split a core's interleaved stream back
+    into per-shard response streams, ordered by slice sequence number. *)
+
+val slice_status_base : int
+(** First status code reserved for slice headers (8). *)
+
+val slice_header : shard:int -> seq:int -> int
+(** Header word announcing slice [seq] of [shard]. *)
+
+val is_slice_header : int -> bool
+
+val decode_slice_header : int -> int * int
+(** [(shard, seq)]. Raises [Invalid_argument] on a non-header word. *)
+
+(** {2 Tenant key namespaces}
+
+    Tenants share one store but own disjoint key ranges: tenant [t] of
+    a store with [space] keys per tenant owns global keys
+    [t*space+1 .. (t+1)*space]. *)
+
+val tenant_key : space:int -> tenant:int -> int -> int
+(** Global key for a tenant-local key in [1..space]. *)
+
+val tenant_of_key : space:int -> int -> int
+(** Owning tenant of a global key. *)
+
 val pp_request : Format.formatter -> request -> unit
 val pp_txn : Format.formatter -> txn -> unit
 val pp_response : Format.formatter -> int -> unit

@@ -85,7 +85,7 @@ let test_handler_paths () =
       kv.Kvstore.program
   in
   let t =
-    { Server.cfg = mk ~shards:1 (); kv; compiled; rejected = 0; rejected_at = [] }
+    { Server.cfg = mk ~shards:1 (); kv; compiled; rejected = 0; rejected_at = []; workload = None }
   in
   let outcome = Server.run t in
   check_ok t outcome;
@@ -142,7 +142,7 @@ let test_txn_commit_and_abort () =
     Capri_compiler.Pipeline.compile Capri_compiler.Options.default
       kv.Kvstore.program
   in
-  let t = { Server.cfg = mk ~shards:2 (); kv; compiled; rejected = 0; rejected_at = [] } in
+  let t = { Server.cfg = mk ~shards:2 (); kv; compiled; rejected = 0; rejected_at = []; workload = None } in
   let outcome = Server.run t in
   check_ok t outcome;
   (* the host replay agrees on the outcomes *)
@@ -503,6 +503,205 @@ let test_zipf_skews_requests () =
   Alcotest.(check bool) "hot key dominates" true
     (counts.(1) > 3 * counts.(16))
 
+(* --- work-stealing scheduler --- *)
+
+let test_sched_demux () =
+  let r n = Wire.response ~status:Wire.Ok ~payload:n in
+  let h ~shard ~seq = Wire.slice_header ~shard ~seq in
+  (* Two cores interleaving two shards; shard 0's second slice ran on
+     core 1 (a steal). *)
+  let streams =
+    [|
+      [ h ~shard:0 ~seq:0; r 1; r 2; h ~shard:1 ~seq:0; r 3 ];
+      [ h ~shard:0 ~seq:1; r 4 ];
+    |]
+  in
+  let slices, errs = Sched.demux ~word:Fun.id ~shards:2 streams in
+  Alcotest.(check (list string)) "no structural errors" [] errs;
+  Alcotest.(check int) "shard 0 slices" 2 (List.length slices.(0));
+  Alcotest.(check int) "shard 1 slices" 1 (List.length slices.(1));
+  let s0 = List.nth slices.(0) 1 in
+  Alcotest.(check int) "stolen slice core" 1 s0.Sched.core;
+  Alcotest.(check (list int)) "stolen slice body" [ r 4 ] s0.Sched.body;
+  let views, verrs = Sched.views ~word:Fun.id ~shards:2 streams in
+  Alcotest.(check (list string)) "views clean" [] verrs;
+  Alcotest.(check (list int)) "shard 0 view" [ r 1; r 2; r 4 ] views.(0);
+  Alcotest.(check (list int)) "shard 1 view" [ r 3 ] views.(1);
+  let migs = Sched.migrations ~word:Fun.id ~shards:2 streams in
+  Alcotest.(check bool) "one migration, 0 -> 1" true
+    (migs
+    = [ { Sched.shard = 0; seq = 1; from_core = 0; to_core = 1 } ]);
+  (* Structural errors: a headerless stream, and a seq gap (lost slice). *)
+  let _, e1 = Sched.demux ~word:Fun.id ~shards:1 [| [ r 1 ] |] in
+  Alcotest.(check bool) "headerless stream detected" true (e1 <> []);
+  let _, e2 =
+    Sched.demux ~word:Fun.id ~shards:1
+      [| [ h ~shard:0 ~seq:0; r 1; h ~shard:0 ~seq:2; r 2 ] |]
+  in
+  Alcotest.(check bool) "seq gap detected" true (e2 <> [])
+
+let test_queue_depth () =
+  (* Arrivals at 0/10/20; acks at 5/25/26: depth peaks at 2 (requests 1
+     and 2 both in flight at cycle 20). *)
+  Alcotest.(check int) "peak depth" 2
+    (Sched.queue_depth ~period:10 ~arrivals:3 ~acks:[ 5; 25; 26 ])
+
+let scheduled cfg ~cores ~quantum ~steal =
+  { cfg with Server.sched = Some { Sched.cores; quantum; steal } }
+
+(* Property: serving through the scheduler — stealing on or off — is
+   observably equivalent to static pinning: same per-shard response
+   values, same durable tables, and the SLA oracle holds, crash-free
+   and under a crash schedule, in every recoverable mode. *)
+let prop_steal_equiv_pinned =
+  let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000) in
+  QCheck.Test.make ~count:8 ~name:"scheduler observationally = pinned" seed_gen
+    (fun seed ->
+      let shards = 2 + (seed mod 2) in
+      let cfg0 =
+        mk ~shards
+          ~ops:(8 + (seed mod 6))
+          ~seed:(seed + 1)
+          ~txns:(seed mod 3) ~txn_items:1 ()
+      in
+      let serve cfg ~crash =
+        let t = Server.plan cfg in
+        let total =
+          Array.fold_left
+            (fun a s -> a + Array.length s)
+            0 t.Server.kv.Kvstore.requests
+        in
+        let crash_at = if crash then [ total * 9; total * 17 ] else [] in
+        let outcome = Server.run ~crash_at t in
+        check_ok t outcome;
+        let views, errs = Server.views t outcome in
+        Alcotest.(check (list string)) "streams demux cleanly" [] errs;
+        let values =
+          Array.map (List.map fst) (Array.sub views 0 shards)
+        in
+        let table =
+          List.init 24 (fun k ->
+            List.init shards (fun s ->
+              Kvstore.lookup t.Server.kv
+                outcome.Server.result.Capri_runtime.Executor.memory ~shard:s
+                ~key:(k + 1)))
+        in
+        (values, table)
+      in
+      List.for_all
+        (fun mode ->
+          List.for_all
+            (fun crash ->
+              let cfg = { cfg0 with Server.mode } in
+              let reference = serve cfg ~crash in
+              List.for_all
+                (fun sched ->
+                  serve (scheduled cfg ~cores:(2 + (seed mod 2))
+                           ~quantum:(1 + (seed mod 3)) ~steal:sched)
+                    ~crash
+                  = reference)
+                [ false; true ])
+            [ false; true ])
+        [ Arch.Persist.Capri; Arch.Persist.Redo_nowb ])
+
+(* The canonical noisy-neighbor shape must actually migrate work: the
+   durable steal counters and the slice headers agree that tasks moved. *)
+let test_steals_counted () =
+  let client =
+    {
+      Client.default with
+      ops_per_shard = 30;
+      key_space = 16;
+      seed = 11;
+      loop = Client.Open { period = 120 };
+    }
+  in
+  let cfg =
+    {
+      Server.default_cfg with
+      shards = 6;
+      client;
+      sched = Some { Sched.cores = 4; quantum = 4; steal = true };
+      tenants = Some (Client.noisy_tenants ~tenants:3 ~skew:3.0);
+    }
+  in
+  let t = Server.plan cfg in
+  let outcome = Server.run t in
+  check_ok t outcome;
+  Alcotest.(check bool) "steal counter > 0" true (Server.steals t outcome > 0);
+  let migs = Server.migrations t outcome in
+  Alcotest.(check bool) "migrations visible in headers" true (migs <> []);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "migration moves cores" true
+        (m.Sched.from_core <> m.Sched.to_core))
+    migs
+
+(* --- multi-tenancy --- *)
+
+let test_generate_tenants_deterministic () =
+  let tenants = Client.noisy_tenants ~tenants:3 ~skew:2.0 in
+  let cfg = { Client.default with ops_per_shard = 40; key_space = 8 } in
+  let w1 = Client.generate_tenants ~hot_txns:2 cfg ~tenants ~shards:4 in
+  let w2 = Client.generate_tenants ~hot_txns:2 cfg ~tenants ~shards:4 in
+  Alcotest.(check bool) "equal inputs, equal workloads" true (w1 = w2);
+  Alcotest.(check int) "tenant count" 3 w1.Client.tenants;
+  (* Namespaces are private: every single-op key attributes to a tenant;
+     the hot-txn workload reserves one shared key past every namespace. *)
+  Alcotest.(check int) "global key space" ((3 * 8) + 1) w1.Client.key_space;
+  Array.iter
+    (Array.iter (fun r ->
+         match r.Wire.op with
+         | Wire.Txn -> ()
+         | _ ->
+           let tn = Wire.tenant_of_key ~space:w1.Client.space r.Wire.key in
+           Alcotest.(check bool) "key inside a namespace" true
+             (tn >= 0 && tn < 3)))
+    w1.Client.base.Client.requests;
+  Array.iter
+    (fun tn -> Alcotest.(check bool) "txn issuer valid" true (tn >= 0 && tn < 3))
+    w1.Client.txn_tenant
+
+let test_tenant_fair_share_admission () =
+  let client =
+    {
+      Client.default with
+      ops_per_shard = 30;
+      key_space = 16;
+      seed = 11;
+      loop = Client.Open { period = 60 };
+    }
+  in
+  let cfg =
+    {
+      Server.default_cfg with
+      shards = 4;
+      client;
+      admit_depth = Some 4;
+      sched = Some { Sched.cores = 2; quantum = 4; steal = true };
+      tenants = Some (Client.noisy_tenants ~tenants:3 ~skew:3.0);
+    }
+  in
+  let t = Server.plan cfg in
+  Alcotest.(check bool) "admission rejected some arrivals" true
+    (t.Server.rejected > 0);
+  Alcotest.(check int) "reject cycles recorded" t.Server.rejected
+    (List.length t.Server.rejected_at);
+  let outcome = Server.run t in
+  check_ok t outcome;
+  let per_tenant = Server.tenant_stats t outcome in
+  Alcotest.(check int) "one row per tenant" 3 (Array.length per_tenant);
+  Array.iter
+    (fun (served, p99) ->
+      Alcotest.(check bool) "every tenant served" true (served > 0);
+      Alcotest.(check bool) "p99 positive" true (p99 > 0.0))
+    per_tenant;
+  let served_total =
+    Array.fold_left (fun a (s, _) -> a + s) 0 per_tenant
+  in
+  Alcotest.(check int) "served + rejected = offered" (30 * 4)
+    (served_total + t.Server.rejected)
+
 (* Property: random multi-key txn batches satisfy the serializability
    oracle in all five persistence modes, crash-free — the sanity floor
    under the crash-schedule fuzzing. *)
@@ -565,5 +764,13 @@ let suite =
       test_slo_report_and_timeline;
     Alcotest.test_case "latency labeled by op kind" `Quick
       test_latency_labeled_by_op_kind;
+    Alcotest.test_case "sched: demux and migrations" `Quick test_sched_demux;
+    Alcotest.test_case "sched: queue depth" `Quick test_queue_depth;
+    Alcotest.test_case "sched: steals counted" `Quick test_steals_counted;
+    Alcotest.test_case "tenants: deterministic generation" `Quick
+      test_generate_tenants_deterministic;
+    Alcotest.test_case "tenants: fair-share admission" `Quick
+      test_tenant_fair_share_admission;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_txn_batches_serializable ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_txn_batches_serializable; prop_steal_equiv_pinned ]
