@@ -3,7 +3,7 @@
 # determinism smokes (bench, fuzz, service bench, perf) that
 # `dune runtest` wires in via the runtest alias.
 
-.PHONY: all build check test bench slo steal perfsmoke fuzz fuzz-txn clean
+.PHONY: all build check test bench slo steal recover perfsmoke fuzz fuzz-txn clean
 
 all: build
 
@@ -24,6 +24,16 @@ bench:
 # plus the windowed timeline for capri.
 slo:
 	dune exec bench/service.exe -- --rolling --shards 2 --ops 120 --crash 3 --period 8
+
+# Recovery-at-scale scenario: a store bulk-loaded with 100k committed
+# keys per shard serves 1x..10x request histories and crashes late in
+# each run; the table shows the restart bill growing with history when
+# journal compaction is off and staying flat when it is on. The smoke
+# assertions behind this table (compaction-on tail bounded by the
+# interval, --recovery-jobs 1 == 4 byte-identical) run in `make check`
+# via bench/service_smoke.exe.
+recover:
+	dune exec bench/service.exe -- --recovery --shards 2 --keys 100000 --ops 20 --recovery-jobs 4
 
 # Work-stealing scheduler showcase: the noisy-neighbor table (one
 # zipfian-heavy tenant against uniform neighbors; stealing on vs off

@@ -14,6 +14,10 @@ let () =
   let period = ref 8 in
   let noisy = ref false in
   let hot_key = ref false in
+  let recovery = ref false in
+  let keys = ref 1000 in
+  let compact = ref 32 in
+  let recovery_jobs = ref 4 in
   let tenants = ref 3 in
   let cores = ref 2 in
   let quantum = ref 4 in
@@ -37,6 +41,25 @@ let () =
          open-loop client keeps offering load; reports measured \
          unavailability windows, p99 during vs. outside recovery, and the \
          Capri run's windowed timeline" );
+      ( "--recovery",
+        Arg.Set recovery,
+        "  recovery-at-scale scenario: a store bulk-loaded with --keys \
+         committed pairs per shard serves 1x/2x/5x/10x request histories \
+         and crashes late in each run; reports recovery blocks, durable \
+         journal tail, replayed log records and the modeled restart bill \
+         with journal compaction off vs. on (every --compact commits)" );
+      ( "--keys",
+        Arg.Set_int keys,
+        "N  preloaded keys per shard for --recovery (default 1000; \
+         production scale is 100000+)" );
+      ( "--compact",
+        Arg.Set_int compact,
+        "N  journal compact interval for the --recovery compaction-on \
+         rows (default 32)" );
+      ( "--recovery-jobs",
+        Arg.Set_int recovery_jobs,
+        "N  domain-pool width for recovery planning/replay in --recovery \
+         (default 4; results are byte-identical at any width)" );
       ( "--noisy",
         Arg.Set noisy,
         "  noisy-neighbor scenario: one zipfian-heavy tenant against \
@@ -81,11 +104,16 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "usage: bench/service.exe [--shards N] [--ops N] [--crash N] [--txns N] \
-     [--rolling] [--noisy] [--hot-key] [--tenants N] [--cores N] \
-     [--quantum N] [--skew S] [--hot-txns N] [--steal on|off|both] \
-     [--period N] [--jobs N]";
+     [--rolling] [--recovery] [--keys N] [--compact N] [--recovery-jobs N] \
+     [--noisy] [--hot-key] [--tenants N] [--cores N] [--quantum N] [--skew S] \
+     [--hot-txns N] [--steal on|off|both] [--period N] [--jobs N]";
   let jobs = if !jobs > 0 then !jobs else Capri_util.Pool.default_jobs () in
-  if !rolling then
+  if !recovery then
+    print_string
+      (Capri_bench.Service_bench.recovery_table ~jobs ~shards:(max 1 !shards)
+         ~keys:(max 1 !keys) ~ops:(max 1 !ops) ~factors:[ 1; 2; 5; 10 ]
+         ~interval:(max 1 !compact) ~recovery_jobs:(max 1 !recovery_jobs))
+  else if !rolling then
     print_string
       (Capri_bench.Service_bench.rolling_table ~jobs ~shards:(max 1 !shards)
          ~ops:(max 1 !ops) ~crashes:(max 0 !crashes) ~period:(max 1 !period))

@@ -200,6 +200,141 @@ let rolling_table ~jobs ~shards ~ops ~crashes ~period =
   in
   render_rolling rows ^ capri_timeline
 
+(* ------------------- recovery-at-scale scenario ------------------- *)
+
+(* How restart cost scales with served history on a production-size
+   store. Every trial preloads [keys] committed pairs per shard through
+   the bulk loader (so the store starts at scale without serving
+   millions of puts), serves [ops * factor] requests per shard, and
+   crashes once late in the run — the accumulated history is what
+   recovery pays for. With journal compaction off the durable tail
+   grows with the factor and the recovery bill with it; with compaction
+   on the tail is bounded by the compact interval, so recovery cost
+   stays flat while the store serves 10x the history. Recovery planning
+   and block replay run through [recovery_jobs] domains; outcomes are
+   byte-identical at any width (service_smoke re-renders the table at
+   1 and 4 and compares bytes). *)
+
+type recovery_row = {
+  v_compact : bool;
+  v_factor : int;
+  v_ops : int;
+  v_blocks : int;  (* recovery blocks replayed at the crash *)
+  v_tail : int;  (* durable journal-tail entries re-served *)
+  v_replayed : int;  (* redo/undo log records re-applied *)
+  v_recovery_cycles : int;
+  v_availability : float;
+}
+
+(* Deterministic committed state: every key of every shard, with a
+   value derived from (key, shard) so cross-shard confusion would be
+   caught by the oracle's table scan. *)
+let store_preload ~shards ~keys =
+  Array.init shards (fun s ->
+      Array.init keys (fun i ->
+          let key = i + 1 in
+          (key, (key + (s * 17)) mod 251)))
+
+let recovery_cfg ~shards ~keys ~ops ~interval ~recovery_jobs ~compact ~factor =
+  let client =
+    {
+      Svc.Client.default with
+      Svc.Client.mix = Svc.Client.A;
+      key_space = keys;
+      ops_per_shard = ops * factor;
+      txns = 0;
+    }
+  in
+  let config =
+    {
+      Arch.Config.sim_default with
+      Arch.Config.compact_interval = (if compact then interval else 0);
+    }
+  in
+  {
+    Svc.Server.default_cfg with
+    Svc.Server.shards;
+    client;
+    mode = Arch.Persist.Capri;
+    config;
+    recovery_jobs;
+    preload = store_preload ~shards ~keys;
+  }
+
+let recovery_trial ~shards ~keys ~ops ~interval ~recovery_jobs
+    (compact, factor) =
+  let cfg =
+    recovery_cfg ~shards ~keys ~ops ~interval ~recovery_jobs ~compact ~factor
+  in
+  let t = Svc.Server.plan cfg in
+  let total =
+    (Svc.Server.run t).Svc.Server.result.Capri_runtime.Executor.instrs
+  in
+  (* one crash at 90% of the reference run: almost all of the trial's
+     history is already served and journaled when the power fails *)
+  let outcome = Svc.Server.run ~crash_at:[ max 1 (total * 9 / 10) ] t in
+  (match Svc.Server.check t outcome with
+  | Ok () -> ()
+  | Error v ->
+    failwith
+      (Format.asprintf "recovery bench: oracle violated: %a"
+         Svc.Sla.pp_violation v));
+  let s = Svc.Server.stats t outcome in
+  {
+    v_compact = compact;
+    v_factor = factor;
+    v_ops = s.Svc.Sla.ops;
+    v_blocks = outcome.Svc.Server.recovery_blocks;
+    v_tail = outcome.Svc.Server.recovery_tail;
+    v_replayed = outcome.Svc.Server.recovery_replayed;
+    v_recovery_cycles = outcome.Svc.Server.recovery_cycles;
+    v_availability = s.Svc.Sla.availability;
+  }
+
+let recovery_rows ~jobs ~shards ~keys ~ops ~factors ~interval ~recovery_jobs =
+  let cells =
+    List.concat_map
+      (fun compact -> List.map (fun f -> (compact, f)) factors)
+      [ false; true ]
+  in
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.map_list pool
+        (recovery_trial ~shards ~keys ~ops ~interval ~recovery_jobs)
+        cells)
+
+let render_recovery ~keys ~interval rows =
+  let t =
+    Table.create
+      ~header:
+        [
+          "compact"; "hist x"; "ops"; "recov blocks"; "journal tail";
+          "replayed"; "recov cyc"; "avail%";
+        ]
+  in
+  let last = ref None in
+  List.iter
+    (fun r ->
+      if !last <> None && !last <> Some r.v_compact then Table.add_sep t;
+      last := Some r.v_compact;
+      Table.add_row t
+        [
+          (if r.v_compact then Printf.sprintf "every %d" interval else "off");
+          string_of_int r.v_factor;
+          string_of_int r.v_ops;
+          string_of_int r.v_blocks;
+          string_of_int r.v_tail;
+          string_of_int r.v_replayed;
+          string_of_int r.v_recovery_cycles;
+          Table.fmt_f ~decimals:3 (100.0 *. r.v_availability);
+        ])
+    rows;
+  Printf.sprintf "recovery at scale: %d preloaded keys per shard\n" keys
+  ^ Table.render t
+
+let recovery_table ~jobs ~shards ~keys ~ops ~factors ~interval ~recovery_jobs =
+  render_recovery ~keys ~interval
+    (recovery_rows ~jobs ~shards ~keys ~ops ~factors ~interval ~recovery_jobs)
+
 (* ------------------- noisy-neighbor multi-tenant scenario ------------------- *)
 
 (* One zipfian-heavy tenant shares the store with uniform neighbors.

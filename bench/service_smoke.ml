@@ -46,6 +46,41 @@ let () =
       assert (rep.Slo.availability < 1.0);
       assert (rep.Slo.in_recovery = 0 || rep.Slo.p99_in > 0.0))
     rows;
+  (* Recovery-at-scale scenario: byte-identical at any trial --jobs AND
+     at any --recovery-jobs width (parallel recovery planning/replay is
+     a pure scheduling change); with compaction on the durable journal
+     tail — and with it the restart bill — must stay bounded by the
+     compact interval while history grows 10x, where the
+     compaction-off rows grow without bound. *)
+  let module B = Capri_bench.Service_bench in
+  let factors = [ 1; 2; 5; 10 ] in
+  let interval = 16 in
+  let recovery ~jobs ~recovery_jobs =
+    B.recovery_table ~jobs ~shards:2 ~keys:200 ~ops:20 ~factors ~interval
+      ~recovery_jobs
+  in
+  check_identical "recovery table"
+    (recovery ~jobs:1 ~recovery_jobs:1)
+    (recovery ~jobs:4 ~recovery_jobs:1);
+  check_identical "recovery table (recovery-jobs)"
+    (recovery ~jobs:1 ~recovery_jobs:1)
+    (recovery ~jobs:1 ~recovery_jobs:4);
+  let rrows =
+    B.recovery_rows ~jobs:1 ~shards:2 ~keys:200 ~ops:20 ~factors ~interval
+      ~recovery_jobs:4
+  in
+  let off, on = List.partition (fun r -> not r.B.v_compact) rrows in
+  assert (List.length off = 4 && List.length on = 4);
+  let tails rows = List.map (fun r -> r.B.v_tail) rows in
+  (* off: the tail a restart re-serves grows with served history *)
+  let off_tails = tails off in
+  assert (List.sort compare off_tails = off_tails);
+  assert (List.nth off_tails 3 > 4 * List.nth off_tails 0);
+  (* on: bounded by the compact interval per core (2 cores) plus the
+     outputs of the commit that crossed it, at any history length *)
+  List.iter (fun t -> assert (t <= 2 * (interval + 8))) (tails on);
+  let last l = List.nth l (List.length l - 1) in
+  assert ((last on).B.v_recovery_cycles < (last off).B.v_recovery_cycles);
   (* Noisy-neighbor scenario: byte-identical at any --jobs, and under
      zipfian skew over >= 2 worker cores stealing must actually engage
      (>= 1 recorded steal) and strictly improve both the worst shard's
@@ -97,5 +132,5 @@ let () =
     assert (fst (outcome pinned) + snd (outcome pinned) = 6)
   | _ -> assert false);
   print_endline
-    "service-smoke: jobs=4 matches sequential (table + rolling + noisy + \
-     hot-key)"
+    "service-smoke: jobs=4 matches sequential (table + rolling + recovery + \
+     noisy + hot-key)"

@@ -447,16 +447,50 @@ let serve_cmd =
       & opt (enum [ ("on", true); ("off", false) ]) true
       & info [ "steal" ] ~docv:"on|off" ~doc)
   in
+  let keys_arg =
+    let doc =
+      "Bulk-load $(docv) already-committed keys per shard before serving \
+       (and widen the client key space to match); 0 serves an empty store. \
+       The oracle treats preloaded pairs as served history."
+    in
+    Arg.(value & opt int 0 & info [ "keys" ] ~docv:"N" ~doc)
+  in
+  let compact_arg =
+    let doc =
+      "Compact each core's durable journal whenever its un-checkpointed \
+       tail reaches $(docv) entries, bounding recovery replay by the \
+       interval instead of served history; 0 disables compaction."
+    in
+    Arg.(value & opt int 0 & info [ "compact" ] ~docv:"N" ~doc)
+  in
+  let rjobs_arg =
+    let doc =
+      "Plan per-core crash recovery over $(docv) domains (images and \
+       stats are byte-identical at any width)."
+    in
+    Arg.(value & opt int 1 & info [ "recovery-jobs" ] ~docv:"N" ~doc)
+  in
   let run shards mix ops crashes jobs txn_mix txn_items focus perfetto
-      timeline slo slo_p99 slo_avail window tenants cores steal () =
+      timeline slo slo_p99 slo_avail window tenants cores steal keys compact
+      rjobs () =
     let client =
       {
         Svc.Client.default with
         Svc.Client.mix;
         ops_per_shard = ops;
+        key_space =
+          (if keys > 0 then keys else Svc.Client.default.Svc.Client.key_space);
         txns = int_of_float (max 0.0 txn_mix *. float_of_int ops);
         txn_items = max 1 txn_items;
       }
+    in
+    let preload =
+      if keys <= 0 then [||]
+      else
+        Array.init (max 1 shards) (fun s ->
+            Array.init keys (fun i ->
+                let key = i + 1 in
+                (key, (key + (s * 17)) mod 251)))
     in
     let sched =
       if cores > 0 then
@@ -477,6 +511,10 @@ let serve_cmd =
           mode;
           sched;
           tenants = tenant_cast;
+          config =
+            { Config.sim_default with Config.compact_interval = max 0 compact };
+          recovery_jobs = max 1 rjobs;
+          preload;
         }
     in
     let schedule_for t mode =
@@ -585,7 +623,8 @@ let serve_cmd =
       const run $ shards_arg $ mix_arg $ ops_arg $ crash_arg $ jobs_arg
       $ txn_mix_arg $ txn_items_arg $ focus_arg $ perfetto_arg $ timeline_arg
       $ slo_arg $ slo_p99_arg $ slo_avail_arg $ window_arg $ tenants_arg
-      $ cores_arg $ steal_arg $ engine_arg)
+      $ cores_arg $ steal_arg $ keys_arg $ compact_arg $ rjobs_arg
+      $ engine_arg)
 
 let show_config_cmd =
   let run () = Format.printf "%a@." Config.pp_table Config.table1 in

@@ -20,6 +20,21 @@ type t = {
   store_miss_div : int;
   monitor_window : int;
   conflict_fence : bool;
+  power_cycle_cycles : int;
+      (* modeled fixed cost of a power cycle (firmware + proxy drain)
+         charged by the serving layer per crash *)
+  recovery_block_cycles : int;
+      (* modeled cost per compiler-emitted recovery block replayed *)
+  journal_replay_cycles : int;
+      (* modeled cost per journal-tail entry re-acked during restart *)
+  redo_replay_cycles : int;
+      (* modeled cost per redo/undo log record applied by recovery *)
+  compact_interval : int;
+      (* journal/proxy-log compaction: once a core's durable journal
+         tail reaches this many entries, a checkpoint cursor advances
+         past them (their region effects are already in NVM at commit
+         time, so recovery no longer replays them). 0 disables
+         compaction — the durable journal then grows with history. *)
 }
 
 let line_words = 8
@@ -48,6 +63,11 @@ let table1 =
     store_miss_div = 8;
     monitor_window = 80;  (* 2x the proxy-path latency *)
     conflict_fence = true;
+    power_cycle_cycles = 1000;
+    recovery_block_cycles = 50;
+    journal_replay_cycles = 4;
+    redo_replay_cycles = 8;
+    compact_interval = 0;
   }
 
 let sim_default =

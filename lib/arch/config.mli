@@ -42,6 +42,22 @@ type t = {
           {!Persist.store_conflict}). On by default; benchmarks also
           measure with it off, which matches the paper's hardware (the
           paper leaves multi-core crash interleavings open). *)
+  (* recovery model (serving layer): the modeled cost of a restart is
+     [power_cycle_cycles + max over cores of (blocks * recovery_block_cycles
+     + journal tail * journal_replay_cycles + log records *
+     redo_replay_cycles)] — max, not sum, because per-core recovery work
+     is independent and replays in parallel. *)
+  power_cycle_cycles : int;  (** fixed per-crash cost (firmware + drain) *)
+  recovery_block_cycles : int;  (** per compiler recovery block replayed *)
+  journal_replay_cycles : int;  (** per journal-tail entry re-acked *)
+  redo_replay_cycles : int;  (** per redo/undo log record applied *)
+  compact_interval : int;
+      (** journal/proxy-log compaction threshold: once a core's durable
+          journal tail holds this many entries, the checkpoint cursor
+          flips past them — their regions' effects are already durable
+          in NVM at commit time, so recovery stops replaying them. 0
+          disables compaction (the durable journal grows with history,
+          and so does restart cost). *)
 }
 
 val table1 : t

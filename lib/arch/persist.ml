@@ -29,6 +29,8 @@ type stats = {
   mutable nvm_writes_wb : int;  (* line writes from dirty writebacks *)
   mutable nvm_writes_redo : int;  (* line writes from phase-2 redo copies *)
   mutable nvm_writes_slot : int;  (* line writes to the checkpoint arrays *)
+  mutable compactions : int;  (* journal checkpoint-cursor flips *)
+  mutable journal_truncated : int;  (* journal entries compacted away *)
 }
 
 (* The live counters, one registry cell per stats field. Incrementing a
@@ -54,6 +56,8 @@ type counters = {
   c_nvm_writes_wb : Metrics.Counter.t;
   c_nvm_writes_redo : Metrics.Counter.t;
   c_nvm_writes_slot : Metrics.Counter.t;
+  c_compactions : Metrics.Counter.t;
+  c_journal_truncated : Metrics.Counter.t;
 }
 
 let mk_counters metrics ~mode =
@@ -76,6 +80,8 @@ let mk_counters metrics ~mode =
     c_nvm_writes_wb = c "nvm_writes_wb";
     c_nvm_writes_redo = c "nvm_writes_redo";
     c_nvm_writes_slot = c "nvm_writes_slot";
+    c_compactions = c "compactions";
+    c_journal_truncated = c "journal_truncated";
   }
 
 type resume =
@@ -94,6 +100,17 @@ type image = {
       (* per core: the same journal with the cycle each output's region
          committed — what the serving layer calls an acknowledged
          request *)
+  acked_base : int array;
+      (* per core: the durable checkpoint cursor — how many leading
+         journal entries compaction has truncated from the durable
+         journal. [journal]/[acked] above remain the full ledger (the
+         record of what clients were told, which the oracle checks);
+         only the tail past the cursor still exists durably and is
+         replayed on restart. *)
+  replayed : int array;
+      (* per core: redo records re-applied plus undo records rolled
+         back by this recovery — the log-replay work the restart model
+         charges per core *)
 }
 
 type entry = {
@@ -278,6 +295,14 @@ type core_state = {
       (* committed (output, commit cycle), reversed: the cycle stamps when
          the region carrying the output reached phase 2 — the serving
          layer's ack time *)
+  mutable journal_len : int;  (* List.length journal, maintained *)
+  mutable journal_base : int;
+      (* durable checkpoint cursor: the first [journal_base] entries (in
+         emission order) have been compacted out of the durable journal —
+         their regions' effects were already in NVM when they committed,
+         so restart no longer replays them. The ledger above keeps them
+         for the oracle. Flipping this one word IS the (failure-atomic)
+         truncation; see [compact]. *)
   mutable open_seq : int;
   mutable open_entries : int;  (* data entries created in the open region *)
   mutable next_drain : int;
@@ -340,6 +365,8 @@ let create ?(obs = Obs.null) config ~mode =
             staged_mark = Array.make Capri_ir.Reg.count false;
             out_staged = [];
             journal = [];
+            journal_len = 0;
+            journal_base = 0;
             open_seq = 0;
             open_entries = 0;
             next_drain = 0;
@@ -401,6 +428,8 @@ let stats t =
     nvm_writes_wb = v t.c.c_nvm_writes_wb;
     nvm_writes_redo = v t.c.c_nvm_writes_redo;
     nvm_writes_slot = v t.c.c_nvm_writes_slot;
+    compactions = v t.c.c_compactions;
+    journal_truncated = v t.c.c_journal_truncated;
   }
 
 let init_slots t ~core ~slots ~resume_boundary ~sp =
@@ -619,6 +648,43 @@ let rec remove_back region = function
   | [] -> []
   | r :: tl -> if r == region then tl else r :: remove_back region tl
 
+(* Oracle-sensitivity fault injection for compaction (see [compact]):
+   when armed, the physical journal reclaim runs *before* the checkpoint
+   cursor flips — the torn ordering the protocol exists to rule out. The
+   truncated entries vanish from the ledger while the cursor still
+   points below them, so the recovered acked streams develop a hole that
+   the Sla prefix oracle must report. Test-only; tests arm and reset. *)
+let fault_tear_compaction = Atomic.make false
+
+let rec list_drop n l =
+  if n <= 0 then l
+  else match l with [] -> [] | _ :: tl -> list_drop (n - 1) tl
+
+(* Journal/proxy-log compaction. A journal entry's only post-crash role
+   is re-acking (exactly-once output): its region's data effects were
+   already copied to NVM by phase 2 *before* the entry was appended (see
+   [do_commit]: [commit_entries] runs first). So once the durable tail
+   reaches [compact_interval] entries, the whole tail can be truncated
+   by durably advancing the checkpoint cursor one word — clients that
+   heard those acks keep them (the ledger is their record); restart
+   simply stops re-serving them. The flip is failure-atomic because the
+   cursor is a single word and physical reclaim is deferred until after
+   it persists; a crash on either side sees a consistent journal. *)
+let compact t cs =
+  let interval = t.config.Config.compact_interval in
+  if interval > 0 && cs.journal_len - cs.journal_base >= interval then begin
+    let truncated = cs.journal_len - cs.journal_base in
+    if Atomic.get fault_tear_compaction then begin
+      (* reclaim before the cursor flip, then crash-stop the flip: the
+         entries are simply gone from every later view *)
+      cs.journal <- list_drop truncated cs.journal;
+      cs.journal_len <- cs.journal_base
+    end
+    else cs.journal_base <- cs.journal_len;
+    Metrics.Counter.inc t.c.c_compactions;
+    Metrics.Counter.add t.c.c_journal_truncated truncated
+  end
+
 (* Phase 2: copy redo data of valid entries, apply checkpoint slots, update
    the resume record, and schedule the space release. *)
 let do_commit t cs region info now =
@@ -655,7 +721,9 @@ let do_commit t cs region info now =
   (match info.outs with
    | [] -> ()
    | outs ->
-     cs.journal <- List.rev_append (List.map (fun v -> (v, now)) outs) cs.journal);
+     cs.journal <- List.rev_append (List.map (fun v -> (v, now)) outs) cs.journal;
+     cs.journal_len <- cs.journal_len + List.length outs;
+     compact t cs);
   if not info.elide_resume then
     cs.resume <-
       (if info.resume_boundary >= 0 then
@@ -1012,10 +1080,21 @@ let journal t ~core = List.rev_map fst t.cores.(core).journal
 
 let journal_entries t ~core = List.rev t.cores.(core).journal
 
-let seed_journal t ~core ~outs =
+let journal_base t ~core = t.cores.(core).journal_base
+
+let journal_tail t ~core =
+  let cs = t.cores.(core) in
+  cs.journal_len - cs.journal_base
+
+let seed_journal t ~core ?(base = 0) ~outs () =
   (* Entries carried over a restart keep no timestamp: they were acked in
-     a previous power cycle, before this engine's clock existed. *)
-  t.cores.(core).journal <- List.rev_map (fun v -> (v, 0)) outs
+     a previous power cycle, before this engine's clock existed. [base]
+     carries the checkpoint cursor across the restart: everything below
+     it is already compacted out of the durable journal. *)
+  let cs = t.cores.(core) in
+  cs.journal <- List.rev_map (fun v -> (v, 0)) outs;
+  cs.journal_len <- List.length outs;
+  cs.journal_base <- max 0 (min base cs.journal_len)
 
 let flush_region t cs ~boundary ~sp =
   (* Close the open region: flush staged checkpoints (final values),
@@ -1146,7 +1225,55 @@ let writebacks_reach_nvm t =
    nothing in the library ever sets it. *)
 let fault_drop_undo = Atomic.make false
 
-let crash_recover t ~cycle =
+(* Per-core recovery work, split plan/apply so the planning half can fan
+   out over a domain pool. A core's plan is a pure function of its own
+   back-end state (sorting the surviving regions, separating committed
+   regions' valid redo entries and slot updates from the interrupted
+   region's undo entries) — exactly the per-core log scan a parallel
+   restart runs on every core at once. Application — the actual NVM
+   writes, stamp bumps, journal appends and resume flips — stays in
+   fixed core order: stamp pages and counters are shared across cores,
+   and a fixed order is what makes the recovered image byte-identical at
+   any [jobs] count (the modeled restart time still charges the per-core
+   maximum, not the sum — see the serving layer). *)
+type rec_step =
+  | P_commit of {
+      redo : entry list;  (* valid entries, oldest first *)
+      slots : (int * int) list;  (* oldest first *)
+      info : commit_info;
+    }
+  | P_undo of entry list  (* newest first *)
+
+let plan_core cs =
+  let regions = List.sort (fun a b -> Int.compare a.bseq b.bseq) cs.back in
+  let drop_undo = Atomic.get fault_drop_undo in
+  let steps =
+    List.map
+      (fun r ->
+        match r.bcommit with
+        | Some info ->
+          P_commit
+            {
+              redo = List.filter (fun e -> e.valid) (List.rev r.bentries);
+              slots = List.rev r.bslots;
+              info;
+            }
+        | None -> P_undo (if drop_undo then [] else r.bentries))
+      regions
+  in
+  let replayed =
+    List.fold_left
+      (fun acc s ->
+        acc
+        +
+        match s with
+        | P_commit { redo; _ } -> List.length redo
+        | P_undo undo -> List.length undo)
+      0 steps
+  in
+  (steps, replayed)
+
+let crash_recover ?(jobs = 1) t ~cycle =
   advance t ~cycle;
   (* Battery drain: everything still in the front-end or on the path
      reaches the back-end structures. [bentries]/[bslots] are reverse
@@ -1197,56 +1324,64 @@ let crash_recover t ~cycle =
     ignore (Ring.pop t.frees)
   done;
   (* Section 5.4: redo committed regions in order, then undo the (at most
-     one per core) interrupted region. *)
-  Array.iter
-    (fun cs ->
-      let regions = List.sort (fun a b -> Int.compare a.bseq b.bseq) cs.back in
+     one per core) interrupted region. Planning fans out across cores —
+     every core scans its own surviving log independently — and the
+     plans are then applied in fixed core order (see [plan_core]). *)
+  let cores_list = Array.to_list t.cores in
+  let plans =
+    Array.of_list
+      (if jobs <= 1 then List.map plan_core cores_list
+       else
+         Capri_util.Pool.with_pool ~jobs (fun pool ->
+             Capri_util.Pool.map_list pool plan_core cores_list))
+  in
+  Array.iteri
+    (fun i cs ->
+      let steps, _ = plans.(i) in
       List.iter
-        (fun r ->
-          match r.bcommit with
-          | Some info ->
+        (function
+          | P_commit { redo; slots; info } ->
             List.iter
               (fun e ->
-                dbg e.line "recover-redo line=%d seq=%d valid=%b v=%d redo2=%d\n"
-                  e.line e.seq e.valid e.version e.redo.(2);
-                if e.valid then
-                  ignore
-                    (nvm_write ~mask:e.mask t ~kind:`Redo ~line:e.line
-                       ~data:e.redo ~version:e.version))
-              (List.rev r.bentries);
-            List.iter
-              (fun (slot, value) -> cs.slot_array.(slot) <- value)
-              (List.rev r.bslots);
+                dbg e.line "recover-redo line=%d seq=%d v=%d redo2=%d\n" e.line
+                  e.seq e.version e.redo.(2);
+                ignore
+                  (nvm_write ~mask:e.mask t ~kind:`Redo ~line:e.line
+                     ~data:e.redo ~version:e.version))
+              redo;
+            List.iter (fun (slot, value) -> cs.slot_array.(slot) <- value) slots;
             (* Committed journaled outputs survive the crash too; their
                regions reach phase 2 during recovery, at the crash
-               cycle. *)
-            cs.journal <-
-              List.rev_append
-                (List.map (fun v -> (v, cycle)) info.outs)
-                cs.journal;
+               cycle. (No compaction here: compaction is a steady-state
+               activity, not something a restart interleaves with its
+               own replay.) *)
+            (match info.outs with
+             | [] -> ()
+             | outs ->
+               cs.journal <-
+                 List.rev_append (List.map (fun v -> (v, cycle)) outs) cs.journal;
+               cs.journal_len <- cs.journal_len + List.length outs);
             if not info.elide_resume then
               if info.resume_boundary >= 0 then
                 cs.resume <-
                   Resume { boundary = info.resume_boundary; sp = info.sp }
               else cs.resume <- Done
-          | None ->
+          | P_undo entries ->
             (* Interrupted region: roll back with undo data, newest entry
                first. Staged slots of this region are discarded. *)
-            if not (Atomic.get fault_drop_undo) then
-              List.iter
-                (fun e ->
-                  dbg e.line "undo line=%d seq=%d mask=%x v=%d undo2=%d\n"
-                    e.line e.seq e.mask e.version e.undo.(2);
-                  Memory.write_line_masked t.nvm e.line e.undo e.mask;
-                  let stamps = stamp_page t e.line in
-                  let base = (e.line land 255) * Config.line_words in
-                  for o = 0 to Config.line_words - 1 do
-                    if e.mask land (1 lsl o) <> 0 then
-                      stamps.(base + o) <-
-                        max stamps.(base + o) (e.version + 1)
-                  done)
-                r.bentries)
-        regions;
+            List.iter
+              (fun e ->
+                dbg e.line "undo line=%d seq=%d mask=%x v=%d undo2=%d\n" e.line
+                  e.seq e.mask e.version e.undo.(2);
+                Memory.write_line_masked t.nvm e.line e.undo e.mask;
+                let stamps = stamp_page t e.line in
+                let base = (e.line land 255) * Config.line_words in
+                for o = 0 to Config.line_words - 1 do
+                  if e.mask land (1 lsl o) <> 0 then
+                    stamps.(base + o) <- max stamps.(base + o) (e.version + 1)
+                done)
+              entries)
+        steps;
       cs.back <- [];
       cs.back_used <- 0)
     t.cores;
@@ -1257,4 +1392,6 @@ let crash_recover t ~cycle =
     slots = Array.map (fun cs -> Array.copy cs.slot_array) t.cores;
     journal = Array.map (fun cs -> List.rev_map fst cs.journal) t.cores;
     acked = Array.map (fun cs -> List.rev cs.journal) t.cores;
+    acked_base = Array.map (fun cs -> cs.journal_base) t.cores;
+    replayed = Array.map (fun (_, replayed) -> replayed) plans;
   }

@@ -62,6 +62,10 @@ type stats = {
   mutable nvm_writes_redo : int;  (** line writes from phase-2 redo copies *)
   mutable nvm_writes_slot : int;
       (** line writes to the checkpoint slot arrays *)
+  mutable compactions : int;
+      (** journal checkpoint-cursor flips (see {!journal_base}) *)
+  mutable journal_truncated : int;
+      (** journal entries compacted out of the durable journal *)
 }
 
 type resume =
@@ -80,6 +84,19 @@ type image = {
           the cycle each output's region committed at the back-end
           proxy. The serving layer treats that commit as the point a
           request is acknowledged to the client. *)
+  acked_base : int array;
+      (** per core: the durable checkpoint cursor — how many leading
+          entries of [journal]/[acked] compaction has truncated from the
+          {e durable} journal. The lists above stay complete (they are
+          the ledger of what clients were actually told, which the
+          oracles check); only the tail past the cursor survives in NVM
+          and is re-served on restart, so restart cost is bounded by the
+          tail, not by history. *)
+  replayed : int array;
+      (** per core: redo records re-applied plus undo records rolled
+          back by this recovery — the per-core log-replay work the
+          restart-time model charges (as a max over cores, since each
+          core replays its own log in parallel). *)
 }
 
 type t
@@ -159,8 +176,20 @@ val journal_entries : t -> core:int -> (int * int) list
 (** [(output, commit cycle)] pairs in emission order; entries carried in
     by {!seed_journal} report cycle 0. *)
 
-val seed_journal : t -> core:int -> outs:int list -> unit
-(** Restart setup: carry a recovered journal into a fresh engine. *)
+val journal_base : t -> core:int -> int
+(** The durable checkpoint cursor: how many leading journal entries
+    compaction ({!Config.t.compact_interval}) has truncated from the
+    durable journal. {!journal} still returns the full ledger. *)
+
+val journal_tail : t -> core:int -> int
+(** Entries still in the durable journal (past the cursor) — what a
+    restart would re-serve; bounded by the compaction interval when
+    compaction is on, grows with history when it is off. *)
+
+val seed_journal : t -> core:int -> ?base:int -> outs:int list -> unit -> unit
+(** Restart setup: carry a recovered journal into a fresh engine.
+    [base] (default 0) restores the checkpoint cursor recorded in the
+    crash image's [acked_base], so compaction state survives restarts. *)
 
 val on_boundary : t -> core:int -> cycle:int -> boundary:int -> sp:int -> int
 (** Commit the open region, open the next; returns stall cycles (0 in
@@ -192,11 +221,14 @@ val advance : t -> cycle:int -> unit
 val nvm_line : t -> int -> int array
 (** Current durable contents of a line (for stale-read oracles). *)
 
-val crash_recover : t -> cycle:int -> image
+val crash_recover : ?jobs:int -> t -> cycle:int -> image
 (** Power failure at [cycle]: volatile state dies, battery-backed proxy
     contents drain, and the Section 5.4 protocol rebuilds the durable
     image — committed regions redone in order, the interrupted region
-    undone, slots and resume records as of the last committed boundary. *)
+    undone, slots and resume records as of the last committed boundary.
+    Per-core log scanning/planning fans out over a [jobs]-domain pool
+    (default 1); plan application runs in fixed core order, so the
+    recovered image is byte-identical at any [jobs] count. *)
 
 val fault_drop_undo : bool Atomic.t
 (** Test-only fault injection: while [true], {!crash_recover} skips the
@@ -204,3 +236,10 @@ val fault_drop_undo : bool Atomic.t
     atomicity. Exists so the crash-consistency fuzzer's oracle can be
     shown to catch a real recovery bug (it must not pass vacuously).
     Never set by the library itself; tests arm it and must reset it. *)
+
+val fault_tear_compaction : bool Atomic.t
+(** Test-only fault injection: while [true], journal compaction reclaims
+    the truncated entries {e before} the checkpoint cursor flips — the
+    torn ordering the cursor protocol rules out. Acked outputs vanish
+    from the durable record, so recovered acked streams develop a hole
+    the Sla prefix oracle must report. Tests arm it and must reset it. *)

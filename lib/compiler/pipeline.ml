@@ -9,8 +9,9 @@ let copy_func f =
   Func.create ~name:(Func.name f) ~entry:(Func.entry f) blocks
 
 let copy_program (p : Program.t) =
-  Program.create ~funcs:(List.map copy_func p.Program.funcs) ~main:p.main
-    ~data:p.data
+  Program.create ~blobs:p.Program.blobs
+    ~funcs:(List.map copy_func p.Program.funcs)
+    ~main:p.main ~data:p.data ()
 
 let compile ?unroll_hints options source =
   let program = copy_program source in

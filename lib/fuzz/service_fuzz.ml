@@ -144,16 +144,24 @@ let service_cfg cfg seed ~mode =
       else (sched, None, 0)
     end
   in
+  (* Half the trials arm journal compaction with a small seed-drawn
+     interval, so checkpoint-cursor flips land between (and under) the
+     crash points; recovery planning/replay width is drawn too —
+     byte-identical by construction at any width, so a divergence
+     surfaces as an ordinary oracle violation. *)
+  let compact_interval = if Rng.bool rng then 2 + Rng.int rng 14 else 0 in
+  let recovery_jobs = 1 + Rng.int rng 2 in
   {
     Svc.Server.default_cfg with
     Svc.Server.shards;
     client;
     batch = 1 + Rng.int rng 6;
     mode;
-    config = cfg.config;
+    config = { cfg.config with Arch.Config.compact_interval };
     sched;
     tenants;
     hot_txns;
+    recovery_jobs;
   }
 
 let service_string (c : Svc.Server.cfg) =
@@ -171,13 +179,17 @@ let service_string (c : Svc.Server.cfg) =
       Printf.sprintf " tenants=%d hot_txns=%d" (Array.length ts)
         c.Svc.Server.hot_txns
   in
-  Printf.sprintf "shards=%d mix=%s ops=%d keys=%d skew=%.2f batch=%d txns=%d%s%s"
+  Printf.sprintf
+    "shards=%d mix=%s ops=%d keys=%d skew=%.2f batch=%d txns=%d compact=%d \
+     rjobs=%d%s%s"
     c.Svc.Server.shards
     (Svc.Client.mix_name c.Svc.Server.client.Svc.Client.mix)
     c.Svc.Server.client.Svc.Client.ops_per_shard
     c.Svc.Server.client.Svc.Client.key_space
     c.Svc.Server.client.Svc.Client.skew c.Svc.Server.batch
-    c.Svc.Server.client.Svc.Client.txns sched tenants
+    c.Svc.Server.client.Svc.Client.txns
+    c.Svc.Server.config.Arch.Config.compact_interval c.Svc.Server.recovery_jobs
+    sched tenants
 
 let repro_string cfg seed =
   let txn_flags =
@@ -279,7 +291,8 @@ let restrict_requests (t : Svc.Server.t) units keep =
     (* keep the scheduler shape: a violation found under stealing must
        shrink under stealing, not silently revert to pinned serving *)
     Svc.Kvstore.build ?sched:kv.Svc.Kvstore.sched ~batch:kv.Svc.Kvstore.batch
-      ~txns:txns' ~key_space:kv.Svc.Kvstore.key_space ~requests:requests' ()
+      ~txns:txns' ~key_space:kv.Svc.Kvstore.key_space ~requests:requests'
+      ~preload:kv.Svc.Kvstore.preload ()
   in
   let compiled =
     Pipeline.compile t.Svc.Server.cfg.Svc.Server.options kv'.Svc.Kvstore.program
@@ -383,7 +396,13 @@ let run_trial cfg k =
             in
             let schedule () =
               let crashes = 1 + Rng.int rng 3 in
-              List.init crashes (fun _ -> pick_point rng ~total ~boundaries)
+              List.init crashes (fun i ->
+                  (* entries after the first count instructions in a
+                     resumed segment: a small draw there crashes again
+                     right inside the recovery-block replay / journal
+                     re-serve window of the previous recovery *)
+                  if i > 0 && Rng.int rng 3 = 0 then 1 + Rng.int rng 8
+                  else pick_point rng ~total ~boundaries)
             in
             for _ = 1 to cfg.max_schedules do
               if !failure = None then begin

@@ -13,9 +13,10 @@ type t = {
   mutable funcs : fb list;  (* reversed *)
   mutable next_addr : int;
   mutable data : (int * int) list;  (* reversed *)
+  mutable blobs : (int * int array) list;  (* reversed *)
 }
 
-let create () = { funcs = []; next_addr = data_base; data = [] }
+let create () = { funcs = []; next_addr = data_base; data = []; blobs = [] }
 
 let alloc t ~words =
   if words <= 0 then invalid_arg "Builder.alloc: non-positive size";
@@ -30,6 +31,18 @@ let alloc_init t values =
   let base = alloc t ~words:(Array.length values) in
   Array.iteri (fun i v -> init_word t ~addr:(base + i) v) values;
   base
+
+(* Bulk initialized segment: one (base, words) pair instead of one list
+   cell per word. [alloc_init] at a million-key store's table size would
+   cost millions of cons cells before the loader even runs; a blob is
+   the table itself, handed to the loader as-is. The caller must not
+   mutate [values] afterwards. *)
+let alloc_blob t values =
+  let base = alloc t ~words:(max 1 (Array.length values)) in
+  t.blobs <- (base, values) :: t.blobs;
+  base
+
+let extent t = t.next_addr - data_base
 
 let reg r = Instr.Reg r
 let imm i = Instr.Imm i
@@ -159,6 +172,9 @@ let finish t ~main =
         fb.f)
       t.funcs
   in
-  let program = Program.create ~funcs ~main ~data:(List.rev t.data) in
+  let program =
+    Program.create ~blobs:(List.rev t.blobs) ~funcs ~main
+      ~data:(List.rev t.data) ()
+  in
   Validate.check_exn program;
   program

@@ -38,6 +38,19 @@ val init_word : t -> addr:int -> int -> unit
 val alloc_init : t -> int array -> int
 (** Allocate and initialize in one step; returns the base address. *)
 
+val alloc_blob : t -> int array -> int
+(** Allocate and initialize a bulk segment; returns the base address.
+    Unlike {!alloc_init} this records one [(base, words)] pair in
+    {!Program.t.blobs} instead of one data-list cell per word — the
+    scalable loader path for large preloaded stores (a million-key table
+    is one array, not millions of cells). The array is shared with the
+    program: the caller must not mutate it afterwards. *)
+
+val extent : t -> int
+(** Data words allocated so far (from {!data_base}); lets callers check
+    a planned store against {!Capri_runtime}'s heap bound before
+    building it. *)
+
 val func : t -> string -> fb
 (** Start a function; the insertion point is its fresh entry block. *)
 

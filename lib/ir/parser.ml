@@ -332,7 +332,9 @@ let parse source =
       | None -> fail nlines "missing program header"
     in
     let program =
-      try Program.create ~funcs:(List.rev !funcs_rev) ~main ~data:(List.rev !data)
+      try
+        Program.create ~funcs:(List.rev !funcs_rev) ~main
+          ~data:(List.rev !data) ()
       with Invalid_argument msg | Failure msg -> fail nlines msg
     in
     (* A validation error names a function and possibly a block; point the

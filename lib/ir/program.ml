@@ -2,9 +2,11 @@ type t = {
   funcs : Func.t list;
   main : string;
   data : (int * int) list;
+  blobs : (int * int array) list;
 }
 
-let create ~funcs ~main ~data = { funcs; main; data }
+let create ?(blobs = []) ~funcs ~main ~data () =
+  { funcs; main; data; blobs }
 
 let find_func t name =
   match List.find_opt (fun f -> String.equal (Func.name f) name) t.funcs with

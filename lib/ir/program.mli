@@ -8,9 +8,17 @@ type t = {
   funcs : Func.t list;
   main : string;
   data : (int * int) list;  (** initial [addr, value] words *)
+  blobs : (int * int array) list;
+      (** initial [base, words] bulk segments — the scalable form of
+          [data] for large preloaded stores (a million-key table as one
+          array instead of millions of list cells). The loader installs
+          blobs before [data], so [data] words may overwrite blob
+          words. *)
 }
 
-val create : funcs:Func.t list -> main:string -> data:(int * int) list -> t
+val create :
+  ?blobs:(int * int array) list -> funcs:Func.t list -> main:string ->
+  data:(int * int) list -> unit -> t
 val find_func : t -> string -> Func.t
 (** Raises [Not_found]. *)
 

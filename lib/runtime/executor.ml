@@ -133,6 +133,10 @@ let dummy_bp = { instances = 0; p_instrs = 0; p_stores = 0; p_max_stores = 0 }
 type session = {
   config : Config.t;
   journal_io : bool;
+  recovery_jobs : int;
+      (* domain-pool width for the per-core planning half of
+         {!Persist.crash_recover}; the recovered image is byte-identical
+         at any value (the repo's determinism contract) *)
   trace : Trace.t option;
   program : Program.t;
   code : Code.t;
@@ -232,6 +236,16 @@ let level_idx = function
   | Hierarchy.Nvm -> 3
 
 let load_data program memory =
+  (* Blobs first, then data words: the sparse word list may patch over a
+     bulk segment. Zero blob words are skipped — a half-empty open
+     hash table stays as sparse in paged memory as its occupancy, and
+     an untouched word is zero either way. *)
+  List.iter
+    (fun (base, words) ->
+      Array.iteri
+        (fun i v -> if v <> 0 then Memory.write memory (base + i) v)
+        words)
+    program.Program.blobs;
   List.iter (fun (addr, v) -> Memory.write memory addr v)
     program.Program.data
 
@@ -243,8 +257,8 @@ let entry_boundary_id program fname =
   | _ :: _ | [] -> None
 
 let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
-    ?(journal_io = false) ?trace ?(obs = Obs.null) ?check_threshold ?engine
-    ~program ~threads () =
+    ?(journal_io = false) ?(recovery_jobs = 1) ?trace ?(obs = Obs.null)
+    ?check_threshold ?engine ~program ~threads () =
   let engine = match engine with Some e -> e | None -> !default_engine in
   let config = { config with Config.cores = max 1 (List.length threads) } in
   let memory = Memory.create () in
@@ -277,6 +291,7 @@ let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
   {
     config;
     journal_io;
+    recovery_jobs;
     trace;
     program;
     code;
@@ -308,9 +323,9 @@ let start ?(config = Config.sim_default) ?(mode = Persist.Capri)
   }
 
 let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
-    ?(journal_io = false) ?trace ?(obs = Obs.null) ?check_threshold ?engine
-    ~(compiled : Capri_compiler.Compiled.t) ~(image : Persist.image)
-    ~threads () =
+    ?(journal_io = false) ?(recovery_jobs = 1) ?trace ?(obs = Obs.null)
+    ?check_threshold ?engine ~(compiled : Capri_compiler.Compiled.t)
+    ~(image : Persist.image) ~threads () =
   let engine = match engine with Some e -> e | None -> !default_engine in
   let program = compiled.Capri_compiler.Compiled.program in
   let config = { config with Config.cores = max 1 (List.length threads) } in
@@ -371,12 +386,15 @@ let resume ?(config = Config.sim_default) ?(mode = Persist.Capri)
          Persist.seed_core persist ~core:i ~slots:image.Persist.slots.(i)
            ~resume:(Persist.Resume { boundary; sp }));
       if journal_io then
-        Persist.seed_journal persist ~core:i ~outs:image.Persist.journal.(i))
+        Persist.seed_journal persist ~core:i
+          ~base:image.Persist.acked_base.(i)
+          ~outs:image.Persist.journal.(i) ())
     threads;
   let lcosts, scosts = mk_cost_tables config in
   {
     config;
     journal_io;
+    recovery_jobs;
     trace;
     program;
     code;
@@ -1054,7 +1072,9 @@ let fire_crash s crashed (th : thread) =
        so the trace stays balanced across the boundary. *)
     Tracer.close_open s.obs.Obs.tracer ~ts:th.cycle
   end;
-  let image = Persist.crash_recover s.persist ~cycle:th.cycle in
+  let image =
+    Persist.crash_recover ~jobs:s.recovery_jobs s.persist ~cycle:th.cycle
+  in
   Hierarchy.drop_all s.hier;
   crashed :=
     Some

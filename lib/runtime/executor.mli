@@ -96,9 +96,9 @@ type session
 
 val start :
   ?config:Arch.Config.t -> ?mode:Arch.Persist.mode -> ?journal_io:bool ->
-  ?trace:Trace.t -> ?obs:Capri_obs.Obs.t -> ?check_threshold:int ->
-  ?engine:engine -> program:Program.t -> threads:thread_spec list -> unit ->
-  session
+  ?recovery_jobs:int -> ?trace:Trace.t -> ?obs:Capri_obs.Obs.t ->
+  ?check_threshold:int -> ?engine:engine -> program:Program.t ->
+  threads:thread_spec list -> unit -> session
 (** Fresh machine: zeroed memory (plus the program's data image), cold
     caches, empty proxies. [check_threshold] makes the executor assert
     that no dynamic region exceeds the given store count (the compiler
@@ -117,13 +117,18 @@ val start :
 
 val resume :
   ?config:Arch.Config.t -> ?mode:Arch.Persist.mode -> ?journal_io:bool ->
-  ?trace:Trace.t -> ?obs:Capri_obs.Obs.t -> ?check_threshold:int ->
-  ?engine:engine -> compiled:Capri_compiler.Compiled.t ->
-  image:Arch.Persist.image -> threads:thread_spec list -> unit -> session
+  ?recovery_jobs:int -> ?trace:Trace.t -> ?obs:Capri_obs.Obs.t ->
+  ?check_threshold:int -> ?engine:engine ->
+  compiled:Capri_compiler.Compiled.t -> image:Arch.Persist.image ->
+  threads:thread_spec list -> unit -> session
 (** Machine rebuilt from a recovered durable image: memory = NVM contents,
     registers reloaded from the slot arrays, threads positioned at their
     resume boundaries ({!Recovery} must have applied recovery blocks to the
-    image's slots first). *)
+    image's slots first). The journal (and its compaction cursor,
+    [image.acked_base]) is carried into the fresh engine when
+    [journal_io] is set. [recovery_jobs] (default 1) is the domain-pool
+    width {!Arch.Persist.crash_recover} plans with on a later crash of
+    this session. *)
 
 val run : ?crash_at_instr:int -> ?max_steps:int -> session -> outcome
 (** Executes until every thread halts, the optional crash point fires, or

@@ -20,9 +20,23 @@ val heap_base : int
     {!Capri_ir.Builder.alloc} result is at or above it, so heaps never
     collide with any core's stack. *)
 
+val heap_words : int
+(** Modeled NVM data-segment capacity in words (64 M words = 512 MiB):
+    big enough for ~16 million-key shard tables at two words per slot
+    and 2x slots per key. Paged memory is sparse, so an emptier store
+    costs only its occupancy; this bound is what the layout guarantees
+    free of stacks and per-core structures. *)
+
+val heap_limit : int
+(** One past the last heap address ([heap_base + heap_words]). *)
+
 val max_cores : int
 (** Cores whose stacks fit between address 0 and {!heap_base}. *)
 
 val check_cores : int -> unit
 (** Raises [Invalid_argument] when a core count's stacks would underflow
     the address space (or is non-positive). *)
+
+val check_heap : words:int -> unit
+(** Raises [Invalid_argument] when an allocation plan
+    ({!Capri_ir.Builder.extent}) exceeds {!heap_words}. *)

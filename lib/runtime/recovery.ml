@@ -42,20 +42,37 @@ let run_recovery_block (slots : int array) (recovery : Prune.recovery) =
   slots.(Reg.to_int recovery.Prune.target) <-
     regs.(Reg.to_int recovery.Prune.target)
 
-let apply_recovery_blocks (compiled : Compiled.t) (image : Arch.Persist.image) =
-  let ran = ref 0 in
-  Array.iteri
-    (fun core resume ->
-      match (resume : Arch.Persist.resume) with
-      | Arch.Persist.Resume { boundary; _ } ->
-        List.iter
-          (fun recovery ->
-            run_recovery_block image.Arch.Persist.slots.(core) recovery;
-            incr ran)
-          (Compiled.find_recovery compiled ~boundary)
-      | Arch.Persist.Done | Arch.Persist.Never_started -> ())
-    image.Arch.Persist.resume;
-  !ran
+(* Recovery-block replay is embarrassingly parallel across cores: a
+   core's blocks read and write only that core's slot array. Fanning the
+   per-core replays over the pool with in-order result collection keeps
+   the mutated image and the returned counts byte-identical at any
+   [jobs] count. *)
+let apply_recovery_blocks_per_core ?(jobs = 1) (compiled : Compiled.t)
+    (image : Arch.Persist.image) =
+  let replay core =
+    match (image.Arch.Persist.resume.(core) : Arch.Persist.resume) with
+    | Arch.Persist.Resume { boundary; _ } ->
+      let ran = ref 0 in
+      List.iter
+        (fun recovery ->
+          run_recovery_block image.Arch.Persist.slots.(core) recovery;
+          incr ran)
+        (Compiled.find_recovery compiled ~boundary);
+      !ran
+    | Arch.Persist.Done | Arch.Persist.Never_started -> 0
+  in
+  let cores = List.init (Array.length image.Arch.Persist.resume) Fun.id in
+  let counts =
+    if jobs <= 1 then List.map replay cores
+    else
+      Capri_util.Pool.with_pool ~jobs (fun pool ->
+          Capri_util.Pool.map_list pool replay cores)
+  in
+  Array.of_list counts
+
+let apply_recovery_blocks ?jobs (compiled : Compiled.t)
+    (image : Arch.Persist.image) =
+  Array.fold_left ( + ) 0 (apply_recovery_blocks_per_core ?jobs compiled image)
 
 let resume_session ?config ?mode ?check_threshold ~compiled ~image ~threads ()
     =

@@ -9,6 +9,7 @@ type t = {
   capacity : int;
   batch : int;
   requests : Wire.request array array;
+  preload : (int * int) array array;
   txns : Wire.txn array;
   program : Program.t;
   mailboxes : int array;
@@ -730,6 +731,57 @@ let emit_coord b ~shards ~stride =
 
 let capacity_for key_space = max 8 (2 * key_space)
 
+let check_preload ~shards ~key_space preload =
+  let n = Array.length preload in
+  if n <> 0 && n <> shards then
+    invalid_arg "Kvstore.build: preload must have one entry per shard";
+  Array.iter
+    (fun pairs ->
+      Array.iter
+        (fun (key, value) ->
+          if key < 1 || key > key_space then
+            invalid_arg "Kvstore.build: preload key out of key space";
+          if value < 0 || value >= Wire.payload_limit then
+            invalid_arg "Kvstore.build: preload value out of payload range")
+        pairs)
+    preload
+
+(* Host-side bulk fill of one shard table: replay the emitted probe
+   discipline (slot = key mod capacity, advance by one while another key
+   occupies the slot, overwrite in place when the key is found) over the
+   preload pairs in array order. By construction the resulting words are
+   exactly what the op-by-op [Put] path would leave behind, so a
+   preloaded store is indistinguishable from one that served the same
+   puts — validated by test_service's loader-equivalence test. *)
+let fill_table ~capacity pairs =
+  let words = Array.make (capacity * 2) 0 in
+  Array.iter
+    (fun (key, value) ->
+      let rec go slot steps =
+        if steps >= capacity then
+          invalid_arg "Kvstore.build: preload overflows table capacity"
+        else
+          let k = words.(slot * 2) in
+          if k = key || k = 0 then begin
+            words.(slot * 2) <- key;
+            words.((slot * 2) + 1) <- value
+          end
+          else go ((slot + 1) mod capacity) (steps + 1)
+      in
+      go (key mod capacity) 0)
+    pairs;
+  words
+
+(* Empty shards get a plain (zeroed, per-word) allocation; preloaded
+   shards go through the blob path so a million-key table costs one
+   array in the program, not millions of data-list cells. *)
+let alloc_tables b ~capacity preload =
+  Array.map
+    (fun pairs ->
+      if Array.length pairs = 0 then Builder.alloc b ~words:(capacity * 2)
+      else Builder.alloc_blob b (fill_table ~capacity pairs))
+    preload
+
 let round_line n = (n + 7) / 8 * 8
 let stride_for ~shards = round_line (1 + shards)
 
@@ -821,7 +873,8 @@ let alloc_items b ~shards txns =
         let words = if Array.length words = 0 then [| 0 |] else words in
         Builder.alloc_init b words)
 
-let build ?(batch = 8) ?(txns = [||]) ?sched ~key_space ~requests () =
+let build ?(batch = 8) ?(txns = [||]) ?sched ?(preload = [||]) ~key_space
+    ~requests () =
   let shards = Array.length requests in
   if shards = 0 then invalid_arg "Kvstore.build: no shards";
   if key_space < 1 then invalid_arg "Kvstore.build: key_space must be positive";
@@ -829,6 +882,10 @@ let build ?(batch = 8) ?(txns = [||]) ?sched ~key_space ~requests () =
   let ntxn = Array.length txns in
   Array.iter (fun reqs -> Array.iter Wire.check_request reqs) requests;
   check_txns ~shards ~requests ~txns;
+  check_preload ~shards ~key_space preload;
+  let preload =
+    if Array.length preload = 0 then Array.make shards [||] else preload
+  in
   let capacity = capacity_for key_space in
   let stride = stride_for ~shards in
   let txn = if ntxn = 0 then None else Some stride in
@@ -840,11 +897,10 @@ let build ?(batch = 8) ?(txns = [||]) ?sched ~key_space ~requests () =
     emit_shard b ~batch ~txn;
     if ntxn > 0 then emit_coord b ~shards ~stride;
     let mailboxes = alloc_mailboxes b requests in
-    let tables =
-      Array.init shards (fun _ -> Builder.alloc b ~words:(capacity * 2))
-    in
+    let tables = alloc_tables b ~capacity preload in
     let ctrl = alloc_ctrl b ~shards ~stride txns in
     let items = alloc_items b ~shards txns in
+    Capri_runtime.Layout.check_heap ~words:(Builder.extent b);
     let program = Builder.finish b ~main:"shard" in
     {
       shards;
@@ -853,6 +909,7 @@ let build ?(batch = 8) ?(txns = [||]) ?sched ~key_space ~requests () =
       capacity;
       batch;
       requests;
+      preload;
       txns;
       program;
       mailboxes;
@@ -874,9 +931,7 @@ let build ?(batch = 8) ?(txns = [||]) ?sched ~key_space ~requests () =
     (* the worker code bakes area bases in as immediates, so all
        allocation happens before emission in scheduled stores *)
     let mailboxes = alloc_mailboxes b requests in
-    let tables =
-      Array.init shards (fun _ -> Builder.alloc b ~words:(capacity * 2))
-    in
+    let tables = alloc_tables b ~capacity preload in
     let ctrl = alloc_ctrl b ~shards ~stride txns in
     let items = alloc_items b ~shards txns in
     let descs = Builder.alloc b ~words:(shards * Sched.desc_words) in
@@ -921,6 +976,7 @@ let build ?(batch = 8) ?(txns = [||]) ?sched ~key_space ~requests () =
     emit_worker b ~batch ~txn ~sched:scfg ~shards ~capacity ~ctrl ~deques
       ~globals;
     if ntxn > 0 then emit_coord b ~shards ~stride;
+    Capri_runtime.Layout.check_heap ~words:(Builder.extent b);
     let program = Builder.finish b ~main:"worker" in
     {
       shards;
@@ -929,6 +985,7 @@ let build ?(batch = 8) ?(txns = [||]) ?sched ~key_space ~requests () =
       capacity;
       batch;
       requests;
+      preload;
       txns;
       program;
       mailboxes;

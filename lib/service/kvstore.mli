@@ -49,6 +49,11 @@ type t = {
   capacity : int;  (** slots per shard table *)
   batch : int;
   requests : Wire.request array array;  (** per shard, mailbox order *)
+  preload : (int * int) array array;
+      (** per shard: [(key, value)] pairs bulk-loaded into the table
+          before the run (always [shards] entries, empty when nothing
+          was preloaded). Oracles must treat these as already-durable
+          committed state. *)
   txns : Wire.txn array;  (** tid [i+1] at index [i] *)
   program : Capri_ir.Program.t;
   mailboxes : int array;  (** per shard: mailbox base address *)
@@ -84,6 +89,7 @@ val build :
   ?batch:int ->
   ?txns:Wire.txn array ->
   ?sched:Sched.cfg ->
+  ?preload:(int * int) array array ->
   key_space:int ->
   requests:Wire.request array array ->
   unit ->
@@ -93,7 +99,16 @@ val build :
     {!Capri_runtime.Layout.max_cores}, an out-of-range request, an
     inconsistent transaction set (tids not [1..n], markers missing, out
     of tid order, on non-participant shards, or with wrong item
-    counts), or a bad scheduler config. With [?sched], non-empty shards
+    counts), a bad scheduler config, a preload with the wrong shard
+    count or out-of-range keys/values, or a store too big for
+    {!Capri_runtime.Layout.check_heap}.
+
+    [?preload] seeds each shard's table with [(key, value)] pairs as
+    already-committed durable state, installed host-side by replaying
+    the emitted probe discipline in array order — byte-identical to what
+    serving the same [Put]s would leave — and shipped as one program
+    blob per shard rather than per-word data cells, so million-key
+    stores build and load in O(keys) with small constants. With [?sched], non-empty shards
     start pinned to their home core [shard mod cores] and migrate only
     by stealing, so [{steal = false}] reproduces static pinning folded
     over the available cores. *)

@@ -17,6 +17,12 @@ type cfg = {
   sched : Sched.cfg option;
   tenants : Client.tenant array option;
   hot_txns : int;
+  recovery_jobs : int;
+      (* domain-pool width for per-core recovery planning and
+         recovery-block replay; results are byte-identical at any value *)
+  preload : (int * int) array array;
+      (* per-shard (key, value) pairs bulk-loaded into the store's
+         tables as already-committed durable state; [||] = empty store *)
 }
 
 let default_cfg =
@@ -31,6 +37,8 @@ let default_cfg =
     sched = None;
     tenants = None;
     hot_txns = 0;
+    recovery_jobs = 1;
+    preload = [||];
   }
 
 type t = {
@@ -42,11 +50,27 @@ type t = {
   workload : Client.tenant_workload option;
 }
 
-(* Modeled recovery time: a fixed power-cycle cost (proxy drain, redo of
-   committed regions, register reload) plus a per-recovery-block charge
-   for the software pass that rebuilds pruned checkpoint slots. *)
-let power_cycle_cycles = 1000
-let recovery_block_cycles = 50
+(* Modeled recovery time (constants live in {!Arch.Config} so the CLI
+   and benches can tune them): a fixed power-cycle cost (firmware +
+   proxy drain), plus per-core replay work — recovery blocks rebuilding
+   pruned checkpoint slots, redo/undo log records re-applied, and the
+   durable journal tail re-served for exactly-once acks. Each core
+   replays its own log and its own blocks independently, so the restart
+   finishes with its slowest core: the model charges the per-core
+   MAXIMUM, not the serial sum. Compaction bounds the journal-tail term
+   by the compact interval instead of by history. *)
+let recovery_penalty (config : Arch.Config.t) ~blocks ~tails ~replayed =
+  let worst = ref 0 in
+  Array.iteri
+    (fun c b ->
+      let cost =
+        (b * config.Arch.Config.recovery_block_cycles)
+        + (tails.(c) * config.Arch.Config.journal_replay_cycles)
+        + (replayed.(c) * config.Arch.Config.redo_replay_cycles)
+      in
+      if cost > !worst then worst := cost)
+    blocks;
+  config.Arch.Config.power_cycle_cycles + !worst
 
 (* Estimated service cycles per request, measured by running a small
    probe store under the same compiler options and persistence mode.
@@ -172,7 +196,8 @@ let plan_workload cfg (tw : Client.tenant_workload) =
   in
   let kv =
     Kvstore.build ~batch:cfg.batch ~txns:tw.Client.base.Client.txns
-      ~key_space:tw.Client.key_space ~requests ?sched:cfg.sched ()
+      ~key_space:tw.Client.key_space ~requests ?sched:cfg.sched
+      ~preload:cfg.preload ()
   in
   let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
   {
@@ -207,7 +232,8 @@ let plan cfg =
     in
     let kv =
       Kvstore.build ~batch:cfg.batch ~txns:workload.Client.txns
-        ~key_space:cfg.client.Client.key_space ~requests ?sched:cfg.sched ()
+        ~key_space:cfg.client.Client.key_space ~requests ?sched:cfg.sched
+        ~preload:cfg.preload ()
     in
     let compiled = Comp.Pipeline.compile cfg.options kv.Kvstore.program in
     {
@@ -226,6 +252,13 @@ type outcome = {
   cycles : int;
   recoveries : int;
   recovery_blocks : int;
+  recovery_replayed : int;
+      (* redo/undo log records recovery re-applied, summed over
+         recoveries (per-crash per-core detail is in [images]) *)
+  recovery_tail : int;
+      (* durable journal-tail entries re-served across recoveries —
+         bounded by the compact interval when compaction is on, grows
+         with served history when it is off *)
   recovery_cycles : int;
   downtime : (int * int * int) list;
       (* per recovery: (crash cycle, service-restored cycle, blocks) in
@@ -444,6 +477,8 @@ let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
   let images = ref [] in
   let recoveries = ref 0 in
   let blocks_total = ref 0 in
+  let replayed_total = ref 0 in
+  let tail_total = ref 0 in
   let rec_cycles = ref 0 in
   let downtime = ref [] in  (* reversed *)
   let base = ref 0 in
@@ -474,9 +509,28 @@ let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
         absorb image.Arch.Persist.acked;
         images := image :: !images;
         incr recoveries;
-        let blocks = Runtime.Recovery.apply_recovery_blocks t.compiled image in
+        let per_core_blocks =
+          Runtime.Recovery.apply_recovery_blocks_per_core
+            ~jobs:cfg.recovery_jobs t.compiled image
+        in
+        let blocks = Array.fold_left ( + ) 0 per_core_blocks in
         blocks_total := !blocks_total + blocks;
-        let penalty = power_cycle_cycles + (blocks * recovery_block_cycles) in
+        (* the durable journal tail each core re-serves on restart:
+           everything past its checkpoint cursor *)
+        let tails =
+          Array.mapi
+            (fun c acked ->
+              List.length acked - image.Arch.Persist.acked_base.(c))
+            image.Arch.Persist.acked
+        in
+        replayed_total :=
+          !replayed_total
+          + Array.fold_left ( + ) 0 image.Arch.Persist.replayed;
+        tail_total := !tail_total + Array.fold_left ( + ) 0 tails;
+        let penalty =
+          recovery_penalty cfg.config ~blocks:per_core_blocks ~tails
+            ~replayed:image.Arch.Persist.replayed
+        in
         rec_cycles := !rec_cycles + penalty;
         let down_from = !base + at_cycle in
         base := !base + at_cycle + penalty;
@@ -489,14 +543,14 @@ let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
           (max !base (Tracer.max_ts obs.Obs.tracer));
         let session =
           Executor.resume ~config:cfg.config ~mode:cfg.mode ~journal_io:true
-            ?trace ~obs ~check_threshold:threshold ~compiled:t.compiled ~image
-            ~threads ()
+            ~recovery_jobs:cfg.recovery_jobs ?trace ~obs
+            ~check_threshold:threshold ~compiled:t.compiled ~image ~threads ()
         in
         go session rest)
   in
   let session =
-    Executor.start ~config:cfg.config ~mode:cfg.mode ~journal_io:true ?trace
-      ~obs ~check_threshold:threshold
+    Executor.start ~config:cfg.config ~mode:cfg.mode ~journal_io:true
+      ~recovery_jobs:cfg.recovery_jobs ?trace ~obs ~check_threshold:threshold
       ~program:t.compiled.Comp.Compiled.program ~threads ()
   in
   let result = go session crash_at in
@@ -508,6 +562,8 @@ let run ?(obs = Obs.null) ?trace ?(crash_at = []) t =
       cycles = !base + result.Executor.cycles;
       recoveries = !recoveries;
       recovery_blocks = !blocks_total;
+      recovery_replayed = !replayed_total;
+      recovery_tail = !tail_total;
       recovery_cycles = !rec_cycles;
       downtime = List.rev !downtime;
       result;

@@ -30,16 +30,33 @@ type cfg = {
           enables per-tenant weighted admission and tenant-labeled
           accounting *)
   hot_txns : int;  (** hot-key transactions (multi-tenant only) *)
+  recovery_jobs : int;
+      (** domain-pool width for per-core recovery planning
+          ({!Capri_arch.Persist.crash_recover}) and recovery-block replay
+          ({!Capri_runtime.Recovery.apply_recovery_blocks_per_core});
+          images, acks and stats are byte-identical at any value *)
+  preload : (int * int) array array;
+      (** per-shard [(key, value)] pairs bulk-loaded into the store's
+          tables as already-committed durable state before the run
+          ({!Kvstore.build}'s [?preload]); [\[||\]] serves an empty
+          store. The oracle treats preloaded pairs as served history:
+          gets against them answer hits from cycle zero. *)
 }
 
 val default_cfg : cfg
 (** 2 shards, {!Client.default}, batch 8, Capri mode, default compiler
-    options, no admission control, pinned, single-tenant. *)
+    options, no admission control, pinned, single-tenant,
+    [recovery_jobs = 1], no preload. *)
 
-val power_cycle_cycles : int
-val recovery_block_cycles : int
-(** Modeled recovery time per crash:
-    [power_cycle_cycles + blocks_run * recovery_block_cycles]. *)
+val recovery_penalty :
+  Capri_arch.Config.t ->
+  blocks:int array -> tails:int array -> replayed:int array -> int
+(** The modeled restart cost for one crash:
+    [power_cycle_cycles + max over cores of (blocks * recovery_block_cycles
+    + tail * journal_replay_cycles + replayed * redo_replay_cycles)] —
+    a maximum, not a sum, because every core replays its own recovery
+    blocks, journal tail and redo/undo records in parallel. All four
+    constants live in {!Capri_arch.Config.t} and are CLI-tunable. *)
 
 type t = {
   cfg : cfg;
@@ -78,6 +95,12 @@ type outcome = {
   cycles : int;  (** total elapsed, modeled recovery time included *)
   recoveries : int;
   recovery_blocks : int;
+  recovery_replayed : int;
+      (** redo/undo log records recovery re-applied, over all crashes *)
+  recovery_tail : int;
+      (** durable journal-tail entries re-served across recoveries:
+          bounded by {!Capri_arch.Config.t.compact_interval} when
+          compaction is on, grows with served history when off *)
   recovery_cycles : int;
   downtime : (int * int * int) list;
       (** one [(crash cycle, service-restored cycle, recovery blocks)]

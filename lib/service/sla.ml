@@ -6,6 +6,10 @@ module Model = struct
 
   let create ~key_space = { values = Array.make (key_space + 1) (-1) }
   let copy t = { values = Array.copy t.values }
+
+  (* Bulk-loaded pairs are already-committed state: the model starts
+     from them, exactly as the recovered NVM table does. *)
+  let seed t pairs = Array.iter (fun (key, value) -> t.values.(key) <- value) pairs
   let get t key = if t.values.(key) = -1 then None else Some t.values.(key)
 
   let apply t (r : Wire.request) =
@@ -105,7 +109,10 @@ let replay (kv : Kvstore.t) =
   let txns = kv.txns in
   let ntxn = Array.length txns in
   let models =
-    Array.init shards (fun _ -> Model.create ~key_space:kv.key_space)
+    Array.init shards (fun s ->
+        let m = Model.create ~key_space:kv.key_space in
+        Model.seed m kv.preload.(s);
+        m)
   in
   let micro = Array.make shards [] in  (* reversed *)
   let resp = Array.make shards [] in  (* reversed *)
@@ -253,9 +260,11 @@ let txn_outcomes kv =
     (fun (c, a) d -> if d then (c + 1, a) else (c, a + 1))
     (0, 0) p.decisions
 
-(* Shard state after the first [m] micro-operations. *)
+(* Shard state after the first [m] micro-operations. Starts from the
+   preload — [state_after _ _ ~shard 0] is the bulk-loaded table. *)
 let state_after kv p ~shard m =
   let model = Model.create ~key_space:kv.Kvstore.key_space in
+  Model.seed model kv.Kvstore.preload.(shard);
   let ops = p.micro.(shard) in
   for i = 0 to m - 1 do
     match ops.(i) with

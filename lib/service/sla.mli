@@ -21,6 +21,11 @@ module Model : sig
   val copy : t -> t
   val get : t -> int -> int option
 
+  val seed : t -> (int * int) array -> unit
+  (** Install bulk-loaded [(key, value)] pairs as already-committed
+      state. [replay] and the crash oracle's per-prefix states start
+      every shard model from its {!Kvstore.t.preload}. *)
+
   val apply : t -> Wire.request -> int
   (** Mutates the model; returns the response word the shard handler
       must emit for this request. Raises on a [Txn] marker — those

@@ -298,6 +298,62 @@ let test_oracle_catches_skipped_decision () =
     Alcotest.(check int) "clean once the decision is honoured" 0
       (List.length fixed.Fz.Service_fuzz.t_failures)
 
+(* The compaction analogue: with Persist.fault_tear_compaction armed,
+   journal truncation physically reclaims the entries being compacted
+   BEFORE the checkpoint cursor commits — the torn ordering the
+   single-word cursor flip exists to rule out. Acked responses vanish
+   from the durable ledger, so the campaign's prefix/completion oracle
+   must fire (half its trials draw a live compact interval), the
+   reported trial seed must reproduce in isolation, and the same trial
+   runs clean once truncation is failure-atomic again. *)
+let compaction_sensitivity_cfg =
+  {
+    Fz.Service_fuzz.default_cfg with
+    Fz.Service_fuzz.seed = 11;
+    budget = 40;
+    jobs = 1;
+    modes = [ Persist.Capri ];
+    max_shards = 2;
+    max_ops = 16;
+    max_schedules = 3;
+    max_txns = 0;
+    shrink = false;
+  }
+
+let test_oracle_catches_torn_compaction () =
+  let armed f =
+    Atomic.set Persist.fault_tear_compaction true;
+    Fun.protect
+      ~finally:(fun () -> Atomic.set Persist.fault_tear_compaction false)
+      f
+  in
+  (* sanity: the same campaign is clean when the cursor flip is atomic *)
+  let clean = Fz.Service_fuzz.run compaction_sensitivity_cfg in
+  Alcotest.(check int) "clean without fault" 0
+    (List.length clean.Fz.Service_fuzz.failures);
+  let report =
+    armed (fun () -> Fz.Service_fuzz.run compaction_sensitivity_cfg)
+  in
+  match report.Fz.Service_fuzz.failures with
+  | [] -> Alcotest.fail "fuzzer failed to catch the torn compaction"
+  | f :: _ ->
+    let trial_cfg =
+      {
+        compaction_sensitivity_cfg with
+        Fz.Service_fuzz.seed = f.Fz.Service_fuzz.trial_seed;
+        shrink = false;
+      }
+    in
+    let repro = armed (fun () -> Fz.Service_fuzz.run_trial trial_cfg 0) in
+    (match repro.Fz.Service_fuzz.t_failures with
+    | [] -> Alcotest.fail "trial seed did not reproduce the failure"
+    | rf :: _ ->
+      Alcotest.(check int) "same trial seed" f.Fz.Service_fuzz.trial_seed
+        rf.Fz.Service_fuzz.trial_seed);
+    let fixed = Fz.Service_fuzz.run_trial trial_cfg 0 in
+    Alcotest.(check int) "clean once truncation is failure-atomic" 0
+      (List.length fixed.Fz.Service_fuzz.t_failures)
+
 let suite =
   [
     Alcotest.test_case "schedule: observe" `Quick test_schedule_observe;
@@ -314,4 +370,6 @@ let suite =
       test_oracle_catches_dropped_undo;
     Alcotest.test_case "oracle catches skipped 2PC decision" `Quick
       test_oracle_catches_skipped_decision;
+    Alcotest.test_case "oracle catches torn compaction" `Quick
+      test_oracle_catches_torn_compaction;
   ]

@@ -124,7 +124,7 @@ let test_validate_catches () =
     Func.create ~name:"main" ~entry:(Label.of_string "entry")
       [ Block.create (Label.of_string "entry") [] (Jump (Label.of_string "nope")) ]
   in
-  let p = Program.create ~funcs:[ dangling ] ~main:"main" ~data:[] in
+  let p = Program.create ~funcs:[ dangling ] ~main:"main" ~data:[] () in
   (match Validate.check p with
    | Error [ e ] ->
      Alcotest.(check string) "func" "main" e.Validate.func
@@ -134,11 +134,11 @@ let test_validate_catches () =
       [ Block.create (Label.of_string "entry") []
           (Call { callee = "ghost"; ret_to = Label.of_string "entry" }) ]
   in
-  let p2 = Program.create ~funcs:[ bad_call ] ~main:"main" ~data:[] in
+  let p2 = Program.create ~funcs:[ bad_call ] ~main:"main" ~data:[] () in
   (match Validate.check p2 with
    | Error _ -> ()
    | Ok () -> Alcotest.fail "undefined callee accepted");
-  let no_main = Program.create ~funcs:[] ~main:"main" ~data:[] in
+  let no_main = Program.create ~funcs:[] ~main:"main" ~data:[] () in
   (match Validate.check no_main with
    | Error _ -> ()
    | Ok () -> Alcotest.fail "missing main accepted")

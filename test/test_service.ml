@@ -702,6 +702,332 @@ let test_tenant_fair_share_admission () =
   Alcotest.(check int) "served + rejected = offered" (30 * 4)
     (served_total + t.Server.rejected)
 
+(* --- production-scale recovery: bulk loading, compaction, parallel
+   recovery --- *)
+
+let compile kv =
+  Capri_compiler.Pipeline.compile Capri_compiler.Options.default
+    kv.Kvstore.program
+
+let plain t = { Server.cfg = mk ~shards:2 (); kv = t; compiled = compile t;
+                rejected = 0; rejected_at = []; workload = None }
+
+(* The bulk loader must be indistinguishable from serving the same puts:
+   identical slot-level table words (same probe order by construction,
+   collisions and overwrites included) and identical lookups. *)
+let test_bulk_loader_equiv_op_by_op () =
+  let key_space = 24 in
+  (* key 3 appears twice: the loader must overwrite in place exactly as
+     a second put would *)
+  let pairs s =
+    [|
+      (3, 7 + s); (19, 4); (3, 9 + s);  (* 3 overwritten in place *)
+      (5, 1); (10, 2 + s); (24, 6); (1, 8);
+    |]
+  in
+  let put_of (k, v) = { Wire.op = Wire.Put; key = k; value = v; expected = 0 } in
+  let kv_put =
+    Kvstore.build ~key_space
+      ~requests:[| Array.map put_of (pairs 0); Array.map put_of (pairs 1) |]
+      ()
+  in
+  let t_put = plain kv_put in
+  let out_put = Server.run t_put in
+  check_ok t_put out_put;
+  let gets =
+    Array.init 4 (fun i ->
+        { Wire.op = Wire.Get; key = (i * 7) + 1; value = 0; expected = 0 })
+  in
+  let kv_pre =
+    Kvstore.build ~key_space
+      ~requests:[| gets; [||] |]
+      ~preload:[| pairs 0; pairs 1 |] ()
+  in
+  let t_pre = plain kv_pre in
+  let out_pre = Server.run t_pre in
+  (* the oracle sees preloaded pairs as committed history: gets answer
+     hits from cycle zero *)
+  check_ok t_pre out_pre;
+  let mem_put = out_put.Server.result.Capri_runtime.Executor.memory in
+  let mem_pre = out_pre.Server.result.Capri_runtime.Executor.memory in
+  for s = 0 to 1 do
+    (* slot-level: the loader wrote exactly what the put path wrote *)
+    Alcotest.(check int) "same capacity" kv_put.Kvstore.capacity
+      kv_pre.Kvstore.capacity;
+    for i = 0 to (kv_put.Kvstore.capacity * 2) - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d word %d" s i)
+        (Arch.Memory.read mem_put (kv_put.Kvstore.tables.(s) + i))
+        (Arch.Memory.read mem_pre (kv_pre.Kvstore.tables.(s) + i))
+    done;
+    for key = 1 to key_space do
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d key %d lookup" s key)
+        true
+        (Kvstore.lookup kv_put mem_put ~shard:s ~key
+        = Kvstore.lookup kv_pre mem_pre ~shard:s ~key)
+    done
+  done;
+  (* the gets really served hits from the preload *)
+  Alcotest.(check (list int)) "preload gets answered"
+    (Array.to_list (Sla.expected_streams (Sla.replay kv_pre)).(0))
+    out_pre.Server.final.(0)
+
+let test_preload_validation () =
+  let reqs = [| [||]; [||] |] in
+  Alcotest.check_raises "wrong shard count"
+    (Invalid_argument "Kvstore.build: preload must have one entry per shard")
+    (fun () ->
+      ignore (Kvstore.build ~key_space:8 ~requests:reqs ~preload:[| [||] |] ()));
+  Alcotest.check_raises "key out of space"
+    (Invalid_argument "Kvstore.build: preload key out of key space")
+    (fun () ->
+      ignore
+        (Kvstore.build ~key_space:8 ~requests:reqs
+           ~preload:[| [| (9, 1) |]; [||] |] ()));
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Kvstore.build: preload value out of payload range")
+    (fun () ->
+      ignore
+        (Kvstore.build ~key_space:8 ~requests:reqs
+           ~preload:[| [| (1, -1) |]; [||] |] ()));
+  (* the layout guard behind million-key stores *)
+  Alcotest.(check bool) "heap bound enforced" true
+    (match
+       Capri_runtime.Layout.check_heap
+         ~words:(Capri_runtime.Layout.heap_words + 1)
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* Compaction on vs off over the identical run: the checkpoint cursor
+   advances, the journal tail a restart re-serves is bounded by the
+   interval, and nothing the client (or the durability oracle) sees
+   changes — same response values, same durable tables, only the
+   modeled restart bill shrinks. *)
+let test_compaction_bounds_journal_tail () =
+  let run_with interval =
+    let cfg =
+      {
+        (mk ~ops:40 ()) with
+        Server.config =
+          { Arch.Config.sim_default with Arch.Config.compact_interval = interval };
+      }
+    in
+    let t = Server.plan cfg in
+    let total =
+      (Server.run t).Server.result.Capri_runtime.Executor.instrs
+    in
+    let outcome = Server.run ~crash_at:[ total * 9 / 10 ] t in
+    check_ok t outcome;
+    (t, outcome)
+  in
+  let _, off = run_with 0 in
+  let t_on, on = run_with 8 in
+  (match (off.Server.images, on.Server.images) with
+  | [ ioff ], [ ion ] ->
+    Alcotest.(check bool) "cursor never advances with compaction off" true
+      (Array.for_all (fun b -> b = 0) ioff.Arch.Persist.acked_base);
+    Alcotest.(check bool) "cursor advanced with compaction on" true
+      (Array.exists (fun b -> b > 0) ion.Arch.Persist.acked_base);
+    (* the full ledger is identical — compaction truncates the durable
+       journal, not the acked history the oracle checks *)
+    Alcotest.(check bool) "acked ledgers identical" true
+      (ioff.Arch.Persist.acked = ion.Arch.Persist.acked);
+    Array.iteri
+      (fun c acked ->
+        let tail = List.length acked - ion.Arch.Persist.acked_base.(c) in
+        Alcotest.(check bool)
+          (Printf.sprintf "core %d tail bounded" c)
+          true
+          (tail >= 0 && tail <= 8 + (2 * t_on.Server.cfg.Server.batch)))
+      ion.Arch.Persist.acked
+  | _ -> Alcotest.fail "expected one crash image per run");
+  Alcotest.(check bool) "tail re-served shrinks" true
+    (on.Server.recovery_tail < off.Server.recovery_tail);
+  Alcotest.(check bool) "restart bill shrinks" true
+    (on.Server.recovery_cycles < off.Server.recovery_cycles);
+  Alcotest.(check bool) "final streams identical" true
+    (on.Server.final = off.Server.final);
+  Alcotest.(check bool) "ack values identical" true
+    (Array.map (List.map fst) on.Server.acks
+    = Array.map (List.map fst) off.Server.acks)
+
+(* Property: compacted recovery == full-history recovery, observably —
+   for random workloads, modes and crash schedules, serving with a
+   small compact interval and with compaction off yields the same
+   response values, passes the oracle in both, and leaves identical
+   durable tables in every crash image and at completion. *)
+let prop_compacted_equiv_full_history =
+  let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000) in
+  QCheck.Test.make ~count:8 ~name:"compacted == full-history recovery" seed_gen
+    (fun seed ->
+      let mode =
+        if seed mod 2 = 0 then Arch.Persist.Capri else Arch.Persist.Redo_nowb
+      in
+      let mk_cfg interval =
+        {
+          (mk ~mode ~shards:2
+             ~ops:(16 + (seed mod 16))
+             ~seed:(seed + 1)
+             ~txns:(seed mod 2) ~txn_items:1 ())
+          with
+          Server.config =
+            {
+              Arch.Config.sim_default with
+              Arch.Config.compact_interval = interval;
+            };
+          recovery_jobs = 1 + (seed mod 2);
+        }
+      in
+      let serve interval =
+        let t = Server.plan (mk_cfg interval) in
+        let total =
+          (Server.run t).Server.result.Capri_runtime.Executor.instrs
+        in
+        let schedule =
+          [ max 1 (total / (2 + (seed mod 3))); max 1 (total * 4 / 5) ]
+        in
+        let outcome = Server.run ~crash_at:schedule t in
+        check_ok t outcome;
+        let tables mem =
+          List.init 24 (fun k ->
+              List.init t.Server.kv.Kvstore.shards (fun s ->
+                  Kvstore.lookup t.Server.kv mem ~shard:s ~key:(k + 1)))
+        in
+        ( Array.map (List.map fst) outcome.Server.acks,
+          outcome.Server.final,
+          List.map (fun i -> tables i.Arch.Persist.nvm) outcome.Server.images,
+          tables outcome.Server.result.Capri_runtime.Executor.memory )
+      in
+      serve (2 + (seed mod 6)) = serve 0)
+
+(* Parallel recovery is a pure scheduling change: the same plan and
+   crash schedule recovered at jobs 1 and jobs 4 produce byte-identical
+   images, acks, stats and durable state. *)
+let test_parallel_recovery_identical () =
+  let serve recovery_jobs =
+    let cfg =
+      {
+        (mk ~ops:40 ~txns:2 ()) with
+        Server.config =
+          { Arch.Config.sim_default with Arch.Config.compact_interval = 8 };
+        recovery_jobs;
+      }
+    in
+    let t = Server.plan cfg in
+    let total =
+      (Server.run t).Server.result.Capri_runtime.Executor.instrs
+    in
+    let outcome = Server.run ~crash_at:[ total / 3; total / 2 ] t in
+    check_ok t outcome;
+    (t, outcome)
+  in
+  let _, o1 = serve 1 in
+  let t4, o4 = serve 4 in
+  Alcotest.(check bool) "acks identical" true (o1.Server.acks = o4.Server.acks);
+  Alcotest.(check bool) "finals identical" true
+    (o1.Server.final = o4.Server.final);
+  Alcotest.(check bool) "image journals/cursors/replay counts identical" true
+    (List.map
+       (fun (i : Arch.Persist.image) ->
+         (i.Arch.Persist.journal, i.Arch.Persist.acked,
+          i.Arch.Persist.acked_base, i.Arch.Persist.replayed))
+       o1.Server.images
+    = List.map
+        (fun (i : Arch.Persist.image) ->
+          (i.Arch.Persist.journal, i.Arch.Persist.acked,
+           i.Arch.Persist.acked_base, i.Arch.Persist.replayed))
+        o4.Server.images);
+  Alcotest.(check bool) "stats identical" true
+    (Server.stats t4 o1 = Server.stats t4 o4);
+  List.iter2
+    (fun (i1 : Arch.Persist.image) (i4 : Arch.Persist.image) ->
+      for s = 0 to t4.Server.kv.Kvstore.shards - 1 do
+        for key = 1 to 24 do
+          Alcotest.(check bool) "recovered tables identical" true
+            (Kvstore.lookup t4.Server.kv i1.Arch.Persist.nvm ~shard:s ~key
+            = Kvstore.lookup t4.Server.kv i4.Arch.Persist.nvm ~shard:s ~key)
+        done
+      done)
+    o1.Server.images o4.Server.images
+
+(* The modeled restart bill charges the slowest core, not the serial
+   sum: every core replays its own blocks, journal tail and log records
+   in parallel. *)
+let test_recovery_penalty_max_over_cores () =
+  let config =
+    {
+      Arch.Config.sim_default with
+      Arch.Config.power_cycle_cycles = 1000;
+      recovery_block_cycles = 50;
+      journal_replay_cycles = 4;
+      redo_replay_cycles = 8;
+    }
+  in
+  (* core 0: 2*50 + 1*4 + 3*8 = 128; core 1: 0 + 5*4 + 1*8 = 28 *)
+  Alcotest.(check int) "max over cores" (1000 + 128)
+    (Server.recovery_penalty config ~blocks:[| 2; 0 |] ~tails:[| 1; 5 |]
+       ~replayed:[| 3; 1 |]);
+  Alcotest.(check int) "no cores = fixed power cycle" 1000
+    (Server.recovery_penalty config ~blocks:[||] ~tails:[||] ~replayed:[||]);
+  (* the sum would be 1156; the max must be strictly cheaper when work
+     is spread over cores *)
+  Alcotest.(check bool) "cheaper than the serial sum" true
+    (Server.recovery_penalty config ~blocks:[| 1; 1 |] ~tails:[| 0; 0 |]
+       ~replayed:[| 0; 0 |]
+    < 1000 + 100)
+
+(* A preloaded store at 10^4 keys per shard serves, crashes and
+   recovers with the oracle holding — the scaled-down in-test version
+   of the bench's 10^5..10^6-key scenario. *)
+let test_preloaded_store_recovers () =
+  let keys = 10_000 in
+  let preload =
+    Array.init 2 (fun s ->
+        Array.init keys (fun i -> (i + 1, (i + 1 + (s * 17)) mod 251)))
+  in
+  let client =
+    { Client.default with ops_per_shard = 30; key_space = keys; seed = 3 }
+  in
+  let cfg =
+    {
+      Server.default_cfg with
+      shards = 2;
+      client;
+      config =
+        { Arch.Config.sim_default with Arch.Config.compact_interval = 8 };
+      recovery_jobs = 2;
+      preload;
+    }
+  in
+  let t = Server.plan cfg in
+  let total = (Server.run t).Server.result.Capri_runtime.Executor.instrs in
+  let outcome = Server.run ~crash_at:[ total / 2 ] t in
+  check_ok t outcome;
+  Alcotest.(check int) "one recovery" 1 outcome.Server.recoveries;
+  (* spot-check untouched preloaded keys survive in the final store *)
+  let mem = outcome.Server.result.Capri_runtime.Executor.memory in
+  let touched = Hashtbl.create 64 in
+  Array.iter
+    (Array.iter (fun (r : Wire.request) ->
+         if r.Wire.op <> Wire.Get then Hashtbl.replace touched r.Wire.key ()))
+    t.Server.kv.Kvstore.requests;
+  let checked = ref 0 in
+  for key = 1 to keys do
+    if key mod 997 = 0 && not (Hashtbl.mem touched key) then begin
+      incr checked;
+      for s = 0 to 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "preloaded key %d shard %d survives" key s)
+          true
+          (Kvstore.lookup t.Server.kv mem ~shard:s ~key
+          = Some ((key + (s * 17)) mod 251))
+      done
+    end
+  done;
+  Alcotest.(check bool) "spot checks ran" true (!checked > 0)
+
 (* Property: random multi-key txn batches satisfy the serializability
    oracle in all five persistence modes, crash-free — the sanity floor
    under the crash-schedule fuzzing. *)
@@ -771,6 +1097,20 @@ let suite =
       test_generate_tenants_deterministic;
     Alcotest.test_case "tenants: fair-share admission" `Quick
       test_tenant_fair_share_admission;
+    Alcotest.test_case "bulk loader = op-by-op puts" `Quick
+      test_bulk_loader_equiv_op_by_op;
+    Alcotest.test_case "preload validation" `Quick test_preload_validation;
+    Alcotest.test_case "compaction bounds the journal tail" `Quick
+      test_compaction_bounds_journal_tail;
+    Alcotest.test_case "parallel recovery jobs identical" `Quick
+      test_parallel_recovery_identical;
+    Alcotest.test_case "recovery penalty: max over cores" `Quick
+      test_recovery_penalty_max_over_cores;
+    Alcotest.test_case "preloaded store recovers" `Quick
+      test_preloaded_store_recovers;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_txn_batches_serializable; prop_steal_equiv_pinned ]
+      [
+        prop_txn_batches_serializable; prop_steal_equiv_pinned;
+        prop_compacted_equiv_full_history;
+      ]
